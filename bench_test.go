@@ -1,0 +1,390 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// the ablations of DESIGN.md §5. Campaign-backed benchmarks execute
+// their campaign once (cached across b.N) and report the headline rates
+// as custom metrics; the timed loop then measures the per-experiment
+// cost. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Campaign sizes are reduced from the paper's (9290/2372) to keep the
+// suite fast; cmd/goofi runs the full-scale campaigns.
+package ctrlguard_test
+
+import (
+	"sync"
+	"testing"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/core"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/fphys"
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/inject"
+	"ctrlguard/internal/plant"
+	"ctrlguard/internal/sim"
+	"ctrlguard/internal/workload"
+)
+
+const benchCampaignSize = 1500
+
+// --- cached campaign + golden-run fixtures ---
+
+var (
+	campaignOnce sync.Once
+	campaigns    map[workload.Variant]*goofi.Result
+
+	goldenOnce sync.Once
+	goldens    map[workload.Variant]*workload.Outcome
+)
+
+func campaignFor(b *testing.B, v workload.Variant) *goofi.Result {
+	b.Helper()
+	campaignOnce.Do(func() {
+		campaigns = make(map[workload.Variant]*goofi.Result)
+		for _, variant := range workload.Variants() {
+			res, err := goofi.Run(goofi.Config{
+				Variant:     variant,
+				Experiments: benchCampaignSize,
+				Seed:        2001,
+			})
+			if err != nil {
+				b.Fatalf("campaign %s: %v", variant, err)
+			}
+			campaigns[variant] = res
+		}
+	})
+	return campaigns[v]
+}
+
+func goldenFor(b *testing.B, v workload.Variant) *workload.Outcome {
+	b.Helper()
+	goldenOnce.Do(func() {
+		goldens = make(map[workload.Variant]*workload.Outcome)
+		for _, variant := range workload.Variants() {
+			out := workload.Run(workload.Program(variant), workload.SpecFor(variant))
+			if out.Detected() {
+				b.Fatalf("golden %s trapped: %v", variant, out.Trap)
+			}
+			goldens[variant] = out
+		}
+	})
+	return goldens[v]
+}
+
+// reportCampaign attaches the paper's headline rates as metrics.
+func reportCampaign(b *testing.B, res *goofi.Result) {
+	a := goofi.Analyze(res.Records)
+	b.ReportMetric(goofi.ValueFailureProportion(a.Total).P()*100, "uwr_pct")
+	b.ReportMetric(goofi.SevereProportion(a.Total).P()*100, "severe_pct")
+	b.ReportMetric(goofi.DetectedProportion(a.Total).P()*100, "detected_pct")
+	vf := goofi.ValueFailureProportion(a.Total)
+	sev := goofi.SevereProportion(a.Total)
+	if vf.Count > 0 {
+		b.ReportMetric(float64(sev.Count)/float64(vf.Count)*100, "severe_share_pct")
+	}
+}
+
+// benchExperiments times single fault-injection experiments against a
+// cached golden run, round-robin over freshly sampled faults.
+func benchExperiments(b *testing.B, v workload.Variant) {
+	golden := goldenFor(b, v)
+	prog := workload.Program(v)
+	sampler := inject.NewSampler(7, golden.Instructions)
+	injections := make([]workload.Injection, 64)
+	for i := range injections {
+		injections[i] = sampler.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := workload.SpecFor(v)
+		inj := injections[i%len(injections)]
+		spec.Injection = &inj
+		out := workload.Run(prog, spec)
+		if !out.Detected() {
+			classify.Run(golden.Outputs, out.Outputs, true, classify.DefaultConfig())
+		}
+	}
+	// Campaign construction in reportCampaign must not count towards
+	// the per-experiment timing.
+	b.StopTimer()
+}
+
+// --- Figures 3, 4, 5: the fault-free closed loop ---
+
+func BenchmarkFig3FaultFreeSpeed(b *testing.B) {
+	var finalErr float64
+	for i := 0; i < b.N; i++ {
+		eng := plant.NewEngine(plant.DefaultEngineConfig())
+		ctrl := control.NewPI(control.PaperPIConfig(plant.DefaultSampleInterval))
+		tr := sim.Run(ctrl, eng, sim.PaperConfig())
+		finalErr = tr.R[tr.Len()-1] - tr.Y[tr.Len()-1]
+	}
+	b.ReportMetric(finalErr, "final_tracking_err_rpm")
+}
+
+func BenchmarkFig4LoadProfile(b *testing.B) {
+	load := plant.HillyTerrainLoad()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = 0
+		for k := 0; k < plant.DefaultIterations; k++ {
+			if v := load(float64(k) * plant.DefaultSampleInterval); v > peak {
+				peak = v
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak_load")
+}
+
+func BenchmarkFig5FaultFreeOutput(b *testing.B) {
+	var maxU float64
+	for i := 0; i < b.N; i++ {
+		eng := plant.NewEngine(plant.DefaultEngineConfig())
+		ctrl := control.NewPI(control.PaperPIConfig(plant.DefaultSampleInterval))
+		tr := sim.Run(ctrl, eng, sim.PaperConfig())
+		maxU = 0
+		for _, u := range tr.U {
+			if u > maxU {
+				maxU = u
+			}
+		}
+	}
+	b.ReportMetric(maxU, "max_throttle_deg")
+}
+
+// --- Figures 7-10: single-fault example traces ---
+
+// figScenario runs the deterministic injection behind one figure and
+// reports the deviation profile.
+func figScenario(b *testing.B, v workload.Variant, iteration int, bit uint, want classify.Outcome) {
+	golden := goldenFor(b, v)
+	prog := workload.Program(v)
+	var verdict classify.Verdict
+	for i := 0; i < b.N; i++ {
+		spec := workload.PaperRunSpec()
+		spec.Injection = &workload.Injection{
+			At:  golden.IterationStarts[iteration] + 1,
+			Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: bit},
+		}
+		out := workload.Run(prog, spec)
+		if out.Detected() {
+			b.Fatalf("unexpected detection: %v", out.Trap)
+		}
+		verdict = classify.Run(golden.Outputs, out.Outputs, true, classify.DefaultConfig())
+	}
+	if verdict.Outcome != want {
+		b.Fatalf("outcome = %v, want %v", verdict.Outcome, want)
+	}
+	b.ReportMetric(verdict.MaxDeviation, "max_dev_deg")
+	b.ReportMetric(float64(verdict.StrongIterations), "strong_iters")
+}
+
+func BenchmarkFig7PermanentFailure(b *testing.B) {
+	figScenario(b, workload.AlgorithmI, 300, 28, classify.Permanent)
+}
+
+func BenchmarkFig8SemiPermanentFailure(b *testing.B) {
+	figScenario(b, workload.AlgorithmI, 120, 21, classify.SemiPermanent)
+}
+
+func BenchmarkFig9TransientFailure(b *testing.B) {
+	figScenario(b, workload.AlgorithmI, 300, 17, classify.Transient)
+}
+
+func BenchmarkFig10AssertionMiss(b *testing.B) {
+	figScenario(b, workload.AlgorithmII, 390, 20, classify.SemiPermanent)
+}
+
+// --- Tables 2, 3, 4: the fault-injection campaigns ---
+
+func BenchmarkTable2AlgorithmI(b *testing.B) {
+	benchExperiments(b, workload.AlgorithmI)
+	reportCampaign(b, campaignFor(b, workload.AlgorithmI))
+}
+
+func BenchmarkTable3AlgorithmII(b *testing.B) {
+	benchExperiments(b, workload.AlgorithmII)
+	reportCampaign(b, campaignFor(b, workload.AlgorithmII))
+}
+
+func BenchmarkTable4Comparison(b *testing.B) {
+	r1 := campaignFor(b, workload.AlgorithmI)
+	r2 := campaignFor(b, workload.AlgorithmII)
+	a1, a2 := goofi.Analyze(r1.Records), goofi.Analyze(r2.Records)
+	s1, s2 := goofi.SevereProportion(a1.Total), goofi.SevereProportion(a2.Total)
+	b.ReportMetric(s1.P()*100, "alg1_severe_pct")
+	b.ReportMetric(s2.P()*100, "alg2_severe_pct")
+	if s2.P() > 0 {
+		b.ReportMetric(s1.P()/s2.P(), "severe_reduction_x")
+	}
+	var tbl string
+	for i := 0; i < b.N; i++ {
+		tbl = goofi.RenderComparisonTable(a1, a2)
+	}
+	if len(tbl) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationRegState: with the state in a register instead of
+// the cache, the severe-failure mass moves from the cache region to the
+// register region.
+func BenchmarkAblationRegState(b *testing.B) {
+	benchExperiments(b, workload.AlgorithmIRegState)
+	a := goofi.Analyze(campaignFor(b, workload.AlgorithmIRegState).Records)
+	b.ReportMetric(goofi.SevereProportion(a.Cache).P()*100, "cache_severe_pct")
+	b.ReportMetric(goofi.SevereProportion(a.Regs).P()*100, "regs_severe_pct")
+}
+
+// BenchmarkAblationBackupFirst: backing the state up before asserting
+// it poisons the recovery point, so severe failures stay near the
+// Algorithm I level instead of dropping.
+func BenchmarkAblationBackupFirst(b *testing.B) {
+	benchExperiments(b, workload.AlgorithmIIBackupFirst)
+	reportCampaign(b, campaignFor(b, workload.AlgorithmIIBackupFirst))
+}
+
+// BenchmarkAblationFailStop: trapping on assertion failure converts
+// recoveries into detections — strong failure semantics at the price of
+// availability (the controller stops).
+func BenchmarkAblationFailStop(b *testing.B) {
+	benchExperiments(b, workload.AlgorithmIIFailStop)
+	res := campaignFor(b, workload.AlgorithmIIFailStop)
+	a := goofi.Analyze(res.Records)
+	constraint := 0
+	for _, r := range res.Records {
+		if r.Mechanism == string(cpu.MechConstraint) {
+			constraint++
+		}
+	}
+	b.ReportMetric(float64(constraint)/float64(len(res.Records))*100, "failstop_pct")
+	b.ReportMetric(goofi.SevereProportion(a.Total).P()*100, "severe_pct")
+}
+
+// BenchmarkFutureWorkMIMO runs the paper's future-work direction on the
+// simulated CPU: a two-state, two-output controller protected by the
+// generalised §4.3 scheme. The reported metrics compare the severe
+// share of value failures with and without the protection.
+func BenchmarkFutureWorkMIMO(b *testing.B) {
+	benchExperiments(b, workload.MIMOAlgorithmI)
+	a1 := goofi.Analyze(campaignFor(b, workload.MIMOAlgorithmI).Records)
+	a2 := goofi.Analyze(campaignFor(b, workload.MIMOAlgorithmII).Records)
+	s1, s2 := goofi.SevereProportion(a1.Total), goofi.SevereProportion(a2.Total)
+	b.ReportMetric(s1.P()*100, "mimo_alg1_severe_pct")
+	b.ReportMetric(s2.P()*100, "mimo_alg2_severe_pct")
+	if s2.P() > 0 {
+		b.ReportMetric(s1.P()/s2.P(), "severe_reduction_x")
+	}
+}
+
+// BenchmarkAblationGuardPolicies compares the guard's recovery policies
+// on the Go controller under variable-level injection: fraction of runs
+// whose worst output deviation stays under 1 degree.
+func BenchmarkAblationGuardPolicies(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy core.RecoveryPolicy
+	}{
+		{"rollback", core.Rollback},
+		{"saturate", core.Saturate},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			cfg := control.PaperPIConfig(plant.DefaultSampleInterval)
+			okRuns, runs := 0, 0
+			for i := 0; i < b.N; i++ {
+				sampler := inject.NewVarSampler(uint64(i)+1, 1, plant.DefaultIterations)
+				it, flip := sampler.Next()
+
+				eng := plant.NewEngine(plant.DefaultEngineConfig())
+				ctrl := control.NewPI(cfg)
+				guard := core.NewGuard(ctrl,
+					core.RangeAssertion{Min: cfg.OutMin, Max: cfg.OutMax},
+					core.WithPolicy(p.policy))
+				ref := plant.PaperReference()
+
+				eng2 := plant.NewEngine(plant.DefaultEngineConfig())
+				goldenCtrl := control.NewPI(cfg)
+				golden := sim.Run(goldenCtrl, eng2, sim.PaperConfig())
+
+				worst := 0.0
+				y := eng.Speed()
+				for k := 0; k < plant.DefaultIterations; k++ {
+					if k == it {
+						flip.Apply(ctrl)
+					}
+					t := float64(k) * plant.DefaultSampleInterval
+					u, err := guard.Step([]float64{ref(t), y})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d := u[0] - golden.U[k]; d > worst {
+						worst = d
+					} else if -d > worst {
+						worst = -d
+					}
+					y = eng.Step(u[0])
+				}
+				runs++
+				if worst < 1.0 {
+					okRuns++
+				}
+			}
+			b.ReportMetric(float64(okRuns)/float64(runs)*100, "runs_under_1deg_pct")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core paths ---
+
+func BenchmarkPIControllerStep(b *testing.B) {
+	ctrl := control.NewPI(control.PaperPIConfig(plant.DefaultSampleInterval))
+	for i := 0; i < b.N; i++ {
+		ctrl.Step(2000, 1990)
+	}
+}
+
+func BenchmarkProtectedPIStep(b *testing.B) {
+	ctrl := control.NewProtectedPI(control.PaperPIConfig(plant.DefaultSampleInterval))
+	for i := 0; i < b.N; i++ {
+		ctrl.Step(2000, 1990)
+	}
+}
+
+func BenchmarkGuardStep(b *testing.B) {
+	cfg := control.PaperPIConfig(plant.DefaultSampleInterval)
+	guard := core.NewGuard(control.NewPI(cfg),
+		core.RangeAssertion{Min: cfg.OutMin, Max: cfg.OutMax})
+	in := []float64{2000, 1990}
+	for i := 0; i < b.N; i++ {
+		if _, err := guard.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVMControlIteration(b *testing.B) {
+	golden := goldenFor(b, workload.AlgorithmI)
+	prog := workload.Program(workload.AlgorithmI)
+	spec := workload.PaperRunSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := workload.Run(prog, spec)
+		if out.Detected() {
+			b.Fatal(out.Trap)
+		}
+	}
+	perIter := float64(golden.Instructions) / float64(len(golden.Outputs))
+	b.ReportMetric(perIter, "instrs_per_iteration")
+}
+
+func BenchmarkBitFlip64(b *testing.B) {
+	v := 7.0
+	for i := 0; i < b.N; i++ {
+		v = fphys.FlipBit64(v, uint(i%64))
+	}
+	_ = v
+}

@@ -1,0 +1,120 @@
+// Command enginesim runs the fault-free closed loop of the paper's
+// engine workload and prints Figures 3, 4 and 5: reference versus
+// actual engine speed, the load-torque profile, and the controller
+// output u_lim.
+//
+// Usage:
+//
+//	enginesim [-fig 3|4|5|all] [-csv] [-vm]
+//
+// With -vm the traces come from the control program executing on the
+// simulated CPU instead of the native Go controller; the two agree to
+// float32 rounding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/plant"
+	"ctrlguard/internal/sim"
+	"ctrlguard/internal/viz"
+	"ctrlguard/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to print: 3, 4, 5 or all")
+	csv := flag.Bool("csv", false, "print raw columns instead of charts")
+	vm := flag.Bool("vm", false, "run the workload on the simulated CPU")
+	flag.Parse()
+
+	if err := run(*fig, *csv, *vm); err != nil {
+		fmt.Fprintln(os.Stderr, "enginesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, csv, vm bool) error {
+	tr, err := trace(vm)
+	if err != nil {
+		return err
+	}
+
+	if csv {
+		fmt.Println("t,r,y,u,load")
+		load := plant.HillyTerrainLoad()
+		for k := range tr.U {
+			fmt.Printf("%.4f,%.1f,%.3f,%.4f,%.2f\n", tr.T[k], tr.R[k], tr.Y[k], tr.U[k], load(tr.T[k]))
+		}
+		return nil
+	}
+
+	switch fig {
+	case "3":
+		printFig3(tr)
+	case "4":
+		printFig4(tr)
+	case "5":
+		printFig5(tr)
+	case "all":
+		printFig3(tr)
+		printFig4(tr)
+		printFig5(tr)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func trace(vm bool) (*sim.Trace, error) {
+	if !vm {
+		eng := plant.NewEngine(plant.DefaultEngineConfig())
+		ctrl := control.NewPI(control.PaperPIConfig(plant.DefaultSampleInterval))
+		return sim.Run(ctrl, eng, sim.PaperConfig()), nil
+	}
+	out := workload.Run(workload.Program(workload.AlgorithmI), workload.PaperRunSpec())
+	if out.Detected() {
+		return nil, fmt.Errorf("fault-free VM run trapped: %v", out.Trap)
+	}
+	tr := &sim.Trace{}
+	ref := plant.PaperReference()
+	for k := range out.Outputs {
+		t := float64(k) * plant.DefaultSampleInterval
+		tr.T = append(tr.T, t)
+		tr.R = append(tr.R, ref(t))
+		tr.Y = append(tr.Y, out.Speeds[k])
+		tr.U = append(tr.U, out.Outputs[k])
+	}
+	return tr, nil
+}
+
+func printFig3(tr *sim.Trace) {
+	fmt.Println(viz.Chart{
+		Title:  "Figure 3: reference speed r and actual engine speed y (rpm)",
+		XLabel: "time 0..10 s",
+	}.Render(
+		viz.Series{Name: "reference r", Values: tr.R, Mark: '.'},
+		viz.Series{Name: "actual y", Values: tr.Y, Mark: '#'},
+	))
+}
+
+func printFig4(tr *sim.Trace) {
+	load := plant.HillyTerrainLoad()
+	vals := make([]float64, len(tr.T))
+	for k, t := range tr.T {
+		vals[k] = load(t)
+	}
+	fmt.Println(viz.Chart{
+		Title:  "Figure 4: engine load torque",
+		XLabel: "time 0..10 s",
+	}.Render(viz.Series{Name: "load", Values: vals, Mark: '#'}))
+}
+
+func printFig5(tr *sim.Trace) {
+	fmt.Println(viz.Chart{
+		Title:  "Figure 5: fault-free output u_lim from the PI controller (degrees)",
+		XLabel: "time 0..10 s",
+	}.Render(viz.Series{Name: "u_lim", Values: tr.U, Mark: '#'}))
+}

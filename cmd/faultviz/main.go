@@ -1,0 +1,136 @@
+// Command faultviz reproduces the single-fault example traces of the
+// paper: Figure 7 (permanent), Figure 8 (semi-permanent), Figure 9
+// (transient) and Figure 10 (an in-range state corruption that evades
+// the assertions of Algorithm II).
+//
+// Usage:
+//
+//	faultviz [-fig 7|8|9|10|all]
+//
+// Each figure is produced by one deterministic bit-flip in the
+// simulated CPU while it executes the engine-control workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/viz"
+	"ctrlguard/internal/workload"
+)
+
+// scenario describes the deterministic injection behind one figure.
+type scenario struct {
+	title     string
+	variant   workload.Variant
+	iteration int  // control iteration at whose start the bit flips
+	bit       uint // bit of the cache word holding the high word of x
+	expect    string
+}
+
+var scenarios = map[string]scenario{
+	// Flipping a high exponent bit makes x astronomically large: the
+	// throttle locks at 70 degrees and the integrator cannot unwind
+	// within the window — the paper's "throttle locked at full speed".
+	"7": {
+		title:     "Figure 7: severe undetected wrong result (permanent)",
+		variant:   workload.AlgorithmI,
+		iteration: 300,
+		bit:       28,
+		expect:    "uwr-permanent",
+	},
+	// Flipping exponent bit 21 of the high word scales x by 4: a large
+	// but recoverable deviation that converges within the window.
+	"8": {
+		title:     "Figure 8: severe undetected wrong result (semi-permanent)",
+		variant:   workload.AlgorithmI,
+		iteration: 120,
+		bit:       21,
+		expect:    "uwr-semi-permanent",
+	},
+	// Flipping a mid mantissa bit nudges x by half a degree: a brief
+	// excursion that rapidly converges.
+	"9": {
+		title:     "Figure 9: minor undetected wrong result (transient)",
+		variant:   workload.AlgorithmI,
+		iteration: 300,
+		bit:       17,
+		expect:    "uwr-transient",
+	},
+	// Algorithm II with an in-range corruption: x doubles (10.5 → 21
+	// degrees) at t = 6 s, inside the valid range, so the executable
+	// assertions cannot detect it (the paper's Figure 10 showed 10 →
+	// 69 degrees).
+	"10": {
+		title:     "Figure 10: in-range corruption not detected by the assertions (Algorithm II)",
+		variant:   workload.AlgorithmII,
+		iteration: 390,
+		bit:       20,
+		expect:    "uwr-semi-permanent",
+	},
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 7, 8, 9, 10 or all")
+	flag.Parse()
+
+	if err := run(*fig); err != nil {
+		fmt.Fprintln(os.Stderr, "faultviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string) error {
+	order := []string{"7", "8", "9", "10"}
+	if fig != "all" {
+		if _, ok := scenarios[fig]; !ok {
+			return fmt.Errorf("unknown figure %q", fig)
+		}
+		order = []string{fig}
+	}
+	for _, f := range order {
+		if err := show(scenarios[f]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func show(sc scenario) error {
+	prog := workload.Program(sc.variant)
+	golden := workload.Run(prog, workload.PaperRunSpec())
+	if golden.Detected() {
+		return fmt.Errorf("golden run trapped: %v", golden.Trap)
+	}
+
+	spec := workload.PaperRunSpec()
+	spec.Injection = &workload.Injection{
+		// +1 skips the landing pad so the flip lands inside the
+		// iteration's first instructions, before x is loaded.
+		At:  golden.IterationStarts[sc.iteration] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: sc.bit},
+	}
+	out := workload.Run(prog, spec)
+	if out.Detected() {
+		return fmt.Errorf("injection unexpectedly detected: %v", out.Trap)
+	}
+
+	verdict := classify.Run(golden.Outputs, out.Outputs,
+		!cpu.StatesEqual(golden.FinalState, out.FinalState), classify.DefaultConfig())
+
+	fmt.Println(viz.Chart{
+		Title:  sc.title,
+		XLabel: "time 0..10 s",
+	}.Render(
+		viz.Series{Name: "fault-free u_lim", Values: golden.Outputs, Mark: '.'},
+		viz.Series{Name: "faulty u_lim", Values: out.Outputs, Mark: '#'},
+	))
+	fmt.Printf("workload %s, bit %d of the cached state variable flipped at iteration %d\n",
+		sc.variant, sc.bit, sc.iteration)
+	fmt.Printf("classified: %s (expected %s); deviation window [%d, %d], max %.2f degrees\n\n",
+		verdict.Outcome, sc.expect, verdict.FirstDeviation, verdict.LastDeviation, verdict.MaxDeviation)
+	return nil
+}

@@ -1,0 +1,251 @@
+// Command goofi runs fault-injection campaigns against the simulated
+// CPU executing the engine-control workload, and prints the paper's
+// result tables.
+//
+// Usage:
+//
+//	goofi -alg 1 -n 9290            reproduce Table 2 (Algorithm I)
+//	goofi -alg 2 -n 2372            reproduce Table 3 (Algorithm II)
+//	goofi -compare                  reproduce Table 4 (both campaigns)
+//	goofi -variant alg2-failstop    campaign on an ablation variant
+//	goofi -swifi -n 2000            pre-runtime SWIFI campaign
+//	goofi -analyze records.jsonl    analysis phase over logged records
+//	goofi -trace line0.data0:28:300 detail-mode propagation of one fault
+//	goofi -disasm                   disassemble the workload program
+//
+// Additional flags select the seed, worker count, and a JSONL file to
+// which the per-experiment records are logged (the campaign database).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/workload"
+)
+
+func main() {
+	var (
+		alg       = flag.Int("alg", 0, "algorithm to test: 1 or 2 (shorthand for -variant)")
+		variant   = flag.String("variant", "", "workload variant (alg1, alg2, alg1-regstate, alg2-backup-first, alg2-failstop)")
+		n         = flag.Int("n", 9290, "number of faults to inject (paper: 9290 for Alg I, 2372 for Alg II)")
+		n2        = flag.Int("n2", 2372, "faults for the second campaign with -compare")
+		seed      = flag.Uint64("seed", 2001, "campaign seed")
+		workers   = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
+		out       = flag.String("out", "", "write per-experiment records to this JSONL file")
+		compare   = flag.Bool("compare", false, "run Algorithm I and II campaigns and print Table 4")
+		swifi     = flag.Bool("swifi", false, "run a pre-runtime SWIFI campaign instead of SCIFI")
+		analyze   = flag.String("analyze", "", "skip injection; analyse records from this JSONL file")
+		trace     = flag.String("trace", "", "detail mode: element:bit:iteration, e.g. line0.data0:28:300")
+		disasm    = flag.Bool("disasm", false, "print the workload's disassembly and exit")
+		mark      = flag.Bool("markdown", false, "with -compare: emit a markdown report instead of tables")
+		precision = flag.Float64("precision", 0, "run batches until the severe-rate 95% CI half-width is below this (e.g. 0.001)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	v, err := pickVariant(*alg, *variant)
+	if err == nil && *precision > 0 {
+		err = runPrecision(v, *seed, *workers, *precision)
+	} else if err == nil {
+		err = run(v, *n, *n2, *seed, *workers, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *quiet)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goofi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(v workload.Variant, n, n2 int, seed uint64, workers int, out string,
+	compare, swifi bool, analyze, trace string, disasm, markdown, quiet bool) error {
+	switch {
+	case disasm:
+		fmt.Print(workload.Program(v).Disassemble())
+		return nil
+	case analyze != "":
+		return runAnalyze(analyze)
+	case trace != "":
+		return runTrace(v, trace)
+	case compare:
+		return runCompare(n, n2, seed, workers, markdown, quiet)
+	}
+
+	var (
+		res *goofi.Result
+		err error
+	)
+	if swifi {
+		res, err = goofi.RunSWIFI(goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers})
+	} else {
+		res, err = campaign(v, n, seed, workers, quiet)
+	}
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := goofi.SaveRecords(out, res.Records); err != nil {
+			return err
+		}
+		fmt.Printf("records written to %s\n", out)
+	}
+	var a *goofi.Analysis
+	title := fmt.Sprintf("Results for %s (cf. paper Table %s)", v, tableFor(v))
+	if swifi {
+		a = goofi.AnalyzeSWIFI(res.Records)
+		title = fmt.Sprintf("Pre-runtime SWIFI results for %s (columns: code image / data image / total)", v)
+	} else {
+		a = goofi.Analyze(res.Records)
+	}
+	fmt.Println(a.RenderRegionTable(title))
+	fmt.Println(a.Summary())
+	return nil
+}
+
+// runPrecision runs a sequential campaign until the severe-rate
+// confidence interval reaches the requested half-width.
+func runPrecision(v workload.Variant, seed uint64, workers int, target float64) error {
+	fmt.Printf("sequential campaign on %s until severe-rate CI half-width <= %.4f%%\n", v, target*100)
+	res, err := goofi.RunUntilPrecision(goofi.PrecisionConfig{
+		Campaign:        goofi.Config{Variant: v, Seed: seed, Workers: workers},
+		TargetHalfWidth: target,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiments: %d in %d batches (converged: %v)\n", res.Experiments, res.Batches, res.Converged)
+	fmt.Printf("severe rate: %s (half-width %.4f%%)\n", res.Estimate, res.HalfWidth*100)
+	a := goofi.Analyze(res.Records)
+	fmt.Println(a.Summary())
+	return nil
+}
+
+// runAnalyze is the standalone analysis phase: load a campaign database
+// and print the tables plus the severe-failure investigation.
+func runAnalyze(path string) error {
+	recs, err := goofi.LoadRecords(path)
+	if err != nil {
+		return err
+	}
+	a := goofi.Analyze(recs)
+	fmt.Println(a.RenderRegionTable(fmt.Sprintf("Analysis of %s (%d records)", path, len(recs))))
+	fmt.Println(a.Summary())
+	q := goofi.NewQuery(recs)
+	fmt.Println(q.Severe().Report("severe value failures"))
+	fmt.Println(q.Detected("").Report("detected errors"))
+	return nil
+}
+
+// runTrace runs one detail-mode experiment (GOOFI's execution-trace
+// mode) and prints the propagation report.
+func runTrace(v workload.Variant, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -trace %q, want element:bit:iteration", spec)
+	}
+	bit, err := strconv.Atoi(parts[1])
+	if err != nil || bit < 0 {
+		return fmt.Errorf("bad bit %q", parts[1])
+	}
+	iter, err := strconv.Atoi(parts[2])
+	if err != nil || iter < 0 {
+		return fmt.Errorf("bad iteration %q", parts[2])
+	}
+
+	region := cpu.RegionCache
+	if !strings.HasPrefix(parts[0], "line") {
+		region = cpu.RegionRegisters
+	}
+	runSpec := workload.SpecFor(v)
+	golden := workload.Run(workload.Program(v), runSpec)
+	if golden.Detected() {
+		return fmt.Errorf("reference execution trapped: %v", golden.Trap)
+	}
+	if iter >= len(golden.IterationStarts) {
+		return fmt.Errorf("iteration %d beyond the run (%d)", iter, len(golden.IterationStarts))
+	}
+	inj := workload.Injection{
+		At:  golden.IterationStarts[iter] + 1,
+		Bit: cpu.StateBit{Region: region, Element: parts[0], Bit: uint(bit)},
+	}
+	p, err := goofi.TracePropagation(v, runSpec, inj)
+	if err != nil {
+		return err
+	}
+	fmt.Println(p)
+	return nil
+}
+
+func runCompare(n, n2 int, seed uint64, workers int, markdown, quiet bool) error {
+	r1, err := campaign(workload.AlgorithmI, n, seed, workers, quiet)
+	if err != nil {
+		return err
+	}
+	r2, err := campaign(workload.AlgorithmII, n2, seed+1, workers, quiet)
+	if err != nil {
+		return err
+	}
+	a1, a2 := goofi.Analyze(r1.Records), goofi.Analyze(r2.Records)
+	if markdown {
+		if err := goofi.WriteMarkdownReport(os.Stdout, a1, a2); err != nil {
+			return err
+		}
+		fmt.Println()
+		return goofi.WriteInvestigation(os.Stdout, r1.Records)
+	}
+	fmt.Println(a1.RenderRegionTable("Results for Algorithm I (cf. paper Table 2)"))
+	fmt.Println(a2.RenderRegionTable("Results for Algorithm II (cf. paper Table 3)"))
+	fmt.Println(goofi.RenderComparisonTable(a1, a2))
+	fmt.Println(a1.Summary())
+	fmt.Println(a2.Summary())
+	return nil
+}
+
+func campaign(v workload.Variant, n int, seed uint64, workers int, quiet bool) (*goofi.Result, error) {
+	cfg := goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers}
+	if !quiet {
+		cfg.Progress = func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d experiments", v, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	return goofi.Run(cfg)
+}
+
+func pickVariant(alg int, variant string) (workload.Variant, error) {
+	switch {
+	case variant != "" && alg != 0:
+		return "", fmt.Errorf("use either -alg or -variant, not both")
+	case alg == 1:
+		return workload.AlgorithmI, nil
+	case alg == 2:
+		return workload.AlgorithmII, nil
+	case variant != "":
+		v := workload.Variant(variant)
+		if _, ok := workload.Source(v); !ok {
+			return "", fmt.Errorf("unknown variant %q (have %v)", variant, workload.Variants())
+		}
+		return v, nil
+	default:
+		return workload.AlgorithmI, nil
+	}
+}
+
+func tableFor(v workload.Variant) string {
+	switch v {
+	case workload.AlgorithmI:
+		return "2"
+	case workload.AlgorithmII:
+		return "3"
+	default:
+		return "2/3, ablation"
+	}
+}

@@ -1,0 +1,13 @@
+// Package ctrlguard reproduces "Reducing Critical Failures for Control
+// Algorithms Using Executable Assertions and Best Effort Recovery"
+// (Vinter, Aidemark, Folkesson, Karlsson — DSN 2001).
+//
+// The library packages live under internal/: the guard framework
+// (internal/core), the control algorithms (internal/control), the
+// engine model (internal/plant), the simulated Thor-like CPU
+// (internal/cpu), the workload programs (internal/workload), the fault
+// models (internal/inject), the campaign tool (internal/goofi) and the
+// failure classification (internal/classify). The benchmarks in this
+// directory regenerate every table and figure of the paper; see
+// EXPERIMENTS.md for the measured results.
+package ctrlguard

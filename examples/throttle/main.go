@@ -1,0 +1,68 @@
+// Throttle: the paper's headline scenario end to end, on the simulated
+// CPU. The same bit-flip is injected into the cache word holding the
+// controller state x while the CPU runs Algorithm I and then
+// Algorithm II. Under Algorithm I the throttle locks at full speed for
+// the rest of the run; under Algorithm II the executable assertion
+// catches the out-of-range state and the best effort recovery keeps the
+// engine on track.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/viz"
+	"ctrlguard/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "throttle:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The fault: invert exponent bit 28 of the IEEE-754 word holding
+	// x, at the start of control iteration 300 (t ≈ 4.6 s). The state
+	// jumps from ~7 degrees to ~3·10¹⁰.
+	const iteration = 300
+	flip := cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: 28}
+
+	for _, v := range []workload.Variant{workload.AlgorithmI, workload.AlgorithmII} {
+		prog := workload.Program(v)
+		golden := workload.Run(prog, workload.PaperRunSpec())
+		if golden.Detected() {
+			return fmt.Errorf("golden run trapped: %v", golden.Trap)
+		}
+
+		spec := workload.PaperRunSpec()
+		spec.Injection = &workload.Injection{
+			At:  golden.IterationStarts[iteration] + 1,
+			Bit: flip,
+		}
+		out := workload.Run(prog, spec)
+		if out.Detected() {
+			return fmt.Errorf("injection detected by %v — unexpected for this scenario", out.Trap.Mech)
+		}
+
+		verdict := classify.Run(golden.Outputs, out.Outputs,
+			!cpu.StatesEqual(golden.FinalState, out.FinalState), classify.DefaultConfig())
+
+		fmt.Println(viz.Chart{
+			Title:  fmt.Sprintf("engine speed, %s with state bit-flip at t=4.6s", v),
+			XLabel: "time 0..10 s",
+			Height: 14,
+		}.Render(
+			viz.Series{Name: "fault-free", Values: golden.Speeds, Mark: '.'},
+			viz.Series{Name: "faulty", Values: out.Speeds, Mark: '#'},
+		))
+		fmt.Printf("%s: classified %s, max output deviation %.1f degrees\n\n",
+			v, verdict.Outcome, verdict.MaxDeviation)
+	}
+	fmt.Println("Algorithm II turns the locked-throttle failure into a minor deviation —")
+	fmt.Println("the result the paper reports in its abstract.")
+	return nil
+}

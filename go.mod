@@ -1,0 +1,3 @@
+module ctrlguard
+
+go 1.22

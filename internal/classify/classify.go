@@ -1,0 +1,222 @@
+// Package classify implements the error and failure classification
+// scheme of §4.1 of the paper. Every fault-injection experiment ends in
+// exactly one of these outcomes:
+//
+//   - Detected: an error-detection mechanism of the target CPU trapped.
+//   - Undetected wrong result (value failure), graded by its impact on
+//     the controlled object: Permanent or SemiPermanent (severe),
+//     Transient or Insignificant (minor).
+//   - Latent: the run completed with correct outputs but the final
+//     system state differs from the reference execution.
+//   - Overwritten: the run completed and no difference from the
+//     reference execution is observable at all.
+package classify
+
+// Outcome is the terminal classification of one experiment.
+type Outcome int
+
+// Outcome values, ordered roughly by severity.
+const (
+	Overwritten Outcome = iota + 1
+	Latent
+	Detected
+	Insignificant
+	Transient
+	SemiPermanent
+	Permanent
+)
+
+var outcomeNames = map[Outcome]string{
+	Overwritten:   "overwritten",
+	Latent:        "latent",
+	Detected:      "detected",
+	Insignificant: "uwr-insignificant",
+	Transient:     "uwr-transient",
+	SemiPermanent: "uwr-semi-permanent",
+	Permanent:     "uwr-permanent",
+}
+
+// String returns the outcome's canonical label.
+func (o Outcome) String() string {
+	if s, ok := outcomeNames[o]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// IsValueFailure reports whether the outcome is an undetected wrong
+// result of any grade.
+func (o Outcome) IsValueFailure() bool {
+	switch o {
+	case Insignificant, Transient, SemiPermanent, Permanent:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsSevere reports whether the outcome is a severe value failure
+// (permanent or semi-permanent).
+func (o Outcome) IsSevere() bool {
+	return o == Permanent || o == SemiPermanent
+}
+
+// IsEffective reports whether the error was effective: detected by an
+// EDM or visible as a value failure.
+func (o Outcome) IsEffective() bool {
+	return o == Detected || o.IsValueFailure()
+}
+
+// Config holds the thresholds of the classification rules.
+type Config struct {
+	// Threshold is the deviation (degrees) above which the output is
+	// considered to "differ strongly" from the fault-free output.
+	// The paper uses 0.1 degrees.
+	Threshold float64
+
+	// TransientWindow operationalises the paper's "differs strongly
+	// during one iteration and then rapidly starts to converge": a
+	// strong-deviation episode no longer than this many iterations
+	// that converges within the observed window is a transient
+	// (minor) failure; a longer episode is semi-permanent (severe).
+	// A literal one-iteration rule is physically unrealisable with
+	// a 0.1° threshold, because any stronger kick to the engine
+	// excites a closed-loop recovery tail spanning several samples —
+	// visible as the decaying tail of the paper's own Figure 9.
+	TransientWindow int
+}
+
+// DefaultTransientWindow is about 0.75 s at the paper's 15.4 ms sample
+// interval: excursions shorter than this count as "rapid" convergence.
+const DefaultTransientWindow = 50
+
+// DefaultConfig returns the paper's thresholds.
+func DefaultConfig() Config {
+	return Config{Threshold: 0.1, TransientWindow: DefaultTransientWindow}
+}
+
+// Verdict is the result of classifying one completed experiment.
+type Verdict struct {
+	Outcome Outcome
+
+	// Mechanism names the detecting EDM when Outcome == Detected.
+	Mechanism string
+
+	// FirstDeviation is the iteration index of the first strong
+	// deviation (−1 when none occurred).
+	FirstDeviation int
+
+	// LastDeviation is the iteration index of the last strong
+	// deviation (−1 when none occurred).
+	LastDeviation int
+
+	// StrongIterations counts iterations whose deviation exceeded the
+	// threshold.
+	StrongIterations int
+
+	// MaxDeviation is the largest absolute output deviation observed.
+	MaxDeviation float64
+}
+
+// DetectedVerdict returns the verdict for an experiment terminated by
+// the named error-detection mechanism.
+func DetectedVerdict(mechanism string) Verdict {
+	return Verdict{
+		Outcome:        Detected,
+		Mechanism:      mechanism,
+		FirstDeviation: -1,
+		LastDeviation:  -1,
+	}
+}
+
+// Run classifies a completed (undetected) experiment by comparing its
+// output trace against the fault-free reference trace.
+//
+// stateDiffers tells the classifier whether the final system state of
+// the experiment differs from the reference execution's final state; it
+// separates Latent from Overwritten when the outputs were correct.
+//
+// The rules follow §4.1 of the paper, with two criteria made explicit:
+//
+//   - Permanent: the deviation is still strong at the final iteration —
+//     the failure never converged within the observed window (the
+//     paper's permanent examples are the output stuck at a throttle
+//     limit until the window ends).
+//   - Transient vs semi-permanent: an episode whose strong deviations
+//     span at most cfg.TransientWindow iterations and that converges is
+//     transient ("rapidly starts to converge", Figure 9); a longer
+//     episode that still converges within the window is semi-permanent
+//     (Figures 8 and 10).
+func Run(golden, faulty []float64, stateDiffers bool, cfg Config) Verdict {
+	n := len(golden)
+	if len(faulty) < n {
+		n = len(faulty)
+	}
+
+	v := Verdict{FirstDeviation: -1, LastDeviation: -1}
+	anyDiff := false
+	for k := 0; k < n; k++ {
+		d := faulty[k] - golden[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 {
+			anyDiff = true
+		}
+		if d > v.MaxDeviation {
+			v.MaxDeviation = d
+		}
+		if d > cfg.Threshold {
+			if v.FirstDeviation < 0 {
+				v.FirstDeviation = k
+			}
+			v.LastDeviation = k
+			v.StrongIterations++
+		}
+	}
+
+	switch {
+	case v.StrongIterations == 0 && !anyDiff:
+		if stateDiffers {
+			v.Outcome = Latent
+		} else {
+			v.Outcome = Overwritten
+		}
+	case v.StrongIterations == 0:
+		// Output deviates, but never by more than the threshold.
+		v.Outcome = Insignificant
+	case v.LastDeviation == n-1:
+		// Still strongly deviating at the end of the window: the
+		// failure never converged — permanent.
+		v.Outcome = Permanent
+	case v.LastDeviation-v.FirstDeviation < max(cfg.TransientWindow, 1):
+		v.Outcome = Transient
+	default:
+		v.Outcome = SemiPermanent
+	}
+	return v
+}
+
+// RunMulti classifies a completed experiment of a controller with
+// several output signals, per the paper's generalised scheme: each
+// output trace is classified independently and the experiment takes the
+// most severe verdict (the Outcome values are ordered by severity).
+// golden and faulty are indexed [output][iteration].
+func RunMulti(golden, faulty [][]float64, stateDiffers bool, cfg Config) Verdict {
+	if len(golden) == 0 {
+		return Verdict{Outcome: Overwritten, FirstDeviation: -1, LastDeviation: -1}
+	}
+	worst := Verdict{FirstDeviation: -1, LastDeviation: -1}
+	for j := range golden {
+		var f []float64
+		if j < len(faulty) {
+			f = faulty[j]
+		}
+		v := Run(golden[j], f, stateDiffers, cfg)
+		if v.Outcome > worst.Outcome {
+			// Keep the counters of the output driving the verdict.
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,337 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func flat(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{Overwritten, "overwritten"},
+		{Latent, "latent"},
+		{Detected, "detected"},
+		{Insignificant, "uwr-insignificant"},
+		{Transient, "uwr-transient"},
+		{SemiPermanent, "uwr-semi-permanent"},
+		{Permanent, "uwr-permanent"},
+		{Outcome(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}
+
+func TestOutcomePredicates(t *testing.T) {
+	if !Permanent.IsSevere() || !SemiPermanent.IsSevere() {
+		t.Error("permanent/semi-permanent must be severe")
+	}
+	if Transient.IsSevere() || Insignificant.IsSevere() {
+		t.Error("transient/insignificant must not be severe")
+	}
+	for _, o := range []Outcome{Insignificant, Transient, SemiPermanent, Permanent} {
+		if !o.IsValueFailure() || !o.IsEffective() {
+			t.Errorf("%v should be a value failure and effective", o)
+		}
+	}
+	if Detected.IsValueFailure() {
+		t.Error("detected is not a value failure")
+	}
+	if !Detected.IsEffective() {
+		t.Error("detected is effective")
+	}
+	if Latent.IsEffective() || Overwritten.IsEffective() {
+		t.Error("latent/overwritten are non-effective")
+	}
+}
+
+func TestDetectedVerdict(t *testing.T) {
+	v := DetectedVerdict("ADDRESS ERROR")
+	if v.Outcome != Detected || v.Mechanism != "ADDRESS ERROR" {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestRunOverwritten(t *testing.T) {
+	g := flat(650, 7)
+	v := Run(g, g, false, DefaultConfig())
+	if v.Outcome != Overwritten {
+		t.Errorf("outcome = %v, want overwritten", v.Outcome)
+	}
+}
+
+func TestRunLatent(t *testing.T) {
+	g := flat(650, 7)
+	v := Run(g, g, true, DefaultConfig())
+	if v.Outcome != Latent {
+		t.Errorf("outcome = %v, want latent", v.Outcome)
+	}
+}
+
+func TestRunInsignificant(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	f[100] = 7.05 // below the 0.1 threshold but non-zero
+	v := Run(g, f, true, DefaultConfig())
+	if v.Outcome != Insignificant {
+		t.Errorf("outcome = %v, want insignificant", v.Outcome)
+	}
+	if v.StrongIterations != 0 {
+		t.Errorf("strong iterations = %d, want 0", v.StrongIterations)
+	}
+}
+
+func TestRunTransient(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	f[100] = 9 // one strong deviation, then back
+	v := Run(g, f, false, DefaultConfig())
+	if v.Outcome != Transient {
+		t.Errorf("outcome = %v, want transient", v.Outcome)
+	}
+	if v.FirstDeviation != 100 || v.LastDeviation != 100 {
+		t.Errorf("deviation window = [%d, %d], want [100, 100]", v.FirstDeviation, v.LastDeviation)
+	}
+}
+
+func TestRunSemiPermanent(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	// Strong deviation over 100 iterations (beyond the transient
+	// window), converging before the end.
+	for k := 100; k < 200; k++ {
+		f[k] = 20
+	}
+	v := Run(g, f, false, DefaultConfig())
+	if v.Outcome != SemiPermanent {
+		t.Errorf("outcome = %v, want semi-permanent", v.Outcome)
+	}
+	if !v.Outcome.IsSevere() {
+		t.Error("semi-permanent must be severe")
+	}
+}
+
+func TestRunTransientWindowBoundary(t *testing.T) {
+	cfg := DefaultConfig()
+	mk := func(span int) Verdict {
+		g := flat(650, 7)
+		f := flat(650, 7)
+		for k := 100; k < 100+span; k++ {
+			f[k] = 20
+		}
+		return Run(g, f, false, cfg)
+	}
+	if v := mk(cfg.TransientWindow); v.Outcome != Transient {
+		t.Errorf("span == window: outcome = %v, want transient", v.Outcome)
+	}
+	if v := mk(cfg.TransientWindow + 2); v.Outcome != SemiPermanent {
+		t.Errorf("span > window: outcome = %v, want semi-permanent", v.Outcome)
+	}
+}
+
+func TestRunZeroWindowStillAllowsSingleIteration(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	f[100] = 20
+	v := Run(g, f, false, Config{Threshold: 0.1})
+	if v.Outcome != Transient {
+		t.Errorf("outcome = %v, want transient for single-iteration episode", v.Outcome)
+	}
+}
+
+func TestRunPermanentStuckAtLimit(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	for k := 100; k < 650; k++ {
+		f[k] = 70 // throttle locked at full speed until the window ends
+	}
+	v := Run(g, f, false, DefaultConfig())
+	if v.Outcome != Permanent {
+		t.Errorf("outcome = %v, want permanent", v.Outcome)
+	}
+	if v.FirstDeviation != 100 {
+		t.Errorf("first deviation = %d, want 100", v.FirstDeviation)
+	}
+}
+
+func TestRunPermanentRequiresDeviationAtEnd(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	for k := 100; k < 649; k++ { // recovers exactly at the last sample
+		f[k] = 70
+	}
+	v := Run(g, f, false, DefaultConfig())
+	if v.Outcome != SemiPermanent {
+		t.Errorf("outcome = %v, want semi-permanent (converged within window)", v.Outcome)
+	}
+}
+
+func TestRunMaxDeviationRecorded(t *testing.T) {
+	g := flat(10, 0)
+	f := flat(10, 0)
+	f[3] = -4
+	f[7] = 2
+	v := Run(g, f, false, DefaultConfig())
+	if v.MaxDeviation != 4 {
+		t.Errorf("MaxDeviation = %v, want 4", v.MaxDeviation)
+	}
+}
+
+func TestRunStrongIterationsCount(t *testing.T) {
+	g := flat(10, 0)
+	f := flat(10, 0)
+	f[2], f[5], f[6] = 1, 1, 1
+	v := Run(g, f, false, DefaultConfig())
+	if v.StrongIterations != 3 {
+		t.Errorf("StrongIterations = %d, want 3", v.StrongIterations)
+	}
+}
+
+func TestRunLengthMismatchUsesCommonPrefix(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(100, 7)
+	f[99] = 70
+	v := Run(g, f, false, DefaultConfig())
+	// The deviation is at the last common sample, so it counts as
+	// never-converged within the (truncated) window.
+	if v.Outcome != Transient && v.Outcome != Permanent {
+		t.Errorf("outcome = %v", v.Outcome)
+	}
+	if v.StrongIterations != 1 {
+		t.Errorf("StrongIterations = %d, want 1", v.StrongIterations)
+	}
+}
+
+func TestRunThresholdBoundaryIsNotStrong(t *testing.T) {
+	g := flat(10, 0)
+	f := flat(10, 0)
+	f[5] = 0.1 // exactly the threshold: paper says "more than 0.1"
+	v := Run(g, f, false, DefaultConfig())
+	if v.Outcome != Insignificant {
+		t.Errorf("outcome = %v, want insignificant at exact threshold", v.Outcome)
+	}
+}
+
+func TestRunCustomThreshold(t *testing.T) {
+	g := flat(10, 0)
+	f := flat(10, 0)
+	f[5] = 0.5
+	v := Run(g, f, false, Config{Threshold: 1.0})
+	if v.Outcome != Insignificant {
+		t.Errorf("outcome = %v, want insignificant with loose threshold", v.Outcome)
+	}
+}
+
+func TestRunMultiTakesWorstOutput(t *testing.T) {
+	g := [][]float64{flat(650, 7), flat(650, 30)}
+	f := [][]float64{flat(650, 7), flat(650, 30)}
+	// Output 1 clean; output 2 permanently stuck.
+	for k := 100; k < 650; k++ {
+		f[1][k] = 40
+	}
+	v := RunMulti(g, f, false, DefaultConfig())
+	if v.Outcome != Permanent {
+		t.Errorf("outcome = %v, want permanent from output 2", v.Outcome)
+	}
+	if v.FirstDeviation != 100 {
+		t.Errorf("first deviation = %d, want 100", v.FirstDeviation)
+	}
+}
+
+func TestRunMultiAllClean(t *testing.T) {
+	g := [][]float64{flat(10, 1), flat(10, 2)}
+	if v := RunMulti(g, g, false, DefaultConfig()); v.Outcome != Overwritten {
+		t.Errorf("outcome = %v, want overwritten", v.Outcome)
+	}
+	if v := RunMulti(g, g, true, DefaultConfig()); v.Outcome != Latent {
+		t.Errorf("outcome = %v, want latent", v.Outcome)
+	}
+}
+
+func TestRunMultiEmpty(t *testing.T) {
+	if v := RunMulti(nil, nil, false, DefaultConfig()); v.Outcome != Overwritten {
+		t.Errorf("outcome = %v", v.Outcome)
+	}
+}
+
+func TestRunMultiMissingFaultyOutput(t *testing.T) {
+	g := [][]float64{flat(10, 1), flat(10, 2)}
+	f := [][]float64{flat(10, 1)} // second trace missing entirely
+	v := RunMulti(g, f, false, DefaultConfig())
+	// A zero-length faulty trace compares over an empty prefix: no
+	// deviations, so the verdict falls back to the state comparison.
+	if v.Outcome != Overwritten {
+		t.Errorf("outcome = %v", v.Outcome)
+	}
+}
+
+func TestRunMultiSISOEquivalence(t *testing.T) {
+	g := flat(650, 7)
+	f := flat(650, 7)
+	f[100] = 20
+	single := Run(g, f, false, DefaultConfig())
+	multi := RunMulti([][]float64{g}, [][]float64{f}, false, DefaultConfig())
+	if single.Outcome != multi.Outcome {
+		t.Errorf("SISO equivalence broken: %v vs %v", single.Outcome, multi.Outcome)
+	}
+}
+
+func TestPropertyClassifyTotalFunction(t *testing.T) {
+	// Run must produce a consistent verdict for arbitrary trace pairs:
+	// a known outcome, coherent deviation window, non-negative counts.
+	f := func(golden, faulty []float64, stateDiffers bool) bool {
+		v := Run(golden, faulty, stateDiffers, DefaultConfig())
+		switch v.Outcome {
+		case Overwritten, Latent, Insignificant, Transient, SemiPermanent, Permanent:
+		default:
+			return false
+		}
+		if v.StrongIterations < 0 || v.MaxDeviation < 0 {
+			return false
+		}
+		if v.StrongIterations > 0 && (v.FirstDeviation < 0 || v.LastDeviation < v.FirstDeviation) {
+			return false
+		}
+		if v.Outcome.IsValueFailure() == (v.Outcome == Overwritten || v.Outcome == Latent) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySeverityMonotoneInWindow(t *testing.T) {
+	// Widening the transient window can only make verdicts less
+	// severe, never more.
+	f := func(span uint8) bool {
+		g := flat(650, 7)
+		fa := flat(650, 7)
+		end := 100 + int(span)
+		if end > 640 {
+			end = 640
+		}
+		for k := 100; k < end; k++ {
+			fa[k] = 20
+		}
+		tight := Run(g, fa, false, Config{Threshold: 0.1, TransientWindow: 10})
+		loose := Run(g, fa, false, Config{Threshold: 0.1, TransientWindow: 200})
+		return loose.Outcome <= tight.Outcome
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package control
+
+import "ctrlguard/internal/fphys"
+
+// PIConfig holds the gains and limits of the PI engine-speed
+// controller.
+type PIConfig struct {
+	Kp     float64 // proportional gain
+	Ki     float64 // integral gain
+	T      float64 // sample interval in seconds
+	OutMin float64 // lower actuator limit (0.0 degrees in the paper)
+	OutMax float64 // upper actuator limit (70.0 degrees in the paper)
+	InitX  float64 // initial integrator state
+}
+
+// PaperPIConfig returns the gains used throughout this reproduction for
+// the engine workload, tuned so the closed loop with
+// plant.DefaultEngineConfig reproduces Figures 3 and 5.
+func PaperPIConfig(sampleInterval float64) PIConfig {
+	return PIConfig{
+		Kp:     0.068,
+		Ki:     0.25,
+		T:      sampleInterval,
+		OutMin: 0.0,
+		OutMax: 70.0,
+		InitX:  7.0, // steady-state throttle at 2000 rpm
+	}
+}
+
+// PI is the paper's Algorithm I: a proportional-integral controller
+// with output limiting and anti-windup, and no protection of its state.
+//
+//	e(k) = r(k) − y(k)
+//	u(k) = Kp·e(k) + x(k−1)
+//	u_lim = limit(u)
+//	x(k) = x(k−1) + T·Ki·e(k)   (integration cut while winding up)
+type PI struct {
+	cfg PIConfig
+
+	// X is the integrator state x of Algorithm I. It is exported so
+	// fault-injection experiments can corrupt it directly, exactly
+	// as a bit-flip in the cache line holding x would.
+	X float64
+}
+
+var (
+	_ Controller = (*PI)(nil)
+	_ Stateful   = (*PI)(nil)
+)
+
+// NewPI creates an Algorithm I controller.
+func NewPI(cfg PIConfig) *PI {
+	return &PI{cfg: cfg, X: cfg.InitX}
+}
+
+// Step implements Controller.
+func (c *PI) Step(r, y float64) float64 {
+	e := r - y
+	u := e*c.cfg.Kp + c.X
+	uLim := fphys.Clamp(u, c.cfg.OutMin, c.cfg.OutMax)
+	ki := c.cfg.Ki
+	if antiWindupActive(u, e, c.cfg.OutMin, c.cfg.OutMax) {
+		ki = 0 // disable integration while the output is saturated
+	}
+	c.X += c.cfg.T * e * ki
+	return uLim
+}
+
+// Reset implements Controller.
+func (c *PI) Reset() {
+	c.X = c.cfg.InitX
+}
+
+// State implements Stateful.
+func (c *PI) State() []float64 {
+	return []float64{c.X}
+}
+
+// SetState implements Stateful.
+func (c *PI) SetState(x []float64) {
+	if len(x) > 0 {
+		c.X = x[0]
+	}
+}
+
+// Update implements Stateful; inputs is [r, y] and the result is
+// [u_lim].
+func (c *PI) Update(inputs []float64) []float64 {
+	return []float64{c.Step(inputs[0], inputs[1])}
+}
+
+// Config returns the controller configuration.
+func (c *PI) Config() PIConfig {
+	return c.cfg
+}
+
+// antiWindupActive reports whether integration should be cut: the
+// unlimited output is outside the actuator range and the control error
+// would push it further out.
+func antiWindupActive(u, e, outMin, outMax float64) bool {
+	return (u > outMax && e > 0) || (u < outMin && e < 0)
+}

@@ -1,0 +1,168 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() PIConfig {
+	return PIConfig{Kp: 0.068, Ki: 0.25, T: 10.0 / 650, OutMin: 0, OutMax: 70, InitX: 7}
+}
+
+func TestPIOutputWithinLimits(t *testing.T) {
+	c := NewPI(testCfg())
+	f := func(r, y float64) bool {
+		u := c.Step(math.Mod(r, 5000), math.Mod(y, 5000))
+		return u >= 0 && u <= 70
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPIZeroErrorHoldsState(t *testing.T) {
+	c := NewPI(testCfg())
+	u1 := c.Step(2000, 2000)
+	u2 := c.Step(2000, 2000)
+	if u1 != u2 {
+		t.Errorf("output changed with zero error: %v then %v", u1, u2)
+	}
+	if c.X != 7 {
+		t.Errorf("state drifted with zero error: %v", c.X)
+	}
+}
+
+func TestPIIntegratesPositiveError(t *testing.T) {
+	c := NewPI(testCfg())
+	before := c.X
+	c.Step(2100, 2000)
+	if c.X <= before {
+		t.Errorf("positive error should grow state: %v -> %v", before, c.X)
+	}
+}
+
+func TestPIIntegratesNegativeError(t *testing.T) {
+	c := NewPI(testCfg())
+	before := c.X
+	c.Step(1900, 2000)
+	if c.X >= before {
+		t.Errorf("negative error should shrink state: %v -> %v", before, c.X)
+	}
+}
+
+func TestPIProportionalAction(t *testing.T) {
+	c := NewPI(testCfg())
+	u := c.Step(2100, 2000)
+	want := 100*0.068 + 7
+	if math.Abs(u-want) > 1e-12 {
+		t.Errorf("u = %v, want %v", u, want)
+	}
+}
+
+func TestPIAntiWindupStopsIntegration(t *testing.T) {
+	cfg := testCfg()
+	c := NewPI(cfg)
+	// Huge persistent error saturates the output; the state must stop
+	// growing once saturated (anti-windup).
+	var prevX float64
+	for i := 0; i < 200; i++ {
+		prevX = c.X
+		c.Step(100000, 0)
+	}
+	if c.X != prevX {
+		t.Errorf("state still integrating while saturated: %v -> %v", prevX, c.X)
+	}
+	if c.X > 2*cfg.OutMax {
+		t.Errorf("state wound up to %v despite anti-windup", c.X)
+	}
+}
+
+func TestPIAntiWindupAllowsUnwinding(t *testing.T) {
+	// A wound-up state with a mildly negative error: the output is
+	// still above the limit, but because the error now points back
+	// into range, integration must continue (downward).
+	c := NewPI(testCfg())
+	c.X = 80 // wound-up state above the actuator limit
+	c.Step(1900, 2000)
+	if c.X >= 80 {
+		t.Errorf("negative error did not unwind state: %v", c.X)
+	}
+}
+
+func TestPIAntiWindupCutsBothLimits(t *testing.T) {
+	// Error pushing deeper into saturation freezes the state at
+	// either limit.
+	c := NewPI(testCfg())
+	c.Step(100000, 0) // saturated high, e > 0
+	if c.X != 7 {
+		t.Errorf("state integrated while saturated high: %v", c.X)
+	}
+	c.Reset()
+	c.Step(0, 100000) // saturated low, e < 0
+	if c.X != 7 {
+		t.Errorf("state integrated while saturated low: %v", c.X)
+	}
+}
+
+func TestPIReset(t *testing.T) {
+	c := NewPI(testCfg())
+	c.Step(2500, 2000)
+	c.Reset()
+	if c.X != 7 {
+		t.Errorf("state after reset = %v, want 7", c.X)
+	}
+}
+
+func TestPIStatefulRoundTrip(t *testing.T) {
+	c := NewPI(testCfg())
+	c.SetState([]float64{42})
+	got := c.State()
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("State() = %v, want [42]", got)
+	}
+}
+
+func TestPIUpdateMatchesStep(t *testing.T) {
+	a := NewPI(testCfg())
+	b := NewPI(testCfg())
+	for i := 0; i < 100; i++ {
+		r := 2000 + 50*math.Sin(float64(i)/7)
+		y := 2000 + 30*math.Cos(float64(i)/5)
+		ua := a.Step(r, y)
+		ub := b.Update([]float64{r, y})
+		if ua != ub[0] {
+			t.Fatalf("Step and Update diverged at %d: %v vs %v", i, ua, ub[0])
+		}
+	}
+}
+
+func TestPIStateCopySemantics(t *testing.T) {
+	c := NewPI(testCfg())
+	s := c.State()
+	s[0] = -999
+	if c.X == -999 {
+		t.Error("State() must return a copy, not a reference")
+	}
+}
+
+func TestAntiWindupActive(t *testing.T) {
+	tests := []struct {
+		name string
+		u, e float64
+		want bool
+	}{
+		{"saturated high, pushing up", 75, 10, true},
+		{"saturated high, pushing down", 75, -10, false},
+		{"saturated low, pushing down", -5, -10, true},
+		{"saturated low, pushing up", -5, 10, false},
+		{"in range", 35, 10, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := antiWindupActive(tt.u, tt.e, 0, 70); got != tt.want {
+				t.Errorf("antiWindupActive(%v, %v) = %v, want %v", tt.u, tt.e, got, tt.want)
+			}
+		})
+	}
+}

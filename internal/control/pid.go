@@ -1,0 +1,107 @@
+package control
+
+import "ctrlguard/internal/fphys"
+
+// PIDConfig extends the PI gains with filtered derivative action.
+type PIDConfig struct {
+	Kp     float64 // proportional gain
+	Ki     float64 // integral gain
+	Kd     float64 // derivative gain
+	Tf     float64 // derivative filter time constant (seconds, > 0)
+	T      float64 // sample interval (seconds)
+	OutMin float64
+	OutMax float64
+	InitX  float64 // initial integrator state
+}
+
+// PID is a two-state controller: the integrator x (as in the paper's
+// PI controller) plus a filtered derivative state d. Its state vector
+// is [x, d], making it the simplest multi-state target for the
+// generalised protection scheme of package core.
+//
+//	e(k)  = r(k) − y(k)
+//	d(k)  = α·d(k−1) + (1−α)·(e(k) − e(k−1))/T,  α = Tf/(Tf+T)
+//	u(k)  = Kp·e(k) + x(k−1) + Kd·d(k)
+//	u_lim = limit(u)
+//	x(k)  = x(k−1) + T·Ki·e(k)   (cut while winding up)
+type PID struct {
+	cfg PIDConfig
+
+	// X is the integrator state, D the filtered derivative state and
+	// PrevE the previous error sample (state too: it feeds the next
+	// derivative). All exported for fault injection.
+	X     float64
+	D     float64
+	PrevE float64
+
+	primed bool // first sample: no derivative yet
+}
+
+var (
+	_ Controller = (*PID)(nil)
+	_ Stateful   = (*PID)(nil)
+)
+
+// NewPID creates a PID controller.
+func NewPID(cfg PIDConfig) *PID {
+	if cfg.Tf <= 0 {
+		cfg.Tf = 4 * cfg.T // sensible default filter
+	}
+	return &PID{cfg: cfg, X: cfg.InitX}
+}
+
+// Step implements Controller.
+func (c *PID) Step(r, y float64) float64 {
+	e := r - y
+	if c.primed {
+		alpha := c.cfg.Tf / (c.cfg.Tf + c.cfg.T)
+		c.D = alpha*c.D + (1-alpha)*(e-c.PrevE)/c.cfg.T
+	}
+	c.PrevE = e
+	c.primed = true
+
+	u := c.cfg.Kp*e + c.X + c.cfg.Kd*c.D
+	uLim := fphys.Clamp(u, c.cfg.OutMin, c.cfg.OutMax)
+	ki := c.cfg.Ki
+	if antiWindupActive(u, e, c.cfg.OutMin, c.cfg.OutMax) {
+		ki = 0
+	}
+	c.X += c.cfg.T * e * ki
+	return uLim
+}
+
+// Reset implements Controller.
+func (c *PID) Reset() {
+	c.X = c.cfg.InitX
+	c.D = 0
+	c.PrevE = 0
+	c.primed = false
+}
+
+// State implements Stateful: [x, d, prevE].
+func (c *PID) State() []float64 {
+	return []float64{c.X, c.D, c.PrevE}
+}
+
+// SetState implements Stateful.
+func (c *PID) SetState(s []float64) {
+	if len(s) > 0 {
+		c.X = s[0]
+	}
+	if len(s) > 1 {
+		c.D = s[1]
+	}
+	if len(s) > 2 {
+		c.PrevE = s[2]
+	}
+}
+
+// Update implements Stateful; inputs is [r, y].
+func (c *PID) Update(inputs []float64) []float64 {
+	return []float64{c.Step(inputs[0], inputs[1])}
+}
+
+// Config returns the controller configuration.
+func (c *PID) Config() PIDConfig {
+	return c.cfg
+}

@@ -1,0 +1,150 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"ctrlguard/internal/plant"
+)
+
+func pidCfg() PIDConfig {
+	return PIDConfig{
+		Kp: 0.068, Ki: 0.25, Kd: 0.01, Tf: 0.06,
+		T: plant.DefaultSampleInterval, OutMin: 0, OutMax: 70, InitX: 7,
+	}
+}
+
+func TestPIDZeroKdMatchesPI(t *testing.T) {
+	cfg := pidCfg()
+	cfg.Kd = 0
+	pid := NewPID(cfg)
+	pi := NewPI(PIConfig{Kp: cfg.Kp, Ki: cfg.Ki, T: cfg.T,
+		OutMin: cfg.OutMin, OutMax: cfg.OutMax, InitX: cfg.InitX})
+	for i := 0; i < 650; i++ {
+		r := 2000 + 100*math.Sin(float64(i)/25)
+		y := 2000 + 70*math.Cos(float64(i)/30)
+		if a, b := pid.Step(r, y), pi.Step(r, y); a != b {
+			t.Fatalf("PID(Kd=0) diverged from PI at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPIDOutputWithinLimits(t *testing.T) {
+	c := NewPID(pidCfg())
+	for i := 0; i < 1000; i++ {
+		u := c.Step(1e5*math.Sin(float64(i)), 1e5*math.Cos(float64(i)))
+		if u < 0 || u > 70 {
+			t.Fatalf("u = %v outside limits", u)
+		}
+	}
+}
+
+func TestPIDDerivativeKicksOnErrorStep(t *testing.T) {
+	cfg := pidCfg()
+	cfg.Kd = 0.5
+	withD := NewPID(cfg)
+	cfg2 := cfg
+	cfg2.Kd = 0
+	withoutD := NewPID(cfg2)
+
+	// Settle both, then apply a step in the error.
+	for i := 0; i < 10; i++ {
+		withD.Step(2000, 2000)
+		withoutD.Step(2000, 2000)
+	}
+	uD := withD.Step(2100, 2000)
+	u0 := withoutD.Step(2100, 2000)
+	if uD <= u0 {
+		t.Errorf("derivative action missing: with=%v without=%v", uD, u0)
+	}
+}
+
+func TestPIDDerivativeFilterSmooths(t *testing.T) {
+	// A larger Tf must damp the derivative response to the same step.
+	sharp := NewPID(PIDConfig{Kp: 0, Ki: 0, Kd: 1, Tf: 0.001,
+		T: 0.0154, OutMin: -1000, OutMax: 1000})
+	smooth := NewPID(PIDConfig{Kp: 0, Ki: 0, Kd: 1, Tf: 0.5,
+		T: 0.0154, OutMin: -1000, OutMax: 1000})
+	sharp.Step(0, 0)
+	smooth.Step(0, 0)
+	uSharp := sharp.Step(10, 0)
+	uSmooth := smooth.Step(10, 0)
+	if math.Abs(uSmooth) >= math.Abs(uSharp) {
+		t.Errorf("filter not smoothing: sharp=%v smooth=%v", uSharp, uSmooth)
+	}
+}
+
+func TestPIDFirstSampleNoDerivativeSpike(t *testing.T) {
+	c := NewPID(pidCfg())
+	u := c.Step(3000, 2000) // huge first error must not excite D
+	if c.D != 0 {
+		t.Errorf("derivative state after first sample = %v, want 0", c.D)
+	}
+	if u < 0 || u > 70 {
+		t.Errorf("first output out of range: %v", u)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	c := NewPID(pidCfg())
+	for i := 0; i < 100; i++ {
+		c.Step(100000, 0)
+	}
+	if c.X > 2*70 {
+		t.Errorf("integrator wound up to %v", c.X)
+	}
+}
+
+func TestPIDStatefulRoundTrip(t *testing.T) {
+	c := NewPID(pidCfg())
+	c.SetState([]float64{1, 2, 3})
+	s := c.State()
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("state = %v", s)
+	}
+	if len(s) != 3 {
+		t.Errorf("state length = %d, want 3", len(s))
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	c := NewPID(pidCfg())
+	c.Step(2500, 2000)
+	c.Step(2500, 2100)
+	c.Reset()
+	if c.X != 7 || c.D != 0 || c.PrevE != 0 {
+		t.Errorf("reset state = %v %v %v", c.X, c.D, c.PrevE)
+	}
+}
+
+func TestPIDDefaultFilter(t *testing.T) {
+	cfg := pidCfg()
+	cfg.Tf = 0
+	c := NewPID(cfg)
+	if c.cfg.Tf <= 0 {
+		t.Error("default filter constant not applied")
+	}
+}
+
+func TestPIDClosedLoopTracks(t *testing.T) {
+	eng := plant.NewEngine(plant.DefaultEngineConfig())
+	c := NewPID(pidCfg())
+	ref := plant.PaperReference()
+	y := eng.Speed()
+	for k := 0; k < plant.DefaultIterations; k++ {
+		u := c.Step(ref(float64(k)*plant.DefaultSampleInterval), y)
+		y = eng.Step(u)
+	}
+	if math.Abs(y-3000) > 10 {
+		t.Errorf("final speed = %v, want ≈ 3000", y)
+	}
+}
+
+func TestPIDUpdateMatchesStep(t *testing.T) {
+	a, b := NewPID(pidCfg()), NewPID(pidCfg())
+	for i := 0; i < 50; i++ {
+		if ua, ub := a.Step(2100, 2000), b.Update([]float64{2100, 2000})[0]; ua != ub {
+			t.Fatalf("Step and Update diverged: %v vs %v", ua, ub)
+		}
+	}
+}

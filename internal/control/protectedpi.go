@@ -1,0 +1,117 @@
+package control
+
+import "ctrlguard/internal/fphys"
+
+// ProtectedPI is the paper's Algorithm II: the PI controller of
+// Algorithm I augmented with executable assertions on the state
+// variable and the output signal, and best effort recovery from
+// backed-up copies of both. The assertions use the physical constraints
+// of the controlled object: the throttle angle (and, thanks to
+// anti-windup, the integrator state) must lie in [OutMin, OutMax].
+type ProtectedPI struct {
+	cfg PIConfig
+
+	// X is the integrator state; XOld and UOld are the backup copies
+	// taken each healthy iteration. All three are exported so
+	// fault-injection experiments can corrupt them like any other
+	// cached variable.
+	X    float64
+	XOld float64
+	UOld float64
+
+	stateRecoveries  int
+	outputRecoveries int
+}
+
+var (
+	_ Controller = (*ProtectedPI)(nil)
+	_ Stateful   = (*ProtectedPI)(nil)
+)
+
+// NewProtectedPI creates an Algorithm II controller.
+func NewProtectedPI(cfg PIConfig) *ProtectedPI {
+	return &ProtectedPI{
+		cfg:  cfg,
+		X:    cfg.InitX,
+		XOld: cfg.InitX,
+		UOld: fphys.Clamp(cfg.InitX, cfg.OutMin, cfg.OutMax),
+	}
+}
+
+// Step implements Controller, following Algorithm II of the paper
+// line by line.
+func (c *ProtectedPI) Step(r, y float64) float64 {
+	e := r - y
+
+	// Executable assertion on the state; best effort recovery from
+	// the previous iteration's backup on failure, otherwise back up.
+	if !fphys.InRange(c.X, c.cfg.OutMin, c.cfg.OutMax) {
+		c.X = c.XOld
+		c.stateRecoveries++
+	} else {
+		c.XOld = c.X
+	}
+
+	u := e*c.cfg.Kp + c.X
+	uLim := fphys.Clamp(u, c.cfg.OutMin, c.cfg.OutMax)
+	ki := c.cfg.Ki
+	if antiWindupActive(u, e, c.cfg.OutMin, c.cfg.OutMax) {
+		ki = 0
+	}
+	c.X += c.cfg.T * e * ki
+
+	// Executable assertion on the output; on failure deliver the
+	// previous output and restore the corresponding state.
+	if !fphys.InRange(uLim, c.cfg.OutMin, c.cfg.OutMax) {
+		uLim = c.UOld
+		c.X = c.XOld
+		c.outputRecoveries++
+	}
+	c.UOld = uLim
+	return uLim
+}
+
+// Reset implements Controller.
+func (c *ProtectedPI) Reset() {
+	c.X = c.cfg.InitX
+	c.XOld = c.cfg.InitX
+	c.UOld = fphys.Clamp(c.cfg.InitX, c.cfg.OutMin, c.cfg.OutMax)
+	c.stateRecoveries = 0
+	c.outputRecoveries = 0
+}
+
+// State implements Stateful. The state vector is [x, x_old, u_old]: the
+// backups are controller state too and equally exposed to bit-flips.
+func (c *ProtectedPI) State() []float64 {
+	return []float64{c.X, c.XOld, c.UOld}
+}
+
+// SetState implements Stateful.
+func (c *ProtectedPI) SetState(x []float64) {
+	if len(x) > 0 {
+		c.X = x[0]
+	}
+	if len(x) > 1 {
+		c.XOld = x[1]
+	}
+	if len(x) > 2 {
+		c.UOld = x[2]
+	}
+}
+
+// Update implements Stateful; inputs is [r, y] and the result is
+// [u_lim].
+func (c *ProtectedPI) Update(inputs []float64) []float64 {
+	return []float64{c.Step(inputs[0], inputs[1])}
+}
+
+// Recoveries returns how many times the state assertion and the output
+// assertion triggered a best effort recovery.
+func (c *ProtectedPI) Recoveries() (state, output int) {
+	return c.stateRecoveries, c.outputRecoveries
+}
+
+// Config returns the controller configuration.
+func (c *ProtectedPI) Config() PIConfig {
+	return c.cfg
+}

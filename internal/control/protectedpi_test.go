@@ -1,0 +1,140 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProtectedPIMatchesPIWhenHealthy(t *testing.T) {
+	cfg := testCfg()
+	plain := NewPI(cfg)
+	prot := NewProtectedPI(cfg)
+	for i := 0; i < 650; i++ {
+		r := 2000 + 100*math.Sin(float64(i)/30)
+		y := 2000 + 80*math.Cos(float64(i)/25)
+		up := plain.Step(r, y)
+		uq := prot.Step(r, y)
+		if up != uq {
+			t.Fatalf("healthy protected controller diverged at %d: %v vs %v", i, up, uq)
+		}
+	}
+	if s, o := prot.Recoveries(); s != 0 || o != 0 {
+		t.Errorf("healthy run triggered recoveries: state=%d output=%d", s, o)
+	}
+}
+
+func TestProtectedPIRecoversOutOfRangeState(t *testing.T) {
+	cfg := testCfg()
+	c := NewProtectedPI(cfg)
+	c.Step(2000, 2000) // establish backup
+	healthy := c.X
+
+	c.X = 1e20 // corruption far outside [0, 70]
+	u := c.Step(2000, 2000)
+	if u < 0 || u > 70 {
+		t.Errorf("output after recovery out of range: %v", u)
+	}
+	if math.Abs(c.X-healthy) > 1 {
+		t.Errorf("state not recovered: %v, want ≈ %v", c.X, healthy)
+	}
+	if s, _ := c.Recoveries(); s != 1 {
+		t.Errorf("state recoveries = %d, want 1", s)
+	}
+}
+
+func TestProtectedPIRecoversNaNState(t *testing.T) {
+	c := NewProtectedPI(testCfg())
+	c.Step(2000, 2000)
+	c.X = math.NaN()
+	u := c.Step(2000, 2000)
+	if math.IsNaN(u) {
+		t.Error("NaN state leaked into output")
+	}
+	if math.IsNaN(c.X) {
+		t.Error("NaN state not recovered")
+	}
+}
+
+func TestProtectedPIRecoversNegativeState(t *testing.T) {
+	c := NewProtectedPI(testCfg())
+	c.Step(2000, 2000)
+	c.X = -500
+	c.Step(2000, 2000)
+	if c.X < 0 {
+		t.Errorf("negative state not recovered: %v", c.X)
+	}
+}
+
+func TestProtectedPIMissesInRangeCorruption(t *testing.T) {
+	// The Figure 10 failure mode: a corruption inside [0, 70] evades
+	// the range assertion by design.
+	c := NewProtectedPI(testCfg())
+	c.Step(2000, 2000)
+	c.X = 69 // wrong but in range
+	c.Step(2000, 2000)
+	if s, _ := c.Recoveries(); s != 0 {
+		t.Errorf("in-range corruption unexpectedly detected (%d recoveries)", s)
+	}
+}
+
+func TestProtectedPICorruptedBackupHealsOverTime(t *testing.T) {
+	// A corrupted backup (x_old) is itself repaired the next healthy
+	// iteration, because the backup is overwritten by the healthy x.
+	c := NewProtectedPI(testCfg())
+	c.Step(2000, 2000)
+	c.XOld = 1e20
+	c.Step(2000, 2000) // healthy x overwrites bad backup
+	if c.XOld > 70 {
+		t.Errorf("backup not refreshed: %v", c.XOld)
+	}
+}
+
+func TestProtectedPIOutputAlwaysInRange(t *testing.T) {
+	c := NewProtectedPI(testCfg())
+	f := func(xCorrupt float64, r, y float64) bool {
+		c.X = xCorrupt
+		u := c.Step(math.Mod(r, 5000), math.Mod(y, 5000))
+		return u >= 0 && u <= 70 && !math.IsNaN(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtectedPIStateVector(t *testing.T) {
+	c := NewProtectedPI(testCfg())
+	s := c.State()
+	if len(s) != 3 {
+		t.Fatalf("state length = %d, want 3", len(s))
+	}
+	c.SetState([]float64{1, 2, 3})
+	if c.X != 1 || c.XOld != 2 || c.UOld != 3 {
+		t.Errorf("SetState wrong: %v %v %v", c.X, c.XOld, c.UOld)
+	}
+}
+
+func TestProtectedPIReset(t *testing.T) {
+	c := NewProtectedPI(testCfg())
+	c.X = 1e20
+	c.Step(2000, 2000)
+	c.Reset()
+	if c.X != 7 || c.XOld != 7 {
+		t.Errorf("reset state wrong: x=%v xOld=%v", c.X, c.XOld)
+	}
+	if s, o := c.Recoveries(); s != 0 || o != 0 {
+		t.Errorf("reset did not clear recovery counters: %d %d", s, o)
+	}
+}
+
+func TestProtectedPIUpdateMatchesStep(t *testing.T) {
+	a := NewProtectedPI(testCfg())
+	b := NewProtectedPI(testCfg())
+	for i := 0; i < 50; i++ {
+		ua := a.Step(2100, 2000)
+		ub := b.Update([]float64{2100, 2000})
+		if ua != ub[0] {
+			t.Fatalf("Step and Update diverged: %v vs %v", ua, ub[0])
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"ctrlguard/internal/fphys"
+)
+
+// StateSpace is a discrete-time MIMO controller
+//
+//	x(k+1) = A·x(k) + B·e(k)
+//	u(k)   = C·x(k) + D·e(k)
+//
+// operating on the error vector e = r − y. The paper names MIMO
+// controllers (jet-engine controllers) as the target of its future
+// work; this type is the substrate on which the generalised
+// assertion/recovery scheme of package core is demonstrated.
+type StateSpace struct {
+	a, b, c, d [][]float64
+	aw         [][]float64 // anti-windup back-calculation gain (n×p), may be nil
+	x          []float64
+	initX      []float64
+	outMin     []float64
+	outMax     []float64
+}
+
+var _ Stateful = (*StateSpace)(nil)
+
+// NewStateSpace builds a MIMO controller from its matrices. A must be
+// n×n, B n×m, C p×n and D p×m where n is the state dimension, m the
+// input (error) dimension and p the output dimension. outMin/outMax
+// give per-output actuator limits and must have length p.
+func NewStateSpace(a, b, c, d [][]float64, outMin, outMax []float64) (*StateSpace, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("control: A matrix must be non-empty")
+	}
+	m := len(b[0])
+	p := len(c)
+	if err := checkDims(a, n, n, "A"); err != nil {
+		return nil, err
+	}
+	if err := checkDims(b, n, m, "B"); err != nil {
+		return nil, err
+	}
+	if err := checkDims(c, p, n, "C"); err != nil {
+		return nil, err
+	}
+	if err := checkDims(d, p, m, "D"); err != nil {
+		return nil, err
+	}
+	if len(outMin) != p || len(outMax) != p {
+		return nil, fmt.Errorf("control: output limits must have length %d", p)
+	}
+	for j := range outMin {
+		if outMin[j] > outMax[j] {
+			return nil, fmt.Errorf("control: output %d has min %v > max %v", j, outMin[j], outMax[j])
+		}
+	}
+	return &StateSpace{
+		a: copyMatrix(a), b: copyMatrix(b), c: copyMatrix(c), d: copyMatrix(d),
+		x:      make([]float64, n),
+		initX:  make([]float64, n),
+		outMin: append([]float64(nil), outMin...),
+		outMax: append([]float64(nil), outMax...),
+	}, nil
+}
+
+// SetInitialState sets both the current and the reset state to x0.
+func (s *StateSpace) SetInitialState(x0 []float64) error {
+	if len(x0) != len(s.x) {
+		return fmt.Errorf("control: initial state has length %d, want %d", len(x0), len(s.x))
+	}
+	copy(s.initX, x0)
+	copy(s.x, x0)
+	return nil
+}
+
+// SetAntiWindup installs a back-calculation anti-windup gain: each
+// state update gains the term gain·(u_limited − u_unlimited), pulling
+// the states back whenever an output saturates, like the integration
+// cut-off of the paper's PI controller. gain must be n×p.
+func (s *StateSpace) SetAntiWindup(gain [][]float64) error {
+	n, _, p := s.Dims()
+	if err := checkDims(gain, n, p, "anti-windup gain"); err != nil {
+		return err
+	}
+	s.aw = copyMatrix(gain)
+	return nil
+}
+
+// Dims returns the state, input and output dimensions.
+func (s *StateSpace) Dims() (n, m, p int) {
+	return len(s.x), len(s.b[0]), len(s.c)
+}
+
+// State implements Stateful.
+func (s *StateSpace) State() []float64 {
+	return append([]float64(nil), s.x...)
+}
+
+// SetState implements Stateful.
+func (s *StateSpace) SetState(x []float64) {
+	copy(s.x, x)
+}
+
+// Update implements Stateful: inputs is the error vector e(k) and the
+// result is the limited output vector u(k).
+func (s *StateSpace) Update(e []float64) []float64 {
+	p := len(s.c)
+	u := make([]float64, p)
+	windup := make([]float64, p) // u_limited − u_unlimited, ≤ 0 when saturating high
+	for i := 0; i < p; i++ {
+		v := dot(s.c[i], s.x) + dot(s.d[i], e)
+		u[i] = fphys.Clamp(v, s.outMin[i], s.outMax[i])
+		windup[i] = u[i] - v
+	}
+	next := make([]float64, len(s.x))
+	for i := range s.a {
+		next[i] = dot(s.a[i], s.x) + dot(s.b[i], e)
+		if s.aw != nil {
+			next[i] += dot(s.aw[i], windup)
+		}
+	}
+	copy(s.x, next)
+	return u
+}
+
+// Reset restores the initial state.
+func (s *StateSpace) Reset() {
+	copy(s.x, s.initX)
+}
+
+// OutputLimits returns copies of the per-output limits.
+func (s *StateSpace) OutputLimits() (lo, hi []float64) {
+	return append([]float64(nil), s.outMin...), append([]float64(nil), s.outMax...)
+}
+
+func checkDims(m [][]float64, rows, cols int, name string) error {
+	if len(m) != rows {
+		return fmt.Errorf("control: %s has %d rows, want %d", name, len(m), rows)
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return fmt.Errorf("control: %s row %d has %d cols, want %d", name, i, len(row), cols)
+		}
+	}
+	return nil
+}
+
+func copyMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}

@@ -1,0 +1,243 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// twoByTwo returns a stable 2-state, 2-input, 2-output controller used
+// across the tests.
+func twoByTwo(t *testing.T) *StateSpace {
+	t.Helper()
+	ss, err := NewStateSpace(
+		[][]float64{{0.9, 0}, {0, 0.8}},
+		[][]float64{{0.1, 0}, {0, 0.1}},
+		[][]float64{{1, 0}, {0, 1}},
+		[][]float64{{0.5, 0}, {0, 0.5}},
+		[]float64{-10, -10},
+		[]float64{10, 10},
+	)
+	if err != nil {
+		t.Fatalf("NewStateSpace: %v", err)
+	}
+	return ss
+}
+
+func TestStateSpaceDims(t *testing.T) {
+	ss := twoByTwo(t)
+	n, m, p := ss.Dims()
+	if n != 2 || m != 2 || p != 2 {
+		t.Errorf("Dims() = %d,%d,%d, want 2,2,2", n, m, p)
+	}
+}
+
+func TestStateSpaceZeroInputZeroOutput(t *testing.T) {
+	ss := twoByTwo(t)
+	u := ss.Update([]float64{0, 0})
+	for i, v := range u {
+		if v != 0 {
+			t.Errorf("u[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestStateSpaceStableDecay(t *testing.T) {
+	ss := twoByTwo(t)
+	if err := ss.SetInitialState([]float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ss.Update([]float64{0, 0})
+	}
+	for i, v := range ss.State() {
+		if math.Abs(v) > 1e-6 {
+			t.Errorf("state[%d] = %v did not decay", i, v)
+		}
+	}
+}
+
+func TestStateSpaceOutputLimited(t *testing.T) {
+	ss := twoByTwo(t)
+	u := ss.Update([]float64{1e9, -1e9})
+	if u[0] != 10 {
+		t.Errorf("u[0] = %v, want clamped 10", u[0])
+	}
+	if u[1] != -10 {
+		t.Errorf("u[1] = %v, want clamped -10", u[1])
+	}
+}
+
+func TestStateSpaceIntegratesInput(t *testing.T) {
+	ss := twoByTwo(t)
+	ss.Update([]float64{1, 0})
+	s := ss.State()
+	if s[0] != 0.1 {
+		t.Errorf("state[0] = %v, want 0.1 after one step", s[0])
+	}
+	if s[1] != 0 {
+		t.Errorf("state[1] = %v, want 0 (decoupled)", s[1])
+	}
+}
+
+func TestStateSpaceResetRestoresInitial(t *testing.T) {
+	ss := twoByTwo(t)
+	if err := ss.SetInitialState([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ss.Update([]float64{3, 4})
+	ss.Reset()
+	s := ss.State()
+	if s[0] != 1 || s[1] != 2 {
+		t.Errorf("state after reset = %v, want [1 2]", s)
+	}
+}
+
+func TestStateSpaceStateCopy(t *testing.T) {
+	ss := twoByTwo(t)
+	s := ss.State()
+	s[0] = 777
+	if ss.State()[0] == 777 {
+		t.Error("State() must return a copy")
+	}
+}
+
+func TestStateSpaceDimensionErrors(t *testing.T) {
+	tests := []struct {
+		name           string
+		a, b, c, d     [][]float64
+		outMin, outMax []float64
+	}{
+		{
+			name:   "ragged A",
+			a:      [][]float64{{1, 0}, {0}},
+			b:      [][]float64{{1}, {1}},
+			c:      [][]float64{{1, 0}},
+			d:      [][]float64{{0}},
+			outMin: []float64{-1}, outMax: []float64{1},
+		},
+		{
+			name:   "B row mismatch",
+			a:      [][]float64{{1}},
+			b:      [][]float64{{1}, {1}},
+			c:      [][]float64{{1}},
+			d:      [][]float64{{0}},
+			outMin: []float64{-1}, outMax: []float64{1},
+		},
+		{
+			name:   "limits length mismatch",
+			a:      [][]float64{{1}},
+			b:      [][]float64{{1}},
+			c:      [][]float64{{1}},
+			d:      [][]float64{{0}},
+			outMin: []float64{-1, -1}, outMax: []float64{1},
+		},
+		{
+			name:   "inverted limits",
+			a:      [][]float64{{1}},
+			b:      [][]float64{{1}},
+			c:      [][]float64{{1}},
+			d:      [][]float64{{0}},
+			outMin: []float64{5}, outMax: []float64{-5},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewStateSpace(tt.a, tt.b, tt.c, tt.d, tt.outMin, tt.outMax); err == nil {
+				t.Error("expected a dimension error")
+			}
+		})
+	}
+}
+
+func TestStateSpaceEmptyAError(t *testing.T) {
+	if _, err := NewStateSpace(nil, nil, nil, nil, nil, nil); err == nil {
+		t.Error("expected error for empty A")
+	}
+}
+
+func TestStateSpaceInitialStateLengthError(t *testing.T) {
+	ss := twoByTwo(t)
+	if err := ss.SetInitialState([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestStateSpaceMatricesCopied(t *testing.T) {
+	a := [][]float64{{0.5}}
+	b := [][]float64{{1.0}}
+	c := [][]float64{{1.0}}
+	d := [][]float64{{0.0}}
+	ss, err := NewStateSpace(a, b, c, d, []float64{-100}, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a[0][0] = 999 // mutate caller's matrix
+	ss.Update([]float64{1})
+	if got := ss.State()[0]; got != 1.0 {
+		t.Errorf("controller affected by caller mutation: state = %v, want 1.0", got)
+	}
+}
+
+func TestStateSpaceAntiWindupBoundsState(t *testing.T) {
+	mk := func(withAW bool) *StateSpace {
+		ss, err := NewStateSpace(
+			[][]float64{{1}},
+			[][]float64{{0.1}},
+			[][]float64{{1}},
+			[][]float64{{0}},
+			[]float64{-10}, []float64{10},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withAW {
+			if err := ss.SetAntiWindup([][]float64{{1.0}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ss
+	}
+
+	plain, guarded := mk(false), mk(true)
+	for i := 0; i < 500; i++ {
+		plain.Update([]float64{100}) // persistent large error: windup
+		guarded.Update([]float64{100})
+	}
+	if plain.State()[0] < 100 {
+		t.Errorf("expected plain controller to wind up, state = %v", plain.State()[0])
+	}
+	if guarded.State()[0] > 25 {
+		t.Errorf("anti-windup failed to bound state: %v", guarded.State()[0])
+	}
+}
+
+func TestStateSpaceSetAntiWindupDimsError(t *testing.T) {
+	ss := twoByTwo(t)
+	if err := ss.SetAntiWindup([][]float64{{1}}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestStateSpaceAntiWindupNoEffectUnsaturated(t *testing.T) {
+	a, b := twoByTwo(t), twoByTwo(t)
+	if err := b.SetAntiWindup([][]float64{{1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ua := a.Update([]float64{0.5, -0.5})
+		ub := b.Update([]float64{0.5, -0.5})
+		if ua[0] != ub[0] || ua[1] != ub[1] {
+			t.Fatal("anti-windup changed unsaturated behaviour")
+		}
+	}
+}
+
+func TestStateSpaceOutputLimitsCopies(t *testing.T) {
+	ss := twoByTwo(t)
+	lo, _ := ss.OutputLimits()
+	lo[0] = -9999
+	u := ss.Update([]float64{-1e9, 0})
+	if u[0] != -10 {
+		t.Errorf("limits affected by caller mutation: u[0] = %v", u[0])
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+// GuardedController adapts a Guard to the Stateful interface so a
+// guarded controller can be driven by the same closed-loop runners and
+// fault-injection campaigns as a bare controller.
+//
+// Under the Rollback and Saturate policies Guard.Step never fails; the
+// adapter is meant for those. Under FailStop a failed assertion makes
+// Update repeat the last delivered output (the loop must keep actuating
+// something) and counts the event in the guard's stats.
+type GuardedController struct {
+	guard *Guard
+	lastU []float64
+}
+
+var _ Stateful = (*GuardedController)(nil)
+
+// NewGuardedController wraps g.
+func NewGuardedController(g *Guard) *GuardedController {
+	return &GuardedController{guard: g}
+}
+
+// Guard returns the underlying guard (for stats).
+func (gc *GuardedController) Guard() *Guard {
+	return gc.guard
+}
+
+// State implements Stateful by exposing the wrapped controller's state.
+func (gc *GuardedController) State() []float64 {
+	return gc.guard.Controller().State()
+}
+
+// SetState implements Stateful by writing the wrapped controller's
+// state — this is the fault-injection surface.
+func (gc *GuardedController) SetState(x []float64) {
+	gc.guard.Controller().SetState(x)
+}
+
+// Update implements Stateful via the guarded step.
+func (gc *GuardedController) Update(inputs []float64) []float64 {
+	u, err := gc.guard.Step(inputs)
+	if err != nil {
+		if gc.lastU == nil {
+			gc.lastU = make([]float64, len(gc.guard.Controller().State()))
+		}
+		return append([]float64(nil), gc.lastU...)
+	}
+	gc.lastU = append(gc.lastU[:0], u...)
+	return u
+}

@@ -1,0 +1,234 @@
+// Package core implements the paper's primary contribution in reusable
+// form: executable assertions on controller state variables and output
+// signals, combined with best effort recovery from backed-up copies.
+// The Guard type implements the generalised four-step scheme of §4.3 of
+// the paper for controllers with an arbitrary number of state variables
+// and output signals.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assertion is an executable assertion: a software-implemented check
+// verifying that a variable fulfils limitations given by a
+// specification (footnote 2 of the paper). Check receives the index of
+// the variable within its vector and the value.
+type Assertion interface {
+	// Check reports whether element i with value v is acceptable.
+	Check(i int, v float64) bool
+
+	// Name identifies the assertion in diagnostics.
+	Name() string
+}
+
+// RangeAssertion accepts values inside a closed interval, the physical
+// constraint the paper uses (throttle limits 0.0–70.0 degrees). NaN and
+// infinities are always rejected.
+type RangeAssertion struct {
+	Min, Max float64
+}
+
+var _ Assertion = RangeAssertion{}
+
+// Check implements Assertion.
+func (a RangeAssertion) Check(_ int, v float64) bool {
+	return v >= a.Min && v <= a.Max
+}
+
+// Name implements Assertion.
+func (a RangeAssertion) Name() string {
+	return fmt.Sprintf("range[%g,%g]", a.Min, a.Max)
+}
+
+// PerElementRange applies a distinct closed interval to each element of
+// the vector, for heterogeneous state vectors (e.g. a MIMO controller
+// whose states have different physical meanings). Elements beyond the
+// configured bounds are accepted.
+type PerElementRange struct {
+	Min, Max []float64
+}
+
+var _ Assertion = PerElementRange{}
+
+// Check implements Assertion.
+func (a PerElementRange) Check(i int, v float64) bool {
+	if i >= len(a.Min) || i >= len(a.Max) {
+		return true
+	}
+	return v >= a.Min[i] && v <= a.Max[i]
+}
+
+// Name implements Assertion.
+func (a PerElementRange) Name() string {
+	return "per-element-range"
+}
+
+// FiniteAssertion rejects NaN and infinities — the weakest physically
+// meaningful assertion, useful when tight bounds are unknown.
+type FiniteAssertion struct{}
+
+var _ Assertion = FiniteAssertion{}
+
+// Check implements Assertion.
+func (FiniteAssertion) Check(_ int, v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Name implements Assertion.
+func (FiniteAssertion) Name() string {
+	return "finite"
+}
+
+// RateAssertion bounds the change of each element since the previous
+// accepted value: |v − prev| ≤ MaxDelta. It is stateful; the first
+// check of each element always passes and seeds the history. Rate
+// assertions catch in-range corruptions that a pure range assertion
+// misses (the Figure 10 failure mode of the paper).
+type RateAssertion struct {
+	MaxDelta float64
+
+	prev   map[int]float64
+	seeded map[int]bool
+}
+
+var _ Assertion = (*RateAssertion)(nil)
+
+// NewRateAssertion creates a rate-of-change assertion.
+func NewRateAssertion(maxDelta float64) *RateAssertion {
+	return &RateAssertion{
+		MaxDelta: maxDelta,
+		prev:     make(map[int]float64),
+		seeded:   make(map[int]bool),
+	}
+}
+
+// Check implements Assertion. Accepted values become the new reference
+// for element i; rejected values leave the reference unchanged.
+func (a *RateAssertion) Check(i int, v float64) bool {
+	if !a.seeded[i] {
+		a.seeded[i] = true
+		a.prev[i] = v
+		return true
+	}
+	if math.Abs(v-a.prev[i]) > a.MaxDelta {
+		return false
+	}
+	a.prev[i] = v
+	return true
+}
+
+// Name implements Assertion.
+func (a *RateAssertion) Name() string {
+	return fmt.Sprintf("rate[%g]", a.MaxDelta)
+}
+
+// Reset clears the rate assertion's history.
+func (a *RateAssertion) Reset() {
+	a.prev = make(map[int]float64)
+	a.seeded = make(map[int]bool)
+}
+
+// PerElementRate bounds the change of each element with a distinct
+// limit, for state vectors whose elements have very different dynamics
+// (an integrator moves by degrees per sample, a derivative state by
+// thousands). Elements beyond the configured bounds are accepted.
+// Like RateAssertion it is stateful: the first check of each element
+// seeds its history, and rejected values do not update it.
+type PerElementRate struct {
+	MaxDelta []float64
+
+	prev   map[int]float64
+	seeded map[int]bool
+}
+
+var _ Assertion = (*PerElementRate)(nil)
+
+// NewPerElementRate creates a per-element rate assertion.
+func NewPerElementRate(maxDelta []float64) *PerElementRate {
+	return &PerElementRate{
+		MaxDelta: append([]float64(nil), maxDelta...),
+		prev:     make(map[int]float64),
+		seeded:   make(map[int]bool),
+	}
+}
+
+// Check implements Assertion.
+func (a *PerElementRate) Check(i int, v float64) bool {
+	if i >= len(a.MaxDelta) {
+		return true
+	}
+	if !a.seeded[i] {
+		a.seeded[i] = true
+		a.prev[i] = v
+		return true
+	}
+	if math.Abs(v-a.prev[i]) > a.MaxDelta[i] {
+		return false
+	}
+	a.prev[i] = v
+	return true
+}
+
+// Name implements Assertion.
+func (a *PerElementRate) Name() string {
+	return "per-element-rate"
+}
+
+// Reset clears the assertion's history.
+func (a *PerElementRate) Reset() {
+	a.prev = make(map[int]float64)
+	a.seeded = make(map[int]bool)
+}
+
+// FuncAssertion adapts a plain function to the Assertion interface.
+type FuncAssertion struct {
+	CheckFunc func(i int, v float64) bool
+	Label     string
+}
+
+var _ Assertion = FuncAssertion{}
+
+// Check implements Assertion.
+func (a FuncAssertion) Check(i int, v float64) bool {
+	return a.CheckFunc(i, v)
+}
+
+// Name implements Assertion.
+func (a FuncAssertion) Name() string {
+	if a.Label == "" {
+		return "func"
+	}
+	return a.Label
+}
+
+// All combines assertions conjunctively: a value is acceptable only if
+// every assertion accepts it.
+func All(asserts ...Assertion) Assertion {
+	return allAssertion(asserts)
+}
+
+type allAssertion []Assertion
+
+var _ Assertion = allAssertion(nil)
+
+func (a allAssertion) Check(i int, v float64) bool {
+	for _, sub := range a {
+		if !sub.Check(i, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a allAssertion) Name() string {
+	name := "all("
+	for i, sub := range a {
+		if i > 0 {
+			name += ","
+		}
+		name += sub.Name()
+	}
+	return name + ")"
+}

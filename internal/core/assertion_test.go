@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeAssertion(t *testing.T) {
+	a := RangeAssertion{Min: 0, Max: 70}
+	tests := []struct {
+		name string
+		v    float64
+		want bool
+	}{
+		{"inside", 35, true},
+		{"at min", 0, true},
+		{"at max", 70, true},
+		{"below", -0.1, false},
+		{"above", 70.1, false},
+		{"nan", math.NaN(), false},
+		{"+inf", math.Inf(1), false},
+		{"-inf", math.Inf(-1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Check(0, tt.v); got != tt.want {
+				t.Errorf("Check(%v) = %v, want %v", tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRangeAssertionName(t *testing.T) {
+	a := RangeAssertion{Min: 0, Max: 70}
+	if !strings.Contains(a.Name(), "0") || !strings.Contains(a.Name(), "70") {
+		t.Errorf("Name() = %q should mention bounds", a.Name())
+	}
+}
+
+func TestPerElementRange(t *testing.T) {
+	a := PerElementRange{Min: []float64{0, -10}, Max: []float64{70, 10}}
+	if !a.Check(0, 35) || a.Check(0, -1) {
+		t.Error("element 0 bounds wrong")
+	}
+	if !a.Check(1, -5) || a.Check(1, 11) {
+		t.Error("element 1 bounds wrong")
+	}
+	if !a.Check(5, 1e9) {
+		t.Error("elements beyond configured bounds must pass")
+	}
+}
+
+func TestFiniteAssertion(t *testing.T) {
+	a := FiniteAssertion{}
+	if !a.Check(0, 1e308) {
+		t.Error("large finite value rejected")
+	}
+	if a.Check(0, math.NaN()) || a.Check(0, math.Inf(1)) {
+		t.Error("non-finite value accepted")
+	}
+}
+
+func TestRateAssertionFirstSampleSeeds(t *testing.T) {
+	a := NewRateAssertion(1.0)
+	if !a.Check(0, 100) {
+		t.Error("first sample must pass")
+	}
+	if !a.Check(0, 100.5) {
+		t.Error("small step rejected")
+	}
+	if a.Check(0, 150) {
+		t.Error("large jump accepted")
+	}
+}
+
+func TestRateAssertionRejectedValueDoesNotSeed(t *testing.T) {
+	a := NewRateAssertion(1.0)
+	a.Check(0, 10)
+	if a.Check(0, 50) {
+		t.Fatal("jump accepted")
+	}
+	// Reference must still be 10, so 10.5 is fine but 49.5 is not.
+	if !a.Check(0, 10.5) {
+		t.Error("value near old reference rejected; rejected value seeded history")
+	}
+}
+
+func TestRateAssertionPerElementHistory(t *testing.T) {
+	a := NewRateAssertion(1.0)
+	a.Check(0, 10)
+	a.Check(1, 500)
+	if !a.Check(1, 500.5) {
+		t.Error("element 1 history polluted by element 0")
+	}
+}
+
+func TestRateAssertionReset(t *testing.T) {
+	a := NewRateAssertion(1.0)
+	a.Check(0, 10)
+	a.Reset()
+	if !a.Check(0, 99999) {
+		t.Error("first check after reset must pass")
+	}
+}
+
+func TestRateAssertionCatchesInRangeJump(t *testing.T) {
+	// The Figure 10 scenario: x jumps from ≈10 to 69, both inside the
+	// physical range. A range assertion misses it; a rate assertion
+	// combined with it catches it.
+	rng := RangeAssertion{Min: 0, Max: 70}
+	rate := NewRateAssertion(5.0)
+	combined := All(rng, rate)
+	if !combined.Check(0, 10) {
+		t.Fatal("healthy value rejected")
+	}
+	if rng.Check(0, 69) != true {
+		t.Fatal("range assertion should miss the in-range jump")
+	}
+	if combined.Check(0, 69) {
+		t.Error("combined assertion should catch the in-range jump")
+	}
+}
+
+func TestFuncAssertion(t *testing.T) {
+	a := FuncAssertion{CheckFunc: func(_ int, v float64) bool { return v > 0 }, Label: "positive"}
+	if !a.Check(0, 1) || a.Check(0, -1) {
+		t.Error("FuncAssertion did not delegate")
+	}
+	if a.Name() != "positive" {
+		t.Errorf("Name() = %q", a.Name())
+	}
+	if (FuncAssertion{CheckFunc: a.CheckFunc}).Name() != "func" {
+		t.Error("default label wrong")
+	}
+}
+
+func TestAllConjunction(t *testing.T) {
+	a := All(RangeAssertion{Min: 0, Max: 100}, RangeAssertion{Min: 50, Max: 200})
+	if !a.Check(0, 75) {
+		t.Error("value in both ranges rejected")
+	}
+	if a.Check(0, 25) || a.Check(0, 150) {
+		t.Error("value outside one range accepted")
+	}
+	if !strings.Contains(a.Name(), "all(") {
+		t.Errorf("Name() = %q", a.Name())
+	}
+}
+
+func TestRangeAssertionProperty(t *testing.T) {
+	a := RangeAssertion{Min: -1, Max: 1}
+	f := func(v float64) bool {
+		got := a.Check(0, v)
+		want := v >= -1 && v <= 1
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerElementRate(t *testing.T) {
+	a := NewPerElementRate([]float64{1, 1000})
+	if !a.Check(0, 10) || !a.Check(1, 5000) {
+		t.Fatal("first samples must pass")
+	}
+	if !a.Check(0, 10.5) {
+		t.Error("small step on slow element rejected")
+	}
+	if a.Check(0, 15) {
+		t.Error("large jump on slow element accepted")
+	}
+	if !a.Check(1, 5900) {
+		t.Error("element 1 should tolerate a 900 step")
+	}
+	if a.Check(1, 8000) {
+		t.Error("element 1 should reject a 2100 step")
+	}
+}
+
+func TestPerElementRateBeyondBoundsAccepted(t *testing.T) {
+	a := NewPerElementRate([]float64{1})
+	if !a.Check(5, 1e9) {
+		t.Error("elements beyond the bounds must pass")
+	}
+}
+
+func TestPerElementRateRejectedDoesNotSeed(t *testing.T) {
+	a := NewPerElementRate([]float64{1})
+	a.Check(0, 10)
+	if a.Check(0, 50) {
+		t.Fatal("jump accepted")
+	}
+	if !a.Check(0, 10.5) {
+		t.Error("reference polluted by rejected value")
+	}
+}
+
+func TestPerElementRateReset(t *testing.T) {
+	a := NewPerElementRate([]float64{1})
+	a.Check(0, 10)
+	a.Reset()
+	if !a.Check(0, 99999) {
+		t.Error("first check after reset must pass")
+	}
+}
+
+func TestPerElementRateName(t *testing.T) {
+	if NewPerElementRate(nil).Name() != "per-element-rate" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import "errors"
+
+// Stateful is the controller contract the guard protects. It matches
+// control.Stateful structurally so any controller from package control
+// (or a user's own) can be wrapped without an adapter.
+type Stateful interface {
+	State() []float64
+	SetState(x []float64)
+	Update(inputs []float64) []float64
+}
+
+// RecoveryPolicy selects what the guard does when an assertion fails.
+type RecoveryPolicy int
+
+const (
+	// Rollback is the paper's best effort recovery: replace the
+	// offending vector with the copy backed up during the previous
+	// iteration.
+	Rollback RecoveryPolicy = iota + 1
+
+	// FailStop turns an assertion failure into an error from Step,
+	// modelling a node with fail-stop semantics (the conventional
+	// alternative the paper argues against for control loops).
+	FailStop
+
+	// Saturate clamps each offending element into the assertion's
+	// range when the assertion is a RangeAssertion or
+	// PerElementRange; other assertions fall back to Rollback.
+	Saturate
+)
+
+// ErrAssertionFailed is returned by Guard.Step under the FailStop
+// policy when an executable assertion rejects the state or the output.
+var ErrAssertionFailed = errors.New("core: executable assertion failed")
+
+// GuardStats counts the guard's interventions.
+type GuardStats struct {
+	Steps            int // total Step calls
+	StateViolations  int // iterations whose state assertion failed
+	OutputViolations int // iterations whose output assertion failed
+	StateRecoveries  int // state rollbacks performed
+	OutputRecoveries int // output rollbacks performed
+}
+
+// Guard wraps a Stateful controller with the generalised
+// assertion + backup + best effort recovery scheme of §4.3:
+//
+//  1. Before backing up any state x_i(k), assert it. On failure,
+//     recover every state element from the previous backup; otherwise
+//     back the state up.
+//  2. Before returning the outputs u_j(k), assert them. On failure,
+//     deliver the previous outputs and restore the corresponding state.
+//  3. Back up the output signals.
+//  4. Return the output signals.
+type Guard struct {
+	ctrl        Stateful
+	stateAssert Assertion
+	outAssert   Assertion
+	policy      RecoveryPolicy
+
+	xBackup []float64
+	uBackup []float64
+	stats   GuardStats
+}
+
+// GuardOption customises a Guard.
+type GuardOption func(*Guard)
+
+// WithPolicy selects the recovery policy (default Rollback).
+func WithPolicy(p RecoveryPolicy) GuardOption {
+	return func(g *Guard) { g.policy = p }
+}
+
+// WithOutputAssertion sets the assertion applied to the output vector.
+// By default the state assertion is reused.
+func WithOutputAssertion(a Assertion) GuardOption {
+	return func(g *Guard) { g.outAssert = a }
+}
+
+// NewGuard wraps ctrl with stateAssert applied to its state vector. The
+// initial backups are seeded from the controller's current (healthy)
+// state.
+func NewGuard(ctrl Stateful, stateAssert Assertion, opts ...GuardOption) *Guard {
+	g := &Guard{
+		ctrl:        ctrl,
+		stateAssert: stateAssert,
+		outAssert:   stateAssert,
+		policy:      Rollback,
+		xBackup:     ctrl.State(),
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// Step runs one guarded control iteration. Under FailStop it returns
+// ErrAssertionFailed when an assertion rejects the state or output; the
+// other policies always return a usable output.
+func (g *Guard) Step(inputs []float64) ([]float64, error) {
+	g.stats.Steps++
+
+	// Step 1: assert the state before backing it up.
+	x := g.ctrl.State()
+	if bad := firstViolation(g.stateAssert, x); bad >= 0 {
+		g.stats.StateViolations++
+		switch g.policy {
+		case FailStop:
+			return nil, ErrAssertionFailed
+		case Saturate:
+			if sat, ok := saturate(g.stateAssert, x); ok {
+				g.ctrl.SetState(sat)
+				g.stats.StateRecoveries++
+				copy(g.xBackup, sat)
+				break
+			}
+			fallthrough
+		default: // Rollback
+			g.ctrl.SetState(g.xBackup)
+			g.stats.StateRecoveries++
+		}
+	} else {
+		copy(g.xBackup, x)
+	}
+
+	u := g.ctrl.Update(inputs)
+	if g.uBackup == nil {
+		g.uBackup = make([]float64, len(u))
+		copy(g.uBackup, u)
+	}
+
+	// Step 2: assert the outputs before returning them.
+	if bad := firstViolation(g.outAssert, u); bad >= 0 {
+		g.stats.OutputViolations++
+		switch g.policy {
+		case FailStop:
+			return nil, ErrAssertionFailed
+		case Saturate:
+			if sat, ok := saturate(g.outAssert, u); ok {
+				u = sat
+				g.stats.OutputRecoveries++
+				break
+			}
+			fallthrough
+		default: // Rollback: previous output and its matching state.
+			copy(u, g.uBackup)
+			g.ctrl.SetState(g.xBackup)
+			g.stats.OutputRecoveries++
+		}
+	}
+
+	// Step 3: back up the outputs. Step 4: return them.
+	copy(g.uBackup, u)
+	return u, nil
+}
+
+// Stats returns the intervention counters.
+func (g *Guard) Stats() GuardStats {
+	return g.stats
+}
+
+// Controller returns the wrapped controller.
+func (g *Guard) Controller() Stateful {
+	return g.ctrl
+}
+
+// ResetBackups reseeds the backups from the controller's current state,
+// for use after an external Reset of the wrapped controller.
+func (g *Guard) ResetBackups() {
+	g.xBackup = g.ctrl.State()
+	g.uBackup = nil
+	g.stats = GuardStats{}
+}
+
+// firstViolation returns the index of the first element rejected by a,
+// or -1 if all pass.
+func firstViolation(a Assertion, v []float64) int {
+	for i, x := range v {
+		if !a.Check(i, x) {
+			return i
+		}
+	}
+	return -1
+}
+
+// saturate clamps each element into the assertion's interval when the
+// assertion carries one. The bool result reports whether saturation was
+// possible.
+func saturate(a Assertion, v []float64) ([]float64, bool) {
+	out := append([]float64(nil), v...)
+	switch ra := a.(type) {
+	case RangeAssertion:
+		for i, x := range out {
+			if x < ra.Min || x != x { // x != x catches NaN
+				out[i] = ra.Min
+			} else if x > ra.Max {
+				out[i] = ra.Max
+			}
+		}
+		return out, true
+	case PerElementRange:
+		for i, x := range out {
+			if i >= len(ra.Min) || i >= len(ra.Max) {
+				continue
+			}
+			if x < ra.Min[i] || x != x {
+				out[i] = ra.Min[i]
+			} else if x > ra.Max[i] {
+				out[i] = ra.Max[i]
+			}
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fakeController is a minimal Stateful used to observe the guard's
+// behaviour precisely. Update adds each input to the matching state
+// element and returns the state as output.
+type fakeController struct {
+	x []float64
+}
+
+func newFake(x ...float64) *fakeController {
+	return &fakeController{x: append([]float64(nil), x...)}
+}
+
+func (f *fakeController) State() []float64 {
+	return append([]float64(nil), f.x...)
+}
+
+func (f *fakeController) SetState(x []float64) {
+	copy(f.x, x)
+}
+
+func (f *fakeController) Update(in []float64) []float64 {
+	for i := range f.x {
+		if i < len(in) {
+			f.x[i] += in[i]
+		}
+	}
+	return f.State()
+}
+
+func TestGuardHealthyPassThrough(t *testing.T) {
+	ctrl := newFake(1, 2)
+	g := NewGuard(ctrl, RangeAssertion{Min: -100, Max: 100})
+	u, err := g.Step([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 2 || u[1] != 3 {
+		t.Errorf("u = %v, want [2 3]", u)
+	}
+	if s := g.Stats(); s.StateViolations != 0 || s.OutputViolations != 0 {
+		t.Errorf("healthy step recorded violations: %+v", s)
+	}
+}
+
+func TestGuardStateRollback(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70})
+	if _, err := g.Step([]float64{0}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl.x[0] = 1e9 // corrupt the state between iterations
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 {
+		t.Errorf("u after rollback = %v, want 5 (recovered state)", u[0])
+	}
+	s := g.Stats()
+	if s.StateViolations != 1 || s.StateRecoveries != 1 {
+		t.Errorf("stats = %+v, want one state violation+recovery", s)
+	}
+}
+
+func TestGuardOutputRollback(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70},
+		WithOutputAssertion(RangeAssertion{Min: 0, Max: 10}))
+	if _, err := g.Step([]float64{0}); err != nil { // healthy: u = 5
+		t.Fatal(err)
+	}
+	u, err := g.Step([]float64{20}) // drives output to 25 > 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 {
+		t.Errorf("u after output rollback = %v, want previous output 5", u[0])
+	}
+	if got := ctrl.State()[0]; got != 5 {
+		t.Errorf("state after output rollback = %v, want restored 5", got)
+	}
+	if s := g.Stats(); s.OutputViolations != 1 || s.OutputRecoveries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGuardFailStop(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(FailStop))
+	if _, err := g.Step([]float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.x[0] = -999
+	_, err := g.Step([]float64{0})
+	if !errors.Is(err, ErrAssertionFailed) {
+		t.Errorf("err = %v, want ErrAssertionFailed", err)
+	}
+}
+
+func TestGuardSaturatePolicy(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(Saturate))
+	if _, err := g.Step([]float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.x[0] = 1000
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 70 {
+		t.Errorf("u = %v, want saturated 70", u[0])
+	}
+}
+
+func TestGuardSaturateNaNGoesToMin(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(Saturate))
+	if _, err := g.Step([]float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.x[0] = math.NaN()
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 0 {
+		t.Errorf("NaN saturated to %v, want 0", u[0])
+	}
+}
+
+func TestGuardSaturateFallsBackToRollback(t *testing.T) {
+	// Saturate cannot clamp with a FuncAssertion, so it must fall back
+	// to rollback.
+	ctrl := newFake(5)
+	pos := FuncAssertion{CheckFunc: func(_ int, v float64) bool { return v >= 0 && v <= 70 }}
+	g := NewGuard(ctrl, pos, WithPolicy(Saturate))
+	if _, err := g.Step([]float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.x[0] = -50
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 {
+		t.Errorf("u = %v, want rollback value 5", u[0])
+	}
+}
+
+func TestGuardBackupTracksHealthyState(t *testing.T) {
+	// The backup holds the state as it was at the *start* of the last
+	// healthy iteration (x(k−1) in the paper), not its end.
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 1000})
+	g.Step([]float64{10}) // reads 5, backup = 5, x: 5→15
+	g.Step([]float64{10}) // reads 15, backup = 15, x: 15→25
+	ctrl.x[0] = -1
+	u, _ := g.Step([]float64{0})
+	if u[0] != 15 {
+		t.Errorf("recovered to %v, want backup 15 (state at start of last healthy iteration)", u[0])
+	}
+}
+
+func TestGuardMultiElementRecoveryRestoresAll(t *testing.T) {
+	// Per §4.3, a single invalid element triggers recovery of the
+	// whole state vector.
+	ctrl := newFake(1, 2, 3)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70})
+	g.Step([]float64{0, 0, 0})
+	ctrl.x = []float64{1, -999, 3.5}
+	g.Step([]float64{0, 0, 0})
+	got := ctrl.State()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("state[%d] = %v, want %v (whole vector restored)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGuardFirstIterationOutputViolation(t *testing.T) {
+	// An output violation on the very first iteration has no previous
+	// output; the guard must still return something usable (the
+	// zero-seeded backup) and not panic.
+	ctrl := newFake(500)
+	g := NewGuard(ctrl, RangeAssertion{Min: -1e9, Max: 1e9},
+		WithOutputAssertion(RangeAssertion{Min: 0, Max: 70}))
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 1 {
+		t.Fatalf("no output returned")
+	}
+}
+
+func TestGuardStatsCountSteps(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70})
+	for i := 0; i < 7; i++ {
+		g.Step([]float64{0})
+	}
+	if g.Stats().Steps != 7 {
+		t.Errorf("Steps = %d, want 7", g.Stats().Steps)
+	}
+}
+
+func TestGuardResetBackups(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70})
+	g.Step([]float64{10})
+	ctrl.SetState([]float64{50})
+	g.ResetBackups()
+	if g.Stats().Steps != 0 {
+		t.Error("ResetBackups must clear stats")
+	}
+	ctrl.x[0] = -1
+	u, _ := g.Step([]float64{0})
+	if u[0] != 50 {
+		t.Errorf("recovered to %v, want reseeded backup 50", u[0])
+	}
+}
+
+func TestGuardController(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70})
+	if g.Controller() != Stateful(ctrl) {
+		t.Error("Controller() did not return the wrapped controller")
+	}
+}
+
+func TestPropertyGuardSaturateOutputAlwaysInRange(t *testing.T) {
+	// Under the Saturate policy with range assertions on state and
+	// output, the guarded output never leaves the range, whatever
+	// corruption hits the state between steps.
+	f := func(corrupt float64, steps uint8) bool {
+		ctrl := newFake(5)
+		g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(Saturate))
+		for i := 0; i < int(steps%20)+1; i++ {
+			if i == 3 {
+				ctrl.x[0] = corrupt
+			}
+			u, err := g.Step([]float64{0})
+			if err != nil {
+				return false
+			}
+			if u[0] < 0 || u[0] > 70 || u[0] != u[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGuardRollbackOutputFinite(t *testing.T) {
+	// Under Rollback, whatever bit pattern lands in the state, the
+	// delivered output is always finite.
+	f := func(corrupt float64, at uint8) bool {
+		ctrl := newFake(5)
+		g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70})
+		for i := 0; i < 10; i++ {
+			if i == int(at%10) {
+				ctrl.x[0] = corrupt
+			}
+			u, err := g.Step([]float64{0})
+			if err != nil {
+				return false
+			}
+			if math.IsNaN(u[0]) || math.IsInf(u[0], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BoundsLearner derives executable assertions from fault-free
+// operation: it records the envelope (min/max) and the worst
+// per-sample rate of change of every state element over one or more
+// reference runs, then emits range and rate assertions with a safety
+// margin. This automates the paper's manual step of finding "the
+// physical constraints of the controlled object", and the learned rate
+// bound addresses the in-range corruptions the paper's Figure 10 shows
+// escaping a pure range assertion.
+type BoundsLearner struct {
+	min, max []float64
+	rate     []float64
+	prev     []float64
+	samples  int
+}
+
+// NewBoundsLearner creates a learner for state vectors of dimension n.
+func NewBoundsLearner(n int) *BoundsLearner {
+	l := &BoundsLearner{
+		min:  make([]float64, n),
+		max:  make([]float64, n),
+		rate: make([]float64, n),
+		prev: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		l.min[i] = math.Inf(1)
+		l.max[i] = math.Inf(-1)
+	}
+	return l
+}
+
+// Observe records one state sample. Calling it with a vector of the
+// wrong length returns an error. Successive calls within one run feed
+// the rate envelope; call NextRun between runs so the jump from the
+// final state of one run to the initial state of another does not
+// pollute the rate bound.
+func (l *BoundsLearner) Observe(x []float64) error {
+	if len(x) != len(l.min) {
+		return fmt.Errorf("core: observed state has dimension %d, want %d", len(x), len(l.min))
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("core: non-finite value in a reference run; refusing to learn from it")
+		}
+		if v < l.min[i] {
+			l.min[i] = v
+		}
+		if v > l.max[i] {
+			l.max[i] = v
+		}
+		if l.samples > 0 {
+			if d := math.Abs(v - l.prev[i]); d > l.rate[i] {
+				l.rate[i] = d
+			}
+		}
+	}
+	copy(l.prev, x)
+	l.samples++
+	return nil
+}
+
+// NextRun resets the rate history between reference runs.
+func (l *BoundsLearner) NextRun() {
+	l.samples = 0
+}
+
+// Samples returns the number of observations so far.
+func (l *BoundsLearner) Samples() int {
+	return l.samples
+}
+
+// RangeAssertionWithMargin returns a per-element range assertion whose
+// bounds are the observed envelope widened by margin (a fraction of the
+// envelope's width; 0.1 widens each side by 10 % of the width).
+// Elements that never varied get a minimum absolute slack so the
+// assertion is not degenerate.
+func (l *BoundsLearner) RangeAssertionWithMargin(margin float64) (Assertion, error) {
+	if l.samples == 0 && l.min[0] > l.max[0] {
+		return nil, errors.New("core: no observations to learn bounds from")
+	}
+	lo := make([]float64, len(l.min))
+	hi := make([]float64, len(l.min))
+	for i := range l.min {
+		width := l.max[i] - l.min[i]
+		slack := width * margin
+		if slack == 0 {
+			slack = math.Max(math.Abs(l.max[i])*margin, 1e-9)
+		}
+		lo[i] = l.min[i] - slack
+		hi[i] = l.max[i] + slack
+	}
+	return PerElementRange{Min: lo, Max: hi}, nil
+}
+
+// RateAssertionWithMargin returns a per-element rate assertion: each
+// element's bound is its own worst observed per-sample change scaled by
+// factor (use ≥ 2 for safety; transient conditions not seen during
+// learning may change the state faster). Per-element bounds matter when
+// the state mixes slow and fast dynamics — a global bound set by the
+// fastest element would be blind to jumps in the slow ones. Elements
+// that never changed get the largest observed bound so they are not
+// pinned.
+func (l *BoundsLearner) RateAssertionWithMargin(factor float64) (Assertion, error) {
+	worst := 0.0
+	for _, r := range l.rate {
+		if r > worst {
+			worst = r
+		}
+	}
+	if worst == 0 {
+		return nil, errors.New("core: observed no state changes; cannot learn a rate bound")
+	}
+	bounds := make([]float64, len(l.rate))
+	for i, r := range l.rate {
+		if r == 0 {
+			r = worst
+		}
+		bounds[i] = r * factor
+	}
+	return NewPerElementRate(bounds), nil
+}
+
+// Learned returns the raw envelope for inspection.
+func (l *BoundsLearner) Learned() (min, max, rate []float64) {
+	return append([]float64(nil), l.min...),
+		append([]float64(nil), l.max...),
+		append([]float64(nil), l.rate...)
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func feed(t *testing.T, l *BoundsLearner, samples ...[]float64) {
+	t.Helper()
+	for _, s := range samples {
+		if err := l.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLearnerEnvelope(t *testing.T) {
+	l := NewBoundsLearner(2)
+	feed(t, l, []float64{1, 10}, []float64{3, 8}, []float64{2, 12})
+	min, max, rate := l.Learned()
+	if min[0] != 1 || max[0] != 3 {
+		t.Errorf("element 0 envelope = [%v, %v], want [1, 3]", min[0], max[0])
+	}
+	if min[1] != 8 || max[1] != 12 {
+		t.Errorf("element 1 envelope = [%v, %v], want [8, 12]", min[1], max[1])
+	}
+	if rate[0] != 2 || rate[1] != 4 {
+		t.Errorf("rates = %v, want [2, 4]", rate)
+	}
+}
+
+func TestLearnerDimensionMismatch(t *testing.T) {
+	l := NewBoundsLearner(2)
+	if err := l.Observe([]float64{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestLearnerRejectsNonFinite(t *testing.T) {
+	l := NewBoundsLearner(1)
+	if err := l.Observe([]float64{math.NaN()}); err == nil {
+		t.Error("expected error for NaN observation")
+	}
+	if err := l.Observe([]float64{math.Inf(1)}); err == nil {
+		t.Error("expected error for Inf observation")
+	}
+}
+
+func TestLearnerRangeAssertionMargin(t *testing.T) {
+	l := NewBoundsLearner(1)
+	feed(t, l, []float64{0}, []float64{10})
+	a, err := l.RangeAssertionWithMargin(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Check(0, -1) || !a.Check(0, 11) {
+		t.Error("margin not applied")
+	}
+	if a.Check(0, -1.5) || a.Check(0, 11.5) {
+		t.Error("bounds too loose")
+	}
+}
+
+func TestLearnerConstantElementGetsSlack(t *testing.T) {
+	l := NewBoundsLearner(1)
+	feed(t, l, []float64{5}, []float64{5}, []float64{5})
+	a, err := l.RangeAssertionWithMargin(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Check(0, 5) {
+		t.Error("learned bound rejects the observed constant")
+	}
+	if a.Check(0, 50) {
+		t.Error("constant element bound absurdly loose")
+	}
+}
+
+func TestLearnerRateAssertion(t *testing.T) {
+	l := NewBoundsLearner(1)
+	feed(t, l, []float64{0}, []float64{2}, []float64{3})
+	a, err := l.RateAssertionWithMargin(2) // bound = 2×2 = 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Check(0, 1) || !a.Check(0, 4.5) {
+		t.Error("small steps rejected")
+	}
+	if a.Check(0, 10) {
+		t.Error("large jump accepted")
+	}
+}
+
+func TestLearnerRateAssertionPerElement(t *testing.T) {
+	// A fast element must not loosen a slow element's bound.
+	l := NewBoundsLearner(2)
+	feed(t, l, []float64{0, 0}, []float64{1, 1000}, []float64{2, 2000})
+	a, err := l.RateAssertionWithMargin(2) // bounds: [2, 2000]
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Check(0, 1) {
+		t.Fatal("seeding failed")
+	}
+	if a.Check(0, 10) {
+		t.Error("slow element jump accepted; bound polluted by the fast element")
+	}
+	if !a.Check(1, 1500) {
+		t.Error("fast element legitimate step rejected")
+	}
+}
+
+func TestLearnerRateConstantElementGetsFallbackBound(t *testing.T) {
+	l := NewBoundsLearner(2)
+	feed(t, l, []float64{5, 0}, []float64{5, 3}, []float64{5, 6})
+	a, err := l.RateAssertionWithMargin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Check(0, 5)
+	if !a.Check(0, 7) { // within the fallback bound (3×2 = 6)
+		t.Error("constant element pinned; fallback bound missing")
+	}
+	if a.Check(0, 50) {
+		t.Error("constant element unbounded")
+	}
+}
+
+func TestLearnerNoObservationsErrors(t *testing.T) {
+	l := NewBoundsLearner(1)
+	if _, err := l.RangeAssertionWithMargin(0.1); err == nil {
+		t.Error("expected error with no observations")
+	}
+	if _, err := l.RateAssertionWithMargin(2); err == nil {
+		t.Error("expected error with no rate history")
+	}
+}
+
+func TestLearnerNextRunResetsRateHistory(t *testing.T) {
+	l := NewBoundsLearner(1)
+	feed(t, l, []float64{0}, []float64{1})
+	l.NextRun()
+	// The jump from 1 to 100 across runs must not count as a rate.
+	feed(t, l, []float64{100}, []float64{100.5})
+	_, _, rate := l.Learned()
+	if rate[0] != 1 {
+		t.Errorf("rate = %v, want 1 (cross-run jump excluded)", rate[0])
+	}
+}
+
+func TestLearnerEndToEndWithGuard(t *testing.T) {
+	// Learn bounds from a fake controller's healthy trajectory, then
+	// verify the guard built from them passes healthy operation and
+	// catches a corruption.
+	l := NewBoundsLearner(1)
+	x := 0.0
+	for i := 0; i < 100; i++ {
+		x += 0.5
+		if err := l.Observe([]float64{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng, err := l.RangeAssertionWithMargin(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := l.RateAssertionWithMargin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assert := All(rng, rate)
+
+	ctrl := newFake(25)
+	g := NewGuard(ctrl, assert)
+	for i := 0; i < 10; i++ {
+		if _, err := g.Step([]float64{0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Stats().StateViolations != 0 {
+		t.Fatalf("healthy run tripped learned assertions: %+v", g.Stats())
+	}
+	ctrl.x[0] = 49 // in learned range? envelope [0,50]+margin; jump of ~20 trips the rate bound
+	g.Step([]float64{0.5})
+	if g.Stats().StateViolations == 0 {
+		t.Error("learned rate assertion missed an in-range jump")
+	}
+}

@@ -1,0 +1,310 @@
+package cpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAssembleMinimal(t *testing.T) {
+	p, err := Assemble(`
+.code
+start:  SIG
+        MOVI r1, 5
+        HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 {
+		t.Fatalf("code length = %d, want 3", len(p.Code))
+	}
+	if p.CodeLabels["start"] != CodeBase {
+		t.Errorf("start label = %#x", p.CodeLabels["start"])
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	p, err := Assemble(`
+.code
+        HALT
+.data
+a:      .float 7.0
+b:      .word -3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 2 {
+		t.Fatalf("data length = %d, want 2", len(p.Data))
+	}
+	if p.Data[0] != math.Float32bits(7.0) {
+		t.Errorf("float data = %#x", p.Data[0])
+	}
+	if int32(p.Data[1]) != -3 {
+		t.Errorf("word data = %d", int32(p.Data[1]))
+	}
+	if addr, ok := p.DataAddr("b"); !ok || addr != DataBase+4 {
+		t.Errorf("DataAddr(b) = %#x, %v", addr, ok)
+	}
+}
+
+func TestAssembleDataOffsetOperand(t *testing.T) {
+	p, err := Assemble(`
+.code
+        MOVI r10, 0x1000
+        LD   r1, @v(r10)
+        HALT
+.data
+pad:    .word 0
+v:      .float 1.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Decode(p.Code[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != 4 {
+		t.Errorf("@v offset = %d, want 4", in.Imm)
+	}
+}
+
+func TestAssembleAbsoluteLabelImmediate(t *testing.T) {
+	p, err := Assemble(`
+.code
+        MOVI r1, =v
+        HALT
+.data
+v:      .word 9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := Decode(p.Code[0])
+	if uint32(in.Imm) != DataBase {
+		t.Errorf("=v = %#x, want %#x", in.Imm, DataBase)
+	}
+}
+
+func TestAssembleBranchTarget(t *testing.T) {
+	p, err := Assemble(`
+.code
+top:    SIG
+        CMP r1, r2
+        BEQ top
+        HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := Decode(p.Code[2])
+	if uint32(in.Imm) != CodeBase {
+		t.Errorf("branch target = %#x, want %#x", in.Imm, CodeBase)
+	}
+}
+
+func TestAssembleRejectsNonSigTarget(t *testing.T) {
+	_, err := Assemble(`
+.code
+top:    MOVI r1, 1
+        JMP top
+`)
+	if err == nil || !strings.Contains(err.Error(), "landing pad") {
+		t.Errorf("expected landing-pad error, got %v", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", ".code\n FROB r1, r2\n"},
+		{"bad register", ".code\n MOVI r16, 1\n"},
+		{"bad register token", ".code\n MOVI x1, 1\n"},
+		{"missing operand", ".code\n MOVI r1\n"},
+		{"extra operand", ".code\n NOP r1\n"},
+		{"undefined branch label", ".code\n JMP nowhere\n"},
+		{"undefined data label", ".code\n LD r1, @nope(r10)\n"},
+		{"duplicate label", ".code\na: SIG\na: SIG\n"},
+		{"bad immediate", ".code\n MOVI r1, zork\n"},
+		{"immediate out of range", ".code\n MOVI r1, 100000\n"},
+		{"bad mem operand", ".code\n LD r1, 4\n"},
+		{"bad data directive", ".data\nv: .quad 1\n"},
+		{"bad float", ".data\nv: .float abc\n"},
+		{"label on section directive", "lbl: .code\n NOP\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Assemble(tt.src); err == nil {
+				t.Error("expected an assembly error")
+			}
+		})
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p, err := Assemble(`
+; full-line comment
+.code
+        NOP        ; trailing comment
+        NOP        # hash comment
+        HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 {
+		t.Errorf("code length = %d, want 3", len(p.Code))
+	}
+}
+
+func TestAssembleHexAndNegativeImmediates(t *testing.T) {
+	p, err := Assemble(`
+.code
+        MOVI r1, 0x2000
+        MOVI r2, -5
+        HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in0, _ := Decode(p.Code[0])
+	if in0.Imm != 0x2000 {
+		t.Errorf("hex imm = %#x", in0.Imm)
+	}
+	in1, _ := Decode(p.Code[1])
+	if int16(in1.Imm) != -5 {
+		t.Errorf("negative imm = %d", int16(in1.Imm))
+	}
+}
+
+func TestMustAssemblePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustAssemble(".code\n BADOP\n")
+}
+
+func TestAssembleLabelOnOwnLine(t *testing.T) {
+	p, err := Assemble(`
+.code
+alone:
+        SIG
+        JMP alone
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CodeLabels["alone"] != CodeBase {
+		t.Errorf("label = %#x", p.CodeLabels["alone"])
+	}
+}
+
+func TestAssembleDoubleDirective(t *testing.T) {
+	p, err := Assemble(`
+.code
+        HALT
+.data
+d:      .double 7.0
+after:  .word 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 3 {
+		t.Fatalf("data length = %d, want 3", len(p.Data))
+	}
+	bits := uint64(p.Data[0])<<32 | uint64(p.Data[1])
+	if math.Float64frombits(bits) != 7.0 {
+		t.Errorf("double data = %v", math.Float64frombits(bits))
+	}
+	if addr, _ := p.DataAddr("after"); addr != DataBase+8 {
+		t.Errorf("label after double = %#x, want %#x", addr, DataBase+8)
+	}
+}
+
+func TestAssembleDataOffsetDisplacement(t *testing.T) {
+	p, err := Assemble(`
+.code
+        MOVI r1, 0x1000
+        LD   r2, @d(r1)
+        LD   r3, @d+4(r1)
+        HALT
+.data
+d:      .double 1.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := Decode(p.Code[1])
+	lo, _ := Decode(p.Code[2])
+	if hi.Imm != 0 || lo.Imm != 4 {
+		t.Errorf("offsets = %d, %d; want 0, 4", hi.Imm, lo.Imm)
+	}
+}
+
+func TestAssembleBadDisplacement(t *testing.T) {
+	_, err := Assemble(".code\n LD r1, @d+zz(r2)\n HALT\n.data\nd: .word 0\n")
+	if err == nil {
+		t.Error("expected displacement error")
+	}
+}
+
+func TestAssembleFMOVD(t *testing.T) {
+	p, err := Assemble(`
+.code
+        FMOVD r2, 7.0
+        HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 5 {
+		t.Fatalf("FMOVD should expand to 4 instructions, code length = %d", len(p.Code))
+	}
+	// Execute and verify the pair holds 7.0.
+	c := New(p, nil)
+	for !c.Halted() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := math.Float64frombits(uint64(c.Regs[2])<<32 | uint64(c.Regs[3]))
+	if got != 7.0 {
+		t.Errorf("FMOVD result = %v, want 7.0", got)
+	}
+}
+
+func TestAssembleFMOVDOddRegisterRejected(t *testing.T) {
+	if _, err := Assemble(".code\n FMOVD r3, 1.0\n HALT\n"); err == nil {
+		t.Error("expected error for odd register pair")
+	}
+}
+
+func TestAssembleFMOVDBadLiteral(t *testing.T) {
+	if _, err := Assemble(".code\n FMOVD r2, abc\n HALT\n"); err == nil {
+		t.Error("expected error for bad literal")
+	}
+}
+
+func TestAssembleFMOVDLabelAddressing(t *testing.T) {
+	// FMOVD occupies 8 bytes in the first pass too; labels after it
+	// must resolve correctly.
+	p, err := Assemble(`
+.code
+        FMOVD r2, 1.0
+target: SIG
+        JMP  target
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CodeLabels["target"] != CodeBase+16 {
+		t.Errorf("label after FMOVD = %#x, want %#x", p.CodeLabels["target"], CodeBase+16)
+	}
+}

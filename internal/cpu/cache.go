@@ -1,0 +1,151 @@
+package cpu
+
+// Data-cache geometry: 128 bytes like Thor's, direct-mapped, write-back
+// with write-allocate. Only the data segment is cached; code, I/O and
+// stack bypass it.
+const (
+	CacheLines    = 8
+	CacheLineSize = 16 // bytes
+	cacheWords    = CacheLineSize / 4
+
+	// Address decomposition: offset = addr[3:0], index = addr[6:4],
+	// tag = addr[15:7]. The tag deliberately covers more address bits
+	// than the data segment needs, so a corrupted tag can point a
+	// dirty line's write-back anywhere in the 64 KiB address space —
+	// the mechanism behind address errors caused by cache faults.
+	tagShift = 7
+	tagBits  = 9
+	tagMask  = 1<<tagBits - 1
+)
+
+type cacheLine struct {
+	tag   uint16
+	valid bool
+	dirty bool
+	data  [cacheWords]uint32
+}
+
+// Cache is the CPU's write-back data cache. Its bits are the "Cache"
+// fault-injection region of the campaign, like the 1824 cache state
+// elements of the paper.
+type Cache struct {
+	lines [CacheLines]cacheLine
+
+	// Hits and Misses count accesses, for diagnostics and benches.
+	Hits, Misses uint64
+}
+
+// NewCache returns an empty (all-invalid) cache.
+func NewCache() *Cache {
+	return &Cache{}
+}
+
+func cacheIndex(addr uint32) int {
+	return int(addr >> 4 & (CacheLines - 1))
+}
+
+func cacheTag(addr uint32) uint16 {
+	return uint16(addr >> tagShift & tagMask)
+}
+
+// lineBase reconstructs the memory address a line maps to from its tag
+// and index. With a corrupted tag this can be any line-aligned address
+// in the 64 KiB space.
+func lineBase(tag uint16, index int) uint32 {
+	return uint32(tag)<<tagShift | uint32(index)<<4
+}
+
+// ReadWord reads the aligned word at addr through the cache.
+func (c *Cache) ReadWord(addr uint32, mem *Memory) (uint32, *TrapError) {
+	line, trap := c.ensure(addr, mem)
+	if trap != nil {
+		return 0, trap
+	}
+	return line.data[addr>>2&(cacheWords-1)], nil
+}
+
+// WriteWord writes the aligned word at addr through the cache
+// (write-back, write-allocate).
+func (c *Cache) WriteWord(addr uint32, v uint32, mem *Memory) *TrapError {
+	line, trap := c.ensure(addr, mem)
+	if trap != nil {
+		return trap
+	}
+	line.data[addr>>2&(cacheWords-1)] = v
+	line.dirty = true
+	return nil
+}
+
+// ensure returns the line holding addr, filling (and writing back the
+// victim) on a miss.
+func (c *Cache) ensure(addr uint32, mem *Memory) (*cacheLine, *TrapError) {
+	idx := cacheIndex(addr)
+	line := &c.lines[idx]
+	want := cacheTag(addr)
+	if line.valid && line.tag == want {
+		c.Hits++
+		return line, nil
+	}
+	c.Misses++
+	if trap := c.evict(idx, mem); trap != nil {
+		return nil, trap
+	}
+	base := addr &^ uint32(CacheLineSize-1)
+	for w := 0; w < cacheWords; w++ {
+		line.data[w] = mem.ReadWord(base + uint32(w*4))
+	}
+	line.tag = want
+	line.valid = true
+	line.dirty = false
+	return line, nil
+}
+
+// evict writes back the line at idx if it is valid and dirty. A
+// corrupted tag makes the write-back land outside the data segment,
+// which raises ADDRESS ERROR exactly like a faulty bus address would.
+func (c *Cache) evict(idx int, mem *Memory) *TrapError {
+	line := &c.lines[idx]
+	if !line.valid || !line.dirty {
+		line.valid = false
+		return nil
+	}
+	base := lineBase(line.tag, idx)
+	if SegmentOf(base) != SegData {
+		return &TrapError{Mech: MechAddressError, Addr: base,
+			Info: "dirty cache line write-back outside data segment"}
+	}
+	for w := 0; w < cacheWords; w++ {
+		mem.WriteWord(base+uint32(w*4), line.data[w])
+	}
+	line.valid = false
+	line.dirty = false
+	return nil
+}
+
+// FlushTo writes every dirty line back to mem, leaving the cache valid.
+// Used when computing the final system state of a run.
+func (c *Cache) FlushTo(mem *Memory) *TrapError {
+	for idx := range c.lines {
+		line := &c.lines[idx]
+		if !line.valid || !line.dirty {
+			continue
+		}
+		base := lineBase(line.tag, idx)
+		if SegmentOf(base) != SegData {
+			return &TrapError{Mech: MechAddressError, Addr: base,
+				Info: "dirty cache line flush outside data segment"}
+		}
+		for w := 0; w < cacheWords; w++ {
+			mem.WriteWord(base+uint32(w*4), line.data[w])
+		}
+		line.dirty = false
+	}
+	return nil
+}
+
+// Invalidate empties the cache without writing anything back.
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}

@@ -1,0 +1,258 @@
+package cpu
+
+import "testing"
+
+func TestCacheReadMissThenHit(t *testing.T) {
+	mem := NewMemory()
+	mem.WriteWord(0x1000, 42)
+	c := NewCache()
+	v, trap := c.ReadWord(0x1000, mem)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v != 42 {
+		t.Errorf("read = %d, want 42", v)
+	}
+	if c.Misses != 1 || c.Hits != 0 {
+		t.Errorf("hits/misses = %d/%d, want 0/1", c.Hits, c.Misses)
+	}
+	if _, trap := c.ReadWord(0x1004, mem); trap != nil { // same line
+		t.Fatal(trap)
+	}
+	if c.Hits != 1 {
+		t.Errorf("hits = %d, want 1", c.Hits)
+	}
+}
+
+func TestCacheWriteBack(t *testing.T) {
+	mem := NewMemory()
+	c := NewCache()
+	if trap := c.WriteWord(0x1000, 7, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if mem.ReadWord(0x1000) != 0 {
+		t.Error("write-through observed; cache should be write-back")
+	}
+	// Conflict-miss on the same index evicts and writes back:
+	// 0x1000 and 0x1080 share index 0 (bit 7 differs → different tag).
+	if _, trap := c.ReadWord(0x1080, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if mem.ReadWord(0x1000) != 7 {
+		t.Errorf("victim not written back: mem = %d", mem.ReadWord(0x1000))
+	}
+}
+
+func TestCacheIndexMapping(t *testing.T) {
+	// Addresses 16 bytes apart map to consecutive lines.
+	if cacheIndex(0x1000) == cacheIndex(0x1010) {
+		t.Error("adjacent lines map to the same index")
+	}
+	if cacheIndex(0x1000) != cacheIndex(0x1080) {
+		t.Error("conflicting addresses map to different indexes")
+	}
+	if cacheTag(0x1000) == cacheTag(0x1080) {
+		t.Error("conflicting addresses must differ in tag")
+	}
+}
+
+func TestCacheCorruptedTagWriteBackTraps(t *testing.T) {
+	mem := NewMemory()
+	c := NewCache()
+	if trap := c.WriteWord(0x1000, 7, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	// Corrupt the tag so the dirty line points outside the data
+	// segment (tag 0x1FF → base 0xFF80).
+	c.lines[0].tag = 0x1FF
+	_, trap := c.ReadWord(0x1000, mem)
+	if trap == nil || trap.Mech != MechAddressError {
+		t.Fatalf("trap = %v, want ADDRESS ERROR", trap)
+	}
+}
+
+func TestCacheCorruptedTagSilentAliasing(t *testing.T) {
+	mem := NewMemory()
+	c := NewCache()
+	if trap := c.WriteWord(0x1000, 7, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	// Corrupt the tag so the line aliases another data address
+	// (0x1080: same index, different tag, still in the data segment).
+	c.lines[0].tag = cacheTag(0x1080)
+	if _, trap := c.ReadWord(0x1000, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if mem.ReadWord(0x1080) != 7 {
+		t.Error("aliased write-back did not corrupt the other variable")
+	}
+}
+
+func TestCacheValidFlipDropsDirtyData(t *testing.T) {
+	mem := NewMemory()
+	mem.WriteWord(0x1000, 1)
+	c := NewCache()
+	if trap := c.WriteWord(0x1000, 99, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	c.lines[cacheIndex(0x1000)].valid = false // injected valid-bit flip
+	v, trap := c.ReadWord(0x1000, mem)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v != 1 {
+		t.Errorf("read = %d, want stale memory value 1 (dirty data lost)", v)
+	}
+}
+
+func TestCacheFlushTo(t *testing.T) {
+	mem := NewMemory()
+	c := NewCache()
+	if trap := c.WriteWord(0x1000, 5, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if trap := c.WriteWord(0x1010, 6, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if trap := c.FlushTo(mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if mem.ReadWord(0x1000) != 5 || mem.ReadWord(0x1010) != 6 {
+		t.Error("flush did not write dirty lines back")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	mem := NewMemory()
+	c := NewCache()
+	if trap := c.WriteWord(0x1000, 5, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	c.Invalidate()
+	v, trap := c.ReadWord(0x1000, mem)
+	if trap != nil {
+		t.Fatal(trap)
+	}
+	if v != 0 {
+		t.Errorf("read after invalidate = %d, want 0 (memory value)", v)
+	}
+}
+
+func TestStateBitsEnumeration(t *testing.T) {
+	bits := StateBits()
+	var cacheBits, regBits int
+	for _, b := range bits {
+		switch b.Region {
+		case RegionCache:
+			cacheBits++
+		case RegionRegisters:
+			regBits++
+		default:
+			t.Fatalf("unknown region %q", b.Region)
+		}
+	}
+	// registers: 15×32 + 32 (pc) + 2 flags = 514
+	if regBits != 514 {
+		t.Errorf("register bits = %d, want 514", regBits)
+	}
+	// cache: 8 lines × (9 tag + 1 valid + 1 dirty + 128 data) = 1112
+	if cacheBits != 1112 {
+		t.Errorf("cache bits = %d, want 1112", cacheBits)
+	}
+}
+
+func TestStateBitsStableOrder(t *testing.T) {
+	a, b := StateBits(), StateBits()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enumeration not stable at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFlipBitEveryEnumerated(t *testing.T) {
+	p := MustAssemble(".code\n HALT\n")
+	for _, sb := range StateBits() {
+		c := New(p, newStubIO())
+		if err := c.FlipBit(sb); err != nil {
+			t.Fatalf("FlipBit(%v): %v", sb, err)
+		}
+	}
+}
+
+func TestFlipBitRoundTrip(t *testing.T) {
+	p := MustAssemble(".code\n HALT\n")
+	c := New(p, newStubIO())
+	before := c.FinalState()
+	sb := StateBit{Region: RegionRegisters, Element: "r5", Bit: 3}
+	if err := c.FlipBit(sb); err != nil {
+		t.Fatal(err)
+	}
+	if StatesEqual(before, c.FinalState()) {
+		t.Error("flip did not change state")
+	}
+	if err := c.FlipBit(sb); err != nil {
+		t.Fatal(err)
+	}
+	if !StatesEqual(before, c.FinalState()) {
+		t.Error("double flip did not restore state")
+	}
+}
+
+func TestFlipBitErrors(t *testing.T) {
+	p := MustAssemble(".code\n HALT\n")
+	c := New(p, newStubIO())
+	bad := []StateBit{
+		{Region: "nowhere", Element: "r1", Bit: 0},
+		{Region: RegionRegisters, Element: "r99", Bit: 0},
+		{Region: RegionRegisters, Element: "bogus", Bit: 0},
+		{Region: RegionCache, Element: "line9.tag", Bit: 0},
+		{Region: RegionCache, Element: "line0.data9", Bit: 0},
+		{Region: RegionCache, Element: "line0.bogus9", Bit: 0},
+	}
+	for _, sb := range bad {
+		if err := c.FlipBit(sb); err == nil {
+			t.Errorf("FlipBit(%v) should fail", sb)
+		}
+	}
+}
+
+func TestFinalStateReflectsDirtyCache(t *testing.T) {
+	p := MustAssemble(`
+.code
+        MOVI r10, 0x1000
+        MOVI r1, 123
+        ST   r1, 0(r10)
+        HALT
+`)
+	c := New(p, newStubIO())
+	for !c.Halted() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The store is still sitting dirty in the cache; FinalState must
+	// observe it anyway.
+	found := false
+	for _, w := range c.FinalState() {
+		if w == 123 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dirty cache contents missing from FinalState")
+	}
+}
+
+func TestStatesEqual(t *testing.T) {
+	a := []uint32{1, 2, 3}
+	if !StatesEqual(a, []uint32{1, 2, 3}) {
+		t.Error("equal states reported unequal")
+	}
+	if StatesEqual(a, []uint32{1, 2, 4}) {
+		t.Error("unequal states reported equal")
+	}
+	if StatesEqual(a, []uint32{1, 2}) {
+		t.Error("different lengths reported equal")
+	}
+}

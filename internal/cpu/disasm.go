@@ -1,0 +1,55 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders the program's code segment as annotated assembly,
+// resolving code labels and marking control-flow landing pads. It is
+// the inverse of Assemble up to label names and comments, used by the
+// trace tools and for debugging workloads.
+func (p *Program) Disassemble() string {
+	labelAt := make(map[uint32][]string, len(p.CodeLabels))
+	for name, addr := range p.CodeLabels {
+		labelAt[addr] = append(labelAt[addr], name)
+	}
+	for addr := range labelAt {
+		sort.Strings(labelAt[addr])
+	}
+
+	var b strings.Builder
+	b.WriteString(".code\n")
+	for i, w := range p.Code {
+		addr := CodeBase + uint32(i*4)
+		for _, name := range labelAt[addr] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		in, err := Decode(w)
+		if err != nil {
+			fmt.Fprintf(&b, "  %#06x  .word %#08x  ; %v\n", addr, w, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %#06x  %s\n", addr, in)
+	}
+
+	if len(p.Data) > 0 {
+		b.WriteString(".data\n")
+		dataLabelAt := make(map[uint32][]string, len(p.DataLabels))
+		for name, addr := range p.DataLabels {
+			dataLabelAt[addr] = append(dataLabelAt[addr], name)
+		}
+		for addr := range dataLabelAt {
+			sort.Strings(dataLabelAt[addr])
+		}
+		for i, w := range p.Data {
+			addr := DataBase + uint32(i*4)
+			for _, name := range dataLabelAt[addr] {
+				fmt.Fprintf(&b, "%s:\n", name)
+			}
+			fmt.Fprintf(&b, "  %#06x  .word %#08x\n", addr, w)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleRoundTripsLabelsAndOps(t *testing.T) {
+	p := MustAssemble(`
+.code
+start:  SIG
+        MOVI r1, 5
+        LD   r2, @v(r1)
+        JMP  start
+.data
+v:      .word 42
+`)
+	out := p.Disassemble()
+	for _, want := range []string{"start:", "SIG", "MOVI r1, 5", "JMP", ".data", "v:", "0x0000002a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleIllegalWord(t *testing.T) {
+	p := &Program{Code: []uint32{0xFF000000}}
+	out := p.Disassemble()
+	if !strings.Contains(out, "illegal opcode") {
+		t.Errorf("disassembly should flag illegal words:\n%s", out)
+	}
+}
+
+func TestDisassembleWorkloadPrograms(t *testing.T) {
+	// Every embedded workload program must disassemble without
+	// unknown words (their code contains only assembler output).
+	p := MustAssemble(`
+.code
+loop:   SIG
+        FMOVD r2, 7.0
+        FADDD r2, r2, r2
+        JMP loop
+`)
+	out := p.Disassemble()
+	if strings.Contains(out, "???") || strings.Contains(out, "illegal") {
+		t.Errorf("unexpected undecodable word:\n%s", out)
+	}
+	if !strings.Contains(out, "FADDD r2, r2, r2") {
+		t.Error("double op not rendered")
+	}
+}

@@ -1,0 +1,44 @@
+package cpu
+
+// Compact per-instruction state signatures used by the detail-mode
+// execution traces (the paper's GOOFI detail mode logs the system state
+// before every machine instruction). Hashing keeps a full-run trace of
+// several hundred thousand instructions affordable.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a(h uint64, v uint32) uint64 {
+	for shift := 0; shift < 32; shift += 8 {
+		h ^= uint64(v >> shift & 0xFF)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// RegisterHash returns a signature of the register file, PC and flags.
+func (c *CPU) RegisterHash() uint64 {
+	h := uint64(fnvOffset)
+	for r := 1; r < 16; r++ {
+		h = fnv1a(h, c.Regs[r])
+	}
+	h = fnv1a(h, c.PC)
+	h = fnv1a(h, boolWord(c.FlagZ)<<1|boolWord(c.FlagLT))
+	return h
+}
+
+// CacheHash returns a signature of the complete data-cache state
+// (tags, status bits and data).
+func (c *CPU) CacheHash() uint64 {
+	h := uint64(fnvOffset)
+	for i := range c.Cache.lines {
+		line := &c.Cache.lines[i]
+		h = fnv1a(h, uint32(line.tag)<<2|boolWord(line.valid)<<1|boolWord(line.dirty))
+		for _, w := range line.data {
+			h = fnv1a(h, w)
+		}
+	}
+	return h
+}

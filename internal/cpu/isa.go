@@ -1,0 +1,171 @@
+// Package cpu implements the fault-injection target of the experiments:
+// a 32-bit load/store virtual CPU modelled on the Thor microprocessor
+// used by the paper. It has a general register file, a small write-back
+// data cache, single-precision soft-float arithmetic, and the
+// error-detection mechanisms of the paper's Table 1. Every architectural
+// state bit is enumerable and flippable, which is the SCIFI-equivalent
+// access the GOOFI campaign needs.
+package cpu
+
+import "fmt"
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// Instruction opcodes. The encoding is a fixed 32-bit word:
+//
+//	bits 31-24: opcode
+//	bits 23-20: rd   (or rs2 for ST)
+//	bits 19-16: rs1
+//	bits 15-0:  imm16 (I-format)  |  bits 15-12: rs2 (R-format)
+const (
+	OpNop Opcode = iota + 1
+	OpHalt
+	OpMovi // rd = signext(imm16)
+	OpMovu // rd = imm16 << 16
+	OpAdd  // rd = rs1 + rs2 (traps on signed overflow)
+	OpSub  // rd = rs1 - rs2 (traps on signed overflow)
+	OpAnd
+	OpOr
+	OpXor
+	OpAddi // rd = rs1 + signext(imm16) (traps on signed overflow)
+	OpOri  // rd = rs1 | zeroext(imm16)
+	OpLd   // rd = mem[rs1 + signext(imm16)]
+	OpSt   // mem[rs1 + signext(imm16)] = rs2 (rs2 encoded in rd slot)
+	OpCmp  // integer compare rs1, rs2; sets flags
+	OpFadd // IEEE-754 single precision on register bit patterns
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFcmp // float compare rs1, rs2; sets flags
+
+	// Double-precision arithmetic operates on even/odd register
+	// pairs: operand k names registers (k, k+1) holding the high and
+	// low words of an IEEE-754 double. k must be even.
+	OpFaddd
+	OpFsubd
+	OpFmuld
+	OpFdivd
+	OpFcmpd
+	OpBeq // branch to code address imm16 when Z
+	OpBne
+	OpBlt
+	OpBge
+	OpBgt
+	OpBle
+	OpJmp  // jump to code address imm16
+	OpCall // r15 = pc+4, jump
+	OpRet  // pc = r15
+	OpSig  // control-flow landing pad
+	OpFail // raise CONSTRAINT ERROR (software run-time assertion trap)
+
+	opMax // sentinel, keep last
+)
+
+var opNames = map[Opcode]string{
+	OpNop: "NOP", OpHalt: "HALT", OpMovi: "MOVI", OpMovu: "MOVU",
+	OpAdd: "ADD", OpSub: "SUB", OpAnd: "AND", OpOr: "OR", OpXor: "XOR",
+	OpAddi: "ADDI", OpOri: "ORI", OpLd: "LD", OpSt: "ST", OpCmp: "CMP",
+	OpFadd: "FADD", OpFsub: "FSUB", OpFmul: "FMUL", OpFdiv: "FDIV",
+	OpFcmp: "FCMP", OpFaddd: "FADDD", OpFsubd: "FSUBD", OpFmuld: "FMULD",
+	OpFdivd: "FDIVD", OpFcmpd: "FCMPD",
+	OpBeq: "BEQ", OpBne: "BNE", OpBlt: "BLT",
+	OpBge: "BGE", OpBgt: "BGT", OpBle: "BLE", OpJmp: "JMP",
+	OpCall: "CALL", OpRet: "RET", OpSig: "SIG", OpFail: "FAIL",
+}
+
+// String returns the mnemonic of the opcode.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// valid reports whether op decodes to a defined instruction.
+func (op Opcode) valid() bool {
+	return op >= OpNop && op < opMax
+}
+
+// isBranch reports whether op is a conditional branch.
+func (op Opcode) isBranch() bool {
+	switch op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle:
+		return true
+	default:
+		return false
+	}
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op       Opcode
+	Rd       int    // destination register (source for ST)
+	Rs1, Rs2 int    // source registers
+	Imm      uint16 // raw immediate; sign-extend as needed
+}
+
+// Encode packs the instruction into its 32-bit representation.
+func (in Instr) Encode() uint32 {
+	w := uint32(in.Op)<<24 | uint32(in.Rd&0xF)<<20 | uint32(in.Rs1&0xF)<<16
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpCmp, OpFadd, OpFsub, OpFmul, OpFdiv, OpFcmp,
+		OpFaddd, OpFsubd, OpFmuld, OpFdivd, OpFcmpd:
+		w |= uint32(in.Rs2&0xF) << 12
+	default:
+		w |= uint32(in.Imm)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. It returns an error for an
+// undefined opcode (the INSTRUCTION ERROR condition).
+func Decode(w uint32) (Instr, error) {
+	op := Opcode(w >> 24)
+	if !op.valid() {
+		return Instr{}, fmt.Errorf("cpu: illegal opcode %#x", w>>24)
+	}
+	in := Instr{
+		Op:  op,
+		Rd:  int(w >> 20 & 0xF),
+		Rs1: int(w >> 16 & 0xF),
+	}
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpCmp, OpFadd, OpFsub, OpFmul, OpFdiv, OpFcmp,
+		OpFaddd, OpFsubd, OpFmuld, OpFdivd, OpFcmpd:
+		in.Rs2 = int(w >> 12 & 0xF)
+	default:
+		in.Imm = uint16(w)
+	}
+	return in, nil
+}
+
+// signExt sign-extends a 16-bit immediate to 32 bits.
+func signExt(imm uint16) uint32 {
+	return uint32(int32(int16(imm)))
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpRet, OpSig, OpFail:
+		return in.Op.String()
+	case OpMovi, OpMovu:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, int16(in.Imm))
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpFadd, OpFsub, OpFmul, OpFdiv,
+		OpFaddd, OpFsubd, OpFmuld, OpFdivd:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpCmp, OpFcmp, OpFcmpd:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rs1, in.Rs2)
+	case OpAddi, OpOri:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, int16(in.Imm))
+	case OpLd:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, int16(in.Imm), in.Rs1)
+	case OpSt:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, int16(in.Imm), in.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle, OpJmp, OpCall:
+		return fmt.Sprintf("%s %#x", in.Op, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}

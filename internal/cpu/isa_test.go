@@ -1,0 +1,128 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Instr{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMovi, Rd: 3, Imm: 0x1234},
+		{Op: OpMovu, Rd: 15, Imm: 0xFFFF},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSub, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm: 0x8000},
+		{Op: OpLd, Rd: 6, Rs1: 10, Imm: 12},
+		{Op: OpSt, Rd: 7, Rs1: 10, Imm: 8},
+		{Op: OpCmp, Rs1: 1, Rs2: 2},
+		{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpFcmp, Rs1: 4, Rs2: 5},
+		{Op: OpBeq, Imm: 0x100},
+		{Op: OpJmp, Imm: 0xFFC},
+		{Op: OpCall, Imm: 0x20},
+		{Op: OpRet},
+		{Op: OpSig},
+		{Op: OpFail},
+	}
+	for _, in := range tests {
+		t.Run(in.String(), func(t *testing.T) {
+			got, err := Decode(in.Encode())
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got != in {
+				t.Errorf("round trip: got %+v, want %+v", got, in)
+			}
+		})
+	}
+}
+
+func TestDecodeIllegalOpcode(t *testing.T) {
+	if _, err := Decode(0xFF000000); err == nil {
+		t.Error("expected error for illegal opcode")
+	}
+	if _, err := Decode(0); err == nil {
+		t.Error("expected error for zero opcode")
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		_, _ = Decode(w)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpFmul.String() != "FMUL" {
+		t.Errorf("OpFmul.String() = %q", OpFmul.String())
+	}
+	if !strings.Contains(Opcode(200).String(), "200") {
+		t.Errorf("unknown opcode string = %q", Opcode(200).String())
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpMovi, Rd: 3, Imm: 42}, "MOVI r3, 42"},
+		{Instr{Op: OpLd, Rd: 6, Rs1: 10, Imm: 12}, "LD r6, 12(r10)"},
+		{Instr{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}, "FADD r1, r2, r3"},
+		{Instr{Op: OpSig}, "SIG"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSignExt(t *testing.T) {
+	tests := []struct {
+		imm  uint16
+		want uint32
+	}{
+		{0, 0},
+		{1, 1},
+		{0x7FFF, 0x7FFF},
+		{0x8000, 0xFFFF8000},
+		{0xFFFF, 0xFFFFFFFF},
+	}
+	for _, tt := range tests {
+		if got := signExt(tt.imm); got != tt.want {
+			t.Errorf("signExt(%#x) = %#x, want %#x", tt.imm, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	tests := []struct {
+		addr uint32
+		want Segment
+	}{
+		{0x0000, SegCode},
+		{0x0FFC, SegCode},
+		{0x1000, SegData},
+		{0x1FFF, SegData},
+		{0x2000, SegIO},
+		{0x20FF, SegIO},
+		{0x2100, SegNone},
+		{0x3000, SegStack},
+		{0x3FFF, SegStack},
+		{0x4000, SegNone},
+		{0xFFFF0000, SegNone},
+	}
+	for _, tt := range tests {
+		if got := SegmentOf(tt.addr); got != tt.want {
+			t.Errorf("SegmentOf(%#x) = %v, want %v", tt.addr, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cpu
+
+// Memory map of the target system. Code is execute-only (data accesses
+// trap), data is cached read/write, the I/O window is uncached and
+// host-mapped, and the stack segment is guarded by the storage check.
+const (
+	CodeBase  uint32 = 0x0000
+	CodeSize  uint32 = 0x1000
+	DataBase  uint32 = 0x1000
+	DataSize  uint32 = 0x1000
+	IOBase    uint32 = 0x2000
+	IOSize    uint32 = 0x0100
+	StackBase uint32 = 0x3000
+	StackSize uint32 = 0x1000
+
+	// MemSize is the total backing-store size.
+	MemSize uint32 = 0x4000
+
+	// NullGuard: accesses below this address raise ACCESS CHECK
+	// (null-pointer dereference).
+	NullGuard uint32 = 4
+)
+
+// Segment classifies an address.
+type Segment int
+
+// Segment values.
+const (
+	SegNone Segment = iota
+	SegCode
+	SegData
+	SegIO
+	SegStack
+)
+
+// SegmentOf returns the segment containing addr, or SegNone.
+func SegmentOf(addr uint32) Segment {
+	switch {
+	case addr < CodeBase+CodeSize:
+		return SegCode
+	case addr >= DataBase && addr < DataBase+DataSize:
+		return SegData
+	case addr >= IOBase && addr < IOBase+IOSize:
+		return SegIO
+	case addr >= StackBase && addr < StackBase+StackSize:
+		return SegStack
+	default:
+		return SegNone
+	}
+}
+
+// Memory is the flat backing store behind the cache. It is not a fault
+// injection target: like Thor's parity-protected main memory, it is
+// assumed error-free (faults live in the CPU's cache and registers).
+type Memory struct {
+	words [MemSize / 4]uint32
+}
+
+// NewMemory returns zeroed memory.
+func NewMemory() *Memory {
+	return &Memory{}
+}
+
+// ReadWord returns the aligned word at addr. The caller must have
+// validated the address.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	return m.words[addr/4]
+}
+
+// WriteWord stores an aligned word at addr. The caller must have
+// validated the address.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	m.words[addr/4] = v
+}
+
+// Snapshot copies the memory contents for end-of-run state comparison.
+func (m *Memory) Snapshot() []uint32 {
+	out := make([]uint32, len(m.words))
+	copy(out, m.words[:])
+	return out
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyStepNeverPanicsOnRandomCode executes random instruction
+// words: whatever garbage the PC lands on, Step must either execute it
+// or trap — never panic. This is the robustness the fault-injection
+// campaigns rely on (corrupted PCs execute arbitrary code bytes).
+func TestPropertyStepNeverPanicsOnRandomCode(t *testing.T) {
+	f := func(words []uint32) bool {
+		if len(words) == 0 {
+			return true
+		}
+		if len(words) > 256 {
+			words = words[:256]
+		}
+		p := &Program{Code: words}
+		c := New(p, nil)
+		for i := 0; i < 2000; i++ {
+			if err := c.Step(); err != nil {
+				return true // trapped or halted: fine
+			}
+		}
+		return true // still running: fine too
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFlipNeverBreaksExecution flips arbitrary enumerated state
+// bits at arbitrary points of a small loop: execution must continue or
+// trap cleanly.
+func TestPropertyFlipNeverBreaksExecution(t *testing.T) {
+	prog := MustAssemble(`
+.code
+loop:   SIG
+        MOVI r1, 0x1000
+        LD   r2, @v(r1)
+        ADDI r2, r2, 1
+        ST   r2, @v(r1)
+        JMP  loop
+.data
+v:      .word 0
+`)
+	bits := StateBits()
+	f := func(bitIdx uint16, when uint8) bool {
+		c := New(prog, nil)
+		target := int(when % 100)
+		sb := bits[int(bitIdx)%len(bits)]
+		for i := 0; i < 200; i++ {
+			if i == target {
+				if err := c.FlipBit(sb); err != nil {
+					return false
+				}
+			}
+			if err := c.Step(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEncodeDecodeTotal: every decodable word re-encodes to a
+// word that decodes identically (the operand fields the instruction
+// uses round-trip).
+func TestPropertyEncodeDecodeTotal(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		in2, err := Decode(in.Encode())
+		if err != nil {
+			return false
+		}
+		return in == in2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

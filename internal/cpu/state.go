@@ -1,0 +1,173 @@
+package cpu
+
+import "fmt"
+
+// Region partitions the injectable state elements the way the paper's
+// Table 2 does: faults into the data cache versus faults into all other
+// parts of the CPU ("Registers").
+type Region string
+
+// Injection regions.
+const (
+	RegionCache     Region = "cache"
+	RegionRegisters Region = "registers"
+)
+
+// StateBit identifies one injectable bit of CPU state.
+type StateBit struct {
+	Region  Region
+	Element string // e.g. "r5", "pc", "line3.tag", "line2.data1"
+	Bit     uint   // bit position within the element
+}
+
+// String renders the bit as element[bit].
+func (b StateBit) String() string {
+	return fmt.Sprintf("%s/%s[%d]", b.Region, b.Element, b.Bit)
+}
+
+// StateBits enumerates every injectable state bit of the CPU, in a
+// stable order: first the register region (r1..r15, PC, the two
+// condition flags), then the cache region (per line: tag, valid, dirty,
+// data words). r0 is excluded because it is hardwired to zero.
+func StateBits() []StateBit {
+	var bits []StateBit
+	for r := 1; r < 16; r++ {
+		for b := uint(0); b < 32; b++ {
+			bits = append(bits, StateBit{RegionRegisters, fmt.Sprintf("r%d", r), b})
+		}
+	}
+	for b := uint(0); b < 32; b++ {
+		bits = append(bits, StateBit{RegionRegisters, "pc", b})
+	}
+	bits = append(bits,
+		StateBit{RegionRegisters, "flagZ", 0},
+		StateBit{RegionRegisters, "flagLT", 0},
+	)
+	for l := 0; l < CacheLines; l++ {
+		for b := uint(0); b < tagBits; b++ {
+			bits = append(bits, StateBit{RegionCache, fmt.Sprintf("line%d.tag", l), b})
+		}
+		bits = append(bits,
+			StateBit{RegionCache, fmt.Sprintf("line%d.valid", l), 0},
+			StateBit{RegionCache, fmt.Sprintf("line%d.dirty", l), 0},
+		)
+		for w := 0; w < cacheWords; w++ {
+			for b := uint(0); b < 32; b++ {
+				bits = append(bits, StateBit{RegionCache, fmt.Sprintf("line%d.data%d", l, w), b})
+			}
+		}
+	}
+	return bits
+}
+
+// FlipBit inverts the given state bit, the single-bit-flip fault model
+// of the paper (SCIFI: read the scan chain, invert the bit, write it
+// back).
+func (c *CPU) FlipBit(sb StateBit) error {
+	switch sb.Region {
+	case RegionRegisters:
+		return c.flipRegisterBit(sb)
+	case RegionCache:
+		return c.flipCacheBit(sb)
+	default:
+		return fmt.Errorf("cpu: unknown region %q", sb.Region)
+	}
+}
+
+func (c *CPU) flipRegisterBit(sb StateBit) error {
+	switch sb.Element {
+	case "pc":
+		c.PC ^= 1 << sb.Bit
+		return nil
+	case "flagZ":
+		c.FlagZ = !c.FlagZ
+		return nil
+	case "flagLT":
+		c.FlagLT = !c.FlagLT
+		return nil
+	}
+	var r int
+	if _, err := fmt.Sscanf(sb.Element, "r%d", &r); err != nil || r < 1 || r > 15 {
+		return fmt.Errorf("cpu: bad register element %q", sb.Element)
+	}
+	c.Regs[r] ^= 1 << sb.Bit
+	return nil
+}
+
+func (c *CPU) flipCacheBit(sb StateBit) error {
+	var l int
+	var field string
+	if _, err := fmt.Sscanf(sb.Element, "line%d.%s", &l, &field); err != nil || l < 0 || l >= CacheLines {
+		return fmt.Errorf("cpu: bad cache element %q", sb.Element)
+	}
+	line := &c.Cache.lines[l]
+	switch {
+	case field == "tag":
+		line.tag ^= 1 << sb.Bit
+	case field == "valid":
+		line.valid = !line.valid
+	case field == "dirty":
+		line.dirty = !line.dirty
+	default:
+		var w int
+		if _, err := fmt.Sscanf(field, "data%d", &w); err != nil || w < 0 || w >= cacheWords {
+			return fmt.Errorf("cpu: bad cache element %q", sb.Element)
+		}
+		line.data[w] ^= 1 << sb.Bit
+	}
+	return nil
+}
+
+// FinalState captures the architecturally visible end-of-run state for
+// the latent-versus-overwritten comparison of §4.1: registers, flags,
+// PC, and the effective memory contents (memory overlaid with dirty
+// cache lines). Traps during the overlay (corrupted tags) are folded
+// into the snapshot rather than raised, because the run is already
+// over.
+func (c *CPU) FinalState() []uint32 {
+	out := make([]uint32, 0, 16+2+int(MemSize/4))
+	for r := 1; r < 16; r++ {
+		out = append(out, c.Regs[r])
+	}
+	out = append(out, c.PC, boolWord(c.FlagZ)<<1|boolWord(c.FlagLT))
+
+	mem := c.Mem.Snapshot()
+	for idx := range c.Cache.lines {
+		line := &c.Cache.lines[idx]
+		if !line.valid || !line.dirty {
+			continue
+		}
+		base := lineBase(line.tag, idx)
+		if SegmentOf(base) != SegData {
+			// The corrupted line cannot be written back; record
+			// its contents at the end so the difference is still
+			// visible as state divergence.
+			out = append(out, line.data[:]...)
+			continue
+		}
+		for w := 0; w < cacheWords; w++ {
+			mem[(base+uint32(w*4))/4] = line.data[w]
+		}
+	}
+	return append(out, mem...)
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// StatesEqual compares two FinalState snapshots.
+func StatesEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

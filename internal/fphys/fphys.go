@@ -1,0 +1,67 @@
+// Package fphys provides small numeric helpers shared across the
+// repository: clamping, approximate comparison, and IEEE-754 bit
+// manipulation used by variable-level fault injection.
+package fphys
+
+import "math"
+
+// Clamp limits v to the closed interval [lo, hi].
+// It requires lo <= hi; if lo > hi the result is unspecified but finite.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Clamp32 limits v to the closed interval [lo, hi] in single precision.
+func Clamp32(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InRange reports whether v lies in the closed interval [lo, hi].
+// NaN is never in range.
+func InRange(v, lo, hi float64) bool {
+	return v >= lo && v <= hi
+}
+
+// AlmostEqual reports whether a and b differ by at most tol.
+// NaN values are never almost equal to anything.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// FlipBit64 returns f with bit i (0 = least significant) of its IEEE-754
+// double-precision representation inverted. This models a single-event
+// upset in a memory word holding f. Bits outside [0, 63] leave f
+// unchanged.
+func FlipBit64(f float64, i uint) float64 {
+	if i > 63 {
+		return f
+	}
+	return math.Float64frombits(math.Float64bits(f) ^ (1 << i))
+}
+
+// FlipBit32 returns f with bit i (0 = least significant) of its IEEE-754
+// single-precision representation inverted. Bits outside [0, 31] leave f
+// unchanged.
+func FlipBit32(f float32, i uint) float32 {
+	if i > 31 {
+		return f
+	}
+	return math.Float32frombits(math.Float32bits(f) ^ (1 << i))
+}
+
+// IsFiniteNumber reports whether f is neither NaN nor an infinity.
+func IsFiniteNumber(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -1,0 +1,170 @@
+package fphys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		name      string
+		v, lo, hi float64
+		want      float64
+	}{
+		{"below", -1, 0, 70, 0},
+		{"above", 71, 0, 70, 70},
+		{"inside", 35, 0, 70, 35},
+		{"at lower", 0, 0, 70, 0},
+		{"at upper", 70, 0, 70, 70},
+		{"negative range", -5, -10, -1, -5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+				t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClamp32(t *testing.T) {
+	if got := Clamp32(100, 0, 70); got != 70 {
+		t.Errorf("Clamp32(100, 0, 70) = %v, want 70", got)
+	}
+	if got := Clamp32(-3, 0, 70); got != 0 {
+		t.Errorf("Clamp32(-3, 0, 70) = %v, want 0", got)
+	}
+}
+
+func TestClampPropertyResultInRange(t *testing.T) {
+	f := func(v float64) bool {
+		got := Clamp(v, 0, 70)
+		return got >= 0 && got <= 70
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampPropertyIdempotent(t *testing.T) {
+	f := func(v float64) bool {
+		once := Clamp(v, -5, 5)
+		twice := Clamp(once, -5, 5)
+		return once == twice || (math.IsNaN(once) && math.IsNaN(twice))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInRange(t *testing.T) {
+	tests := []struct {
+		name      string
+		v, lo, hi float64
+		want      bool
+	}{
+		{"inside", 10, 0, 70, true},
+		{"at bounds lo", 0, 0, 70, true},
+		{"at bounds hi", 70, 0, 70, true},
+		{"below", -0.001, 0, 70, false},
+		{"above", 70.001, 0, 70, false},
+		{"nan", math.NaN(), 0, 70, false},
+		{"+inf", math.Inf(1), 0, 70, false},
+		{"-inf", math.Inf(-1), 0, 70, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := InRange(tt.v, tt.lo, tt.hi); got != tt.want {
+				t.Errorf("InRange(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.05, 0.1) {
+		t.Error("expected 1.0 ≈ 1.05 within 0.1")
+	}
+	if AlmostEqual(1.0, 1.2, 0.1) {
+		t.Error("expected 1.0 !≈ 1.2 within 0.1")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN must never be almost equal")
+	}
+}
+
+func TestFlipBit64RoundTrip(t *testing.T) {
+	f := func(v float64, bit uint8) bool {
+		i := uint(bit % 64)
+		flipped := FlipBit64(v, i)
+		back := FlipBit64(flipped, i)
+		return math.Float64bits(back) == math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBit64ChangesValue(t *testing.T) {
+	f := func(v float64, bit uint8) bool {
+		i := uint(bit % 64)
+		flipped := FlipBit64(v, i)
+		return math.Float64bits(flipped) != math.Float64bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBit64OutOfRange(t *testing.T) {
+	if got := FlipBit64(3.5, 64); got != 3.5 {
+		t.Errorf("FlipBit64 out-of-range bit changed value: %v", got)
+	}
+}
+
+func TestFlipBit64SignBit(t *testing.T) {
+	if got := FlipBit64(1.0, 63); got != -1.0 {
+		t.Errorf("flipping sign bit of 1.0 = %v, want -1.0", got)
+	}
+}
+
+func TestFlipBit32RoundTrip(t *testing.T) {
+	f := func(v float32, bit uint8) bool {
+		i := uint(bit % 32)
+		flipped := FlipBit32(v, i)
+		back := FlipBit32(flipped, i)
+		return math.Float32bits(back) == math.Float32bits(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBit32OutOfRange(t *testing.T) {
+	if got := FlipBit32(3.5, 32); got != 3.5 {
+		t.Errorf("FlipBit32 out-of-range bit changed value: %v", got)
+	}
+}
+
+func TestIsFiniteNumber(t *testing.T) {
+	tests := []struct {
+		name string
+		v    float64
+		want bool
+	}{
+		{"zero", 0, true},
+		{"regular", 12.5, true},
+		{"nan", math.NaN(), false},
+		{"+inf", math.Inf(1), false},
+		{"-inf", math.Inf(-1), false},
+		{"max", math.MaxFloat64, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsFiniteNumber(tt.v); got != tt.want {
+				t.Errorf("IsFiniteNumber(%v) = %v, want %v", tt.v, got, tt.want)
+			}
+		})
+	}
+}

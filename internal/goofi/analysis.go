@@ -1,0 +1,197 @@
+package goofi
+
+import (
+	"fmt"
+	"strings"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/stats"
+)
+
+// Outcome category labels used in the analysis counters. Detected
+// errors are keyed "detected:<MECHANISM>".
+const (
+	catLatent        = "latent"
+	catOverwritten   = "overwritten"
+	catPermanent     = "uwr-permanent"
+	catSemiPermanent = "uwr-semi-permanent"
+	catTransient     = "uwr-transient"
+	catInsignificant = "uwr-insignificant"
+	detectedPrefix   = "detected:"
+)
+
+// Analysis aggregates a campaign's records per injection region, the
+// way Tables 2 and 3 of the paper are organised.
+type Analysis struct {
+	Variant string
+	Cache   *stats.Counter
+	Regs    *stats.Counter
+	Total   *stats.Counter
+}
+
+// Analyze tallies the records of a campaign.
+func Analyze(recs []Record) *Analysis {
+	a := &Analysis{
+		Cache: stats.NewCounter(),
+		Regs:  stats.NewCounter(),
+		Total: stats.NewCounter(),
+	}
+	for _, r := range recs {
+		if a.Variant == "" {
+			a.Variant = r.Variant
+		}
+		cat := r.Outcome
+		if r.Outcome == classify.Detected.String() {
+			cat = detectedPrefix + r.Mechanism
+		}
+		switch cpu.Region(r.Region) {
+		case cpu.RegionCache:
+			a.Cache.Add(cat)
+		case cpu.RegionRegisters:
+			a.Regs.Add(cat)
+		}
+		a.Total.Add(cat)
+	}
+	return a
+}
+
+// detectedCategories returns every "detected:<mech>" category for
+// Table 1's mechanism rows.
+func detectedCategories() []string {
+	mechs := cpu.Mechanisms()
+	out := make([]string, len(mechs))
+	for i, m := range mechs {
+		out[i] = detectedPrefix + string(m)
+	}
+	return out
+}
+
+// severeCategories and minorCategories group the value failures.
+func severeCategories() []string {
+	return []string{catPermanent, catSemiPermanent}
+}
+
+func minorCategories() []string {
+	return []string{catTransient, catInsignificant}
+}
+
+func valueFailureCategories() []string {
+	return append(severeCategories(), minorCategories()...)
+}
+
+// DetectedProportion returns the share of experiments detected by any
+// EDM in counter c.
+func DetectedProportion(c *stats.Counter) stats.Proportion {
+	return c.SumProportion(detectedCategories()...)
+}
+
+// NonEffectiveProportion returns the share of latent plus overwritten
+// errors.
+func NonEffectiveProportion(c *stats.Counter) stats.Proportion {
+	return c.SumProportion(catLatent, catOverwritten)
+}
+
+// ValueFailureProportion returns the share of undetected wrong results
+// of any grade.
+func ValueFailureProportion(c *stats.Counter) stats.Proportion {
+	return c.SumProportion(valueFailureCategories()...)
+}
+
+// SevereProportion returns the share of severe undetected wrong
+// results.
+func SevereProportion(c *stats.Counter) stats.Proportion {
+	return c.SumProportion(severeCategories()...)
+}
+
+// RenderRegionTable renders the analysis in the layout of Tables 2/3 of
+// the paper: one column group per injection region plus the total.
+func (a *Analysis) RenderRegionTable(title string) string {
+	tbl := stats.NewTable(title,
+		"Type of Errors and Wrong Results", "Cache", "Registers", "Total")
+	cols := []*stats.Counter{a.Cache, a.Regs, a.Total}
+
+	row := func(label string, cats ...string) {
+		cells := make([]string, 0, 4)
+		cells = append(cells, label)
+		for _, c := range cols {
+			cells = append(cells, c.SumProportion(cats...).String())
+		}
+		tbl.AddRow(cells...)
+	}
+
+	row("Latent Errors", catLatent)
+	row("Overwritten Errors", catOverwritten)
+	row("Total (Non Effective Errors)", catLatent, catOverwritten)
+	tbl.AddSeparator()
+	for _, mech := range cpu.Mechanisms() {
+		row(string(mech), detectedPrefix+string(mech))
+	}
+	row("Total (Detected Errors)", detectedCategories()...)
+	tbl.AddSeparator()
+	row("Undetected Wrong Results (Severe)", severeCategories()...)
+	row("Undetected Wrong Results (Minor)", minorCategories()...)
+	detEff := append(detectedCategories(), valueFailureCategories()...)
+	row("Total (Effective Errors)", detEff...)
+	tbl.AddSeparator()
+	tbl.AddRow("Total (Faults Injected)",
+		fmt.Sprintf("%d", a.Cache.Total()),
+		fmt.Sprintf("%d", a.Regs.Total()),
+		fmt.Sprintf("%d", a.Total.Total()))
+	row("Total (Undetected Wrong Results)", valueFailureCategories()...)
+
+	// Coverage = 1 − P(undetected wrong result), as in the paper.
+	cover := make([]string, 0, 4)
+	cover = append(cover, "Coverage")
+	for _, c := range cols {
+		p := ValueFailureProportion(c)
+		inv := stats.Proportion{Count: p.N - p.Count, N: p.N}
+		cover = append(cover, inv.String())
+	}
+	tbl.AddRow(cover...)
+	return tbl.String()
+}
+
+// RenderComparisonTable renders Table 4 of the paper: Algorithm I
+// versus Algorithm II with value failures split by grade.
+func RenderComparisonTable(a1, a2 *Analysis) string {
+	tbl := stats.NewTable("Comparison of results (Table 4)",
+		"", fmt.Sprintf("Algorithm I (%s)", a1.Variant), fmt.Sprintf("Algorithm II (%s)", a2.Variant))
+
+	row := func(label string, cats ...string) {
+		tbl.AddRow(label,
+			a1.Total.SumProportion(cats...).String(),
+			a2.Total.SumProportion(cats...).String())
+	}
+	row("Total (Non Effective Errors)", catLatent, catOverwritten)
+	row("Total (Detected Errors)", detectedCategories()...)
+	tbl.AddSeparator()
+	row("Undetected Wrong Results (Permanent)", catPermanent)
+	row("Undetected Wrong Results (Semi-Permanent)", catSemiPermanent)
+	row("Undetected Wrong Results (Transient)", catTransient)
+	row("Undetected Wrong Results (Insignificant)", catInsignificant)
+	row("Total (Undetected Wrong Results)", valueFailureCategories()...)
+	tbl.AddSeparator()
+	detEff := append(detectedCategories(), valueFailureCategories()...)
+	row("Total (Effective Errors)", detEff...)
+	tbl.AddRow("Total (Faults Injected)",
+		fmt.Sprintf("%d", a1.Total.Total()),
+		fmt.Sprintf("%d", a2.Total.Total()))
+	return tbl.String()
+}
+
+// Summary returns the headline numbers of a campaign in the style of
+// the paper's abstract: the share of value failures that were severe.
+func (a *Analysis) Summary() string {
+	var b strings.Builder
+	vf := ValueFailureProportion(a.Total)
+	sev := SevereProportion(a.Total)
+	fmt.Fprintf(&b, "variant %s: %d faults injected\n", a.Variant, a.Total.Total())
+	fmt.Fprintf(&b, "  value failures: %s\n", vf)
+	fmt.Fprintf(&b, "  severe value failures: %s\n", sev)
+	if vf.Count > 0 {
+		share := stats.Proportion{Count: sev.Count, N: vf.Count}
+		fmt.Fprintf(&b, "  severe share of value failures: %s\n", share)
+	}
+	return b.String()
+}

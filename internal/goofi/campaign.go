@@ -1,0 +1,165 @@
+// Package goofi reimplements the campaign structure of the paper's
+// GOOFI tool (Generic Object-Oriented Fault Injection): configuration,
+// set-up, a reference (golden) execution, a fault-injection phase of
+// independent experiments, result logging, and an analysis phase that
+// reproduces the paper's tables.
+package goofi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/inject"
+	"ctrlguard/internal/workload"
+)
+
+// Config describes one fault-injection campaign.
+type Config struct {
+	// Variant selects the workload program (Algorithm I, II or an
+	// ablation variant).
+	Variant workload.Variant
+
+	// Experiments is the number of faults to inject.
+	Experiments int
+
+	// Seed makes the campaign reproducible.
+	Seed uint64
+
+	// Spec configures each run; the zero value means the paper's
+	// 650-iteration engine workload.
+	Spec workload.RunSpec
+
+	// Workers bounds the number of parallel experiments
+	// (0 = GOMAXPROCS).
+	Workers int
+
+	// Classify holds the failure-classification thresholds; the zero
+	// value means the paper's defaults.
+	Classify classify.Config
+
+	// Progress, if non-nil, is called after each completed experiment
+	// with the number done so far.
+	Progress func(done, total int)
+}
+
+// Record is the logged result of a single fault-injection experiment —
+// one row of the campaign database.
+type Record struct {
+	ID        int     `json:"id"`
+	Variant   string  `json:"variant"`
+	Region    string  `json:"region"`
+	Element   string  `json:"element"`
+	Bit       uint    `json:"bit"`
+	At        uint64  `json:"at"`
+	Outcome   string  `json:"outcome"`
+	Mechanism string  `json:"mechanism,omitempty"`
+	FirstDev  int     `json:"firstDeviation"`
+	StrongIts int     `json:"strongIterations"`
+	MaxDev    float64 `json:"maxDeviation"`
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Config  Config
+	Golden  *workload.Outcome
+	Records []Record
+}
+
+// Run executes a campaign: golden run, then Experiments independent
+// fault injections with uniform (location, time) sampling, classified
+// against the golden outputs.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Experiments <= 0 {
+		return nil, fmt.Errorf("goofi: campaign needs a positive experiment count, got %d", cfg.Experiments)
+	}
+	if cfg.Spec.Iterations == 0 {
+		cfg.Spec = workload.SpecFor(cfg.Variant)
+	}
+	if cfg.Classify == (classify.Config{}) {
+		cfg.Classify = classify.DefaultConfig()
+	}
+	prog := workload.Program(cfg.Variant)
+
+	golden := workload.Run(prog, cfg.Spec)
+	if golden.Detected() {
+		return nil, fmt.Errorf("goofi: reference execution trapped: %v", golden.Trap)
+	}
+
+	// Set-up phase: pre-draw every experiment's fault so the campaign
+	// is deterministic regardless of worker scheduling.
+	sampler := inject.NewSampler(cfg.Seed, golden.Instructions)
+	injections := make([]workload.Injection, cfg.Experiments)
+	for i := range injections {
+		injections[i] = sampler.Next()
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Experiments {
+		workers = cfg.Experiments
+	}
+
+	records := make([]Record, cfg.Experiments)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				records[i] = runExperiment(prog, cfg, golden, i, injections[i])
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					cfg.Progress(done, cfg.Experiments)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Experiments; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	return &Result{Config: cfg, Golden: golden, Records: records}, nil
+}
+
+// runExperiment performs one fault injection and classifies it.
+func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, id int, inj workload.Injection) Record {
+	spec := cfg.Spec
+	spec.Injection = &inj
+	out := workload.Run(prog, spec)
+
+	rec := Record{
+		ID:      id,
+		Variant: string(cfg.Variant),
+		Region:  string(inj.Bit.Region),
+		Element: inj.Bit.Element,
+		Bit:     inj.Bit.Bit,
+		At:      inj.At,
+	}
+	var verdict classify.Verdict
+	if out.Detected() {
+		verdict = classify.DetectedVerdict(string(out.Trap.Mech))
+	} else {
+		stateDiffers := !cpu.StatesEqual(golden.FinalState, out.FinalState)
+		verdict = classify.RunMulti(golden.MultiOutputs, out.MultiOutputs, stateDiffers, cfg.Classify)
+	}
+	rec.Outcome = verdict.Outcome.String()
+	rec.Mechanism = verdict.Mechanism
+	rec.FirstDev = verdict.FirstDeviation
+	rec.StrongIts = verdict.StrongIterations
+	rec.MaxDev = verdict.MaxDeviation
+	return rec
+}

@@ -1,0 +1,192 @@
+package goofi
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/workload"
+)
+
+// Propagation is the result of a detail-mode experiment (GOOFI's
+// execution-trace mode, §3.3.3 of the paper): it describes how a single
+// injected bit-flip spread through the machine, instruction by
+// instruction, compared against the reference execution.
+type Propagation struct {
+	// Injection echoes the injected fault.
+	Injection workload.Injection
+
+	// InjectionIteration is the control iteration during which the
+	// fault was injected.
+	InjectionIteration int
+
+	// Detected is non-empty when an EDM terminated the faulty run,
+	// and names the mechanism.
+	Detected string
+
+	// RegisterDivergence counts instructions at which the register
+	// file (incl. PC and flags) differed from the reference run.
+	RegisterDivergence uint64
+
+	// CacheDivergence counts instructions at which the cache state
+	// differed from the reference run.
+	CacheDivergence uint64
+
+	// FirstControlFlowDivergence is the instruction index at which
+	// the PC first differed (the error changed the execution path),
+	// or 0 when control flow never diverged.
+	FirstControlFlowDivergence uint64
+
+	// FirstOutputDivergence is the first control iteration whose
+	// output differed from the reference, or -1.
+	FirstOutputDivergence int
+
+	// VanishedAt is the instruction index after which the machine
+	// state never differed from the reference again (the error was
+	// overwritten); 0 when the divergence persisted to the end of the
+	// run or the run trapped.
+	VanishedAt uint64
+
+	// Outcome is the ordinary classification of the run.
+	Outcome classify.Outcome
+
+	// Instructions is the length of the compared instruction stream.
+	Instructions uint64
+}
+
+// Reach summarises how far the error travelled.
+func (p *Propagation) Reach() string {
+	switch {
+	case p.Detected != "":
+		return "detected: " + p.Detected
+	case p.FirstOutputDivergence >= 0:
+		return "reached the controller output"
+	case p.RegisterDivergence == 0 && p.CacheDivergence == 0:
+		return "no architectural effect"
+	case p.VanishedAt > 0:
+		return "overwritten before any effect"
+	default:
+		return "latent in the architectural state"
+	}
+}
+
+// String renders a one-line report.
+func (p *Propagation) String() string {
+	return fmt.Sprintf(
+		"inject %s at instr %d (iteration %d): %s; reg-divergent %d instrs, cache-divergent %d instrs, outcome %s",
+		p.Injection.Bit, p.Injection.At, p.InjectionIteration, p.Reach(),
+		p.RegisterDivergence, p.CacheDivergence, p.Outcome)
+}
+
+// stateTrace records per-instruction signatures of one run.
+type stateTrace struct {
+	regHash   []uint64
+	cacheHash []uint64
+	pc        []uint32
+}
+
+func traceRun(prog *cpu.Program, spec workload.RunSpec) (*workload.Outcome, *stateTrace) {
+	tr := &stateTrace{}
+	spec.Observer = func(_ int, _ uint64, vm *cpu.CPU) {
+		tr.regHash = append(tr.regHash, vm.RegisterHash())
+		tr.cacheHash = append(tr.cacheHash, vm.CacheHash())
+		tr.pc = append(tr.pc, vm.PC)
+	}
+	out := workload.Run(prog, spec)
+	return out, tr
+}
+
+// TracePropagation runs one experiment in detail mode: a reference
+// execution and a faulty execution are traced instruction by
+// instruction and compared. This is far slower than a normal campaign
+// experiment and meant for analysing individual faults.
+//
+// The comparison aligns the two runs by global instruction index. A
+// fault that changes the instruction stream's length without changing
+// behaviour (for example, a poll-flag corruption that ends the idle
+// loop a few spins early) therefore shows as divergent to the end of
+// the run even though the outputs and final state match; the Outcome
+// field, which compares outputs and final state, remains authoritative.
+func TracePropagation(variant workload.Variant, spec workload.RunSpec, inj workload.Injection) (*Propagation, error) {
+	if spec.Iterations == 0 {
+		spec = workload.PaperRunSpec()
+	}
+	prog := workload.Program(variant)
+
+	goldenSpec := spec
+	goldenSpec.Injection = nil
+	golden, goldenTrace := traceRun(prog, goldenSpec)
+	if golden.Detected() {
+		return nil, fmt.Errorf("goofi: reference execution trapped: %v", golden.Trap)
+	}
+
+	faultySpec := spec
+	faultySpec.Injection = &inj
+	faulty, faultyTrace := traceRun(prog, faultySpec)
+
+	p := &Propagation{
+		Injection:             inj,
+		FirstOutputDivergence: -1,
+	}
+	// Locate the injection iteration from the golden iteration map.
+	for k, start := range golden.IterationStarts {
+		if inj.At >= start {
+			p.InjectionIteration = k
+		}
+	}
+
+	n := len(goldenTrace.regHash)
+	if len(faultyTrace.regHash) < n {
+		n = len(faultyTrace.regHash)
+	}
+	p.Instructions = uint64(n)
+	lastDiverged := uint64(0)
+	for i := 0; i < n; i++ {
+		regDiff := goldenTrace.regHash[i] != faultyTrace.regHash[i]
+		cacheDiff := goldenTrace.cacheHash[i] != faultyTrace.cacheHash[i]
+		if regDiff {
+			p.RegisterDivergence++
+		}
+		if cacheDiff {
+			p.CacheDivergence++
+		}
+		if regDiff || cacheDiff {
+			lastDiverged = uint64(i)
+		}
+		if p.FirstControlFlowDivergence == 0 && goldenTrace.pc[i] != faultyTrace.pc[i] {
+			p.FirstControlFlowDivergence = uint64(i)
+		}
+	}
+
+	if faulty.Detected() {
+		p.Detected = string(faulty.Trap.Mech)
+		p.Outcome = classify.Detected
+		return p, nil
+	}
+
+	if lastDiverged+1 < uint64(n) && (p.RegisterDivergence > 0 || p.CacheDivergence > 0) {
+		p.VanishedAt = lastDiverged + 1
+	}
+
+	verdict := classify.RunMulti(golden.MultiOutputs, faulty.MultiOutputs,
+		!cpu.StatesEqual(golden.FinalState, faulty.FinalState), classify.DefaultConfig())
+	p.Outcome = verdict.Outcome
+	p.FirstOutputDivergence = verdict.FirstDeviation
+	// Insignificant failures deviate below the strong threshold; find
+	// the first raw difference on any output for them.
+	if p.FirstOutputDivergence < 0 {
+	scan:
+		for j := range golden.MultiOutputs {
+			if j >= len(faulty.MultiOutputs) {
+				break
+			}
+			for k := range faulty.MultiOutputs[j] {
+				if k < len(golden.MultiOutputs[j]) && faulty.MultiOutputs[j][k] != golden.MultiOutputs[j][k] {
+					p.FirstOutputDivergence = k
+					break scan
+				}
+			}
+		}
+	}
+	return p, nil
+}

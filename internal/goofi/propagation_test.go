@@ -1,0 +1,138 @@
+package goofi
+
+import (
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/workload"
+)
+
+// shortSpec keeps detail-mode tests fast: 60 iterations instead of 650.
+func shortSpec() workload.RunSpec {
+	spec := workload.PaperRunSpec()
+	spec.Iterations = 60
+	return spec
+}
+
+func goldenShort(t *testing.T) *workload.Outcome {
+	t.Helper()
+	out := workload.Run(workload.Program(workload.AlgorithmI), shortSpec())
+	if out.Detected() {
+		t.Fatalf("golden run trapped: %v", out.Trap)
+	}
+	return out
+}
+
+func TestPropagationStateFlipReachesOutput(t *testing.T) {
+	golden := goldenShort(t)
+	inj := workload.Injection{
+		At:  golden.IterationStarts[30] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: 21},
+	}
+	p, err := TracePropagation(workload.AlgorithmI, shortSpec(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FirstOutputDivergence < 0 {
+		t.Error("state corruption should reach the output")
+	}
+	if p.CacheDivergence == 0 {
+		t.Error("cache state should diverge")
+	}
+	if p.InjectionIteration != 30 {
+		t.Errorf("injection iteration = %d, want 30", p.InjectionIteration)
+	}
+	if !strings.Contains(p.Reach(), "output") {
+		t.Errorf("Reach() = %q", p.Reach())
+	}
+	if !strings.Contains(p.String(), "line0.data0") {
+		t.Errorf("String() missing element: %s", p.String())
+	}
+}
+
+func TestPropagationDeadRegisterFlipVanishes(t *testing.T) {
+	golden := goldenShort(t)
+	// r8 holds Kp and then u during the compute phase; a flip landing
+	// in the idle phase hits a dead value that the next FMOVD rewrites.
+	inj := workload.Injection{
+		At:  golden.IterationStarts[30] + 10, // inside the poll loop
+		Bit: cpu.StateBit{Region: cpu.RegionRegisters, Element: "r8", Bit: 7},
+	}
+	p, err := TracePropagation(workload.AlgorithmI, shortSpec(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Detected != "" {
+		t.Skipf("flip detected by %s; pick of timing hit a live window", p.Detected)
+	}
+	if p.FirstOutputDivergence >= 0 {
+		t.Errorf("dead register flip reached the output: %+v", p)
+	}
+	if p.RegisterDivergence == 0 {
+		t.Error("register state should diverge at least briefly")
+	}
+	if p.VanishedAt == 0 {
+		t.Error("divergence should vanish once the register is rewritten")
+	}
+}
+
+func TestPropagationPCFlipDetected(t *testing.T) {
+	golden := goldenShort(t)
+	inj := workload.Injection{
+		At:  golden.IterationStarts[30] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionRegisters, Element: "pc", Bit: 14},
+	}
+	p, err := TracePropagation(workload.AlgorithmI, shortSpec(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Detected == "" {
+		t.Fatalf("PC corruption not detected: %+v", p)
+	}
+	if p.Outcome != classify.Detected {
+		t.Errorf("outcome = %v, want detected", p.Outcome)
+	}
+	if !strings.Contains(p.Reach(), "detected") {
+		t.Errorf("Reach() = %q", p.Reach())
+	}
+}
+
+func TestPropagationLatentFlip(t *testing.T) {
+	golden := goldenShort(t)
+	// r14 is the stack pointer: never touched by the workload, so the
+	// flip persists to the end of the run without any effect.
+	inj := workload.Injection{
+		At:  golden.IterationStarts[30] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionRegisters, Element: "r14", Bit: 3},
+	}
+	p, err := TracePropagation(workload.AlgorithmI, shortSpec(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Outcome != classify.Latent {
+		t.Errorf("outcome = %v, want latent", p.Outcome)
+	}
+	if p.VanishedAt != 0 {
+		t.Errorf("latent divergence should persist, vanished at %d", p.VanishedAt)
+	}
+	if !strings.Contains(p.Reach(), "latent") {
+		t.Errorf("Reach() = %q", p.Reach())
+	}
+}
+
+func TestPropagationDefaultsSpec(t *testing.T) {
+	// A zero RunSpec must default to the paper run without panicking.
+	inj := workload.Injection{
+		At:  50,
+		Bit: cpu.StateBit{Region: cpu.RegionRegisters, Element: "r14", Bit: 0},
+	}
+	p, err := TracePropagation(workload.AlgorithmI, workload.RunSpec{}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions == 0 {
+		t.Error("no instructions compared")
+	}
+}

@@ -1,0 +1,169 @@
+package goofi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/stats"
+)
+
+// The paper's analysis phase is ad-hoc queries against the campaign
+// database (§3.3.4: "The user must write tailor made scripts or
+// programs that query the database"). Query provides that layer over a
+// record set: chainable filters plus the aggregations the paper's
+// detailed investigations used (which elements caused the severe
+// failures, when were faults injected, how large were the deviations).
+
+// Query is an immutable view over a set of records.
+type Query struct {
+	recs []Record
+}
+
+// NewQuery wraps records; the slice is not copied, so callers must not
+// mutate it while querying.
+func NewQuery(recs []Record) Query {
+	return Query{recs: recs}
+}
+
+// Len returns the number of records in the view.
+func (q Query) Len() int {
+	return len(q.recs)
+}
+
+// Records returns a copy of the current view.
+func (q Query) Records() []Record {
+	return append([]Record(nil), q.recs...)
+}
+
+// Where keeps the records matching pred.
+func (q Query) Where(pred func(Record) bool) Query {
+	var out []Record
+	for _, r := range q.recs {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return Query{recs: out}
+}
+
+// ByRegion keeps records from one injection region.
+func (q Query) ByRegion(region string) Query {
+	return q.Where(func(r Record) bool { return r.Region == region })
+}
+
+// ByElement keeps records injected into one state element.
+func (q Query) ByElement(element string) Query {
+	return q.Where(func(r Record) bool { return r.Element == element })
+}
+
+// ByOutcome keeps records with the given outcome label.
+func (q Query) ByOutcome(outcome classify.Outcome) Query {
+	return q.Where(func(r Record) bool { return r.Outcome == outcome.String() })
+}
+
+// Severe keeps the severe value failures.
+func (q Query) Severe() Query {
+	return q.Where(func(r Record) bool {
+		return r.Outcome == classify.Permanent.String() ||
+			r.Outcome == classify.SemiPermanent.String()
+	})
+}
+
+// ValueFailures keeps all undetected wrong results.
+func (q Query) ValueFailures() Query {
+	return q.Where(func(r Record) bool {
+		return strings.HasPrefix(r.Outcome, "uwr-")
+	})
+}
+
+// Detected keeps the detected errors, optionally limited to one
+// mechanism ("" = any).
+func (q Query) Detected(mechanism string) Query {
+	return q.Where(func(r Record) bool {
+		if r.Outcome != classify.Detected.String() {
+			return false
+		}
+		return mechanism == "" || r.Mechanism == mechanism
+	})
+}
+
+// ElementCount is one row of a per-element tally.
+type ElementCount struct {
+	Element string
+	Count   int
+}
+
+// TopElements returns the k elements with the most records in the
+// view, descending (ties broken by name for determinism). k ≤ 0 means
+// all.
+func (q Query) TopElements(k int) []ElementCount {
+	counts := make(map[string]int)
+	for _, r := range q.recs {
+		counts[r.Element]++
+	}
+	out := make([]ElementCount, 0, len(counts))
+	for e, c := range counts {
+		out = append(out, ElementCount{Element: e, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Element < out[j].Element
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Proportion returns the view's share of a base population of n
+// experiments.
+func (q Query) Proportion(n int) stats.Proportion {
+	return stats.Proportion{Count: len(q.recs), N: n}
+}
+
+// MaxDeviationStats returns the min/mean/max of the records' maximum
+// output deviations.
+func (q Query) MaxDeviationStats() (min, mean, max float64) {
+	if len(q.recs) == 0 {
+		return 0, 0, 0
+	}
+	min = q.recs[0].MaxDev
+	max = q.recs[0].MaxDev
+	sum := 0.0
+	for _, r := range q.recs {
+		if r.MaxDev < min {
+			min = r.MaxDev
+		}
+		if r.MaxDev > max {
+			max = r.MaxDev
+		}
+		sum += r.MaxDev
+	}
+	return min, sum / float64(len(q.recs)), max
+}
+
+// Report renders a short investigation summary in the style of the
+// paper's "detailed investigation" paragraphs: which elements the
+// view's records were injected into and how they were classified.
+func (q Query) Report(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d records\n", title, len(q.recs))
+	outcomes := stats.NewCounter()
+	for _, r := range q.recs {
+		outcomes.Add(r.Outcome)
+	}
+	for _, cat := range outcomes.Categories() {
+		fmt.Fprintf(&b, "  %-22s %d\n", cat, outcomes.Count(cat))
+	}
+	if top := q.TopElements(5); len(top) > 0 {
+		b.WriteString("  top elements:\n")
+		for _, ec := range top {
+			fmt.Fprintf(&b, "    %-16s %d\n", ec.Element, ec.Count)
+		}
+	}
+	return b.String()
+}

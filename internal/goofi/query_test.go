@@ -1,0 +1,155 @@
+package goofi
+
+import (
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/classify"
+)
+
+func queryFixture() []Record {
+	return []Record{
+		{ID: 0, Region: "cache", Element: "line0.data0", Outcome: "uwr-permanent", MaxDev: 60},
+		{ID: 1, Region: "cache", Element: "line0.data0", Outcome: "uwr-semi-permanent", MaxDev: 20},
+		{ID: 2, Region: "cache", Element: "line0.data1", Outcome: "uwr-insignificant", MaxDev: 0.01},
+		{ID: 3, Region: "registers", Element: "pc", Outcome: "detected", Mechanism: "JUMP ERROR"},
+		{ID: 4, Region: "registers", Element: "r6", Outcome: "uwr-transient", MaxDev: 2},
+		{ID: 5, Region: "registers", Element: "r13", Outcome: "overwritten"},
+		{ID: 6, Region: "registers", Element: "pc", Outcome: "detected", Mechanism: "CONTROL FLOW ERROR"},
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	q := NewQuery(queryFixture())
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if got := q.ByRegion("cache").Len(); got != 3 {
+		t.Errorf("cache records = %d, want 3", got)
+	}
+	if got := q.ByElement("pc").Len(); got != 2 {
+		t.Errorf("pc records = %d, want 2", got)
+	}
+	if got := q.Severe().Len(); got != 2 {
+		t.Errorf("severe = %d, want 2", got)
+	}
+	if got := q.ValueFailures().Len(); got != 4 {
+		t.Errorf("value failures = %d, want 4", got)
+	}
+	if got := q.Detected("").Len(); got != 2 {
+		t.Errorf("detected = %d, want 2", got)
+	}
+	if got := q.Detected("JUMP ERROR").Len(); got != 1 {
+		t.Errorf("jump errors = %d, want 1", got)
+	}
+	if got := q.ByOutcome(classify.Overwritten).Len(); got != 1 {
+		t.Errorf("overwritten = %d, want 1", got)
+	}
+}
+
+func TestQueryChaining(t *testing.T) {
+	q := NewQuery(queryFixture())
+	got := q.ByRegion("cache").Severe().Len()
+	if got != 2 {
+		t.Errorf("cache severe = %d, want 2", got)
+	}
+	if q.ByRegion("registers").Severe().Len() != 0 {
+		t.Error("register severe should be empty")
+	}
+}
+
+func TestQueryTopElements(t *testing.T) {
+	q := NewQuery(queryFixture())
+	top := q.TopElements(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Element != "line0.data0" && top[0].Element != "pc" {
+		t.Errorf("unexpected top element %v", top[0])
+	}
+	if top[0].Count != 2 {
+		t.Errorf("top count = %d, want 2", top[0].Count)
+	}
+	all := q.TopElements(0)
+	if len(all) != 5 {
+		t.Errorf("all elements = %d, want 5", len(all))
+	}
+}
+
+func TestQueryTopElementsDeterministicTies(t *testing.T) {
+	q := NewQuery(queryFixture())
+	a := q.TopElements(0)
+	b := q.TopElements(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie order not deterministic")
+		}
+	}
+}
+
+func TestQueryProportion(t *testing.T) {
+	q := NewQuery(queryFixture())
+	p := q.Severe().Proportion(700)
+	if p.Count != 2 || p.N != 700 {
+		t.Errorf("proportion = %+v", p)
+	}
+}
+
+func TestQueryMaxDeviationStats(t *testing.T) {
+	q := NewQuery(queryFixture()).ValueFailures()
+	min, mean, max := q.MaxDeviationStats()
+	if min != 0.01 || max != 60 {
+		t.Errorf("min/max = %v/%v", min, max)
+	}
+	if mean <= min || mean >= max {
+		t.Errorf("mean = %v out of range", mean)
+	}
+}
+
+func TestQueryMaxDeviationStatsEmpty(t *testing.T) {
+	min, mean, max := NewQuery(nil).MaxDeviationStats()
+	if min != 0 || mean != 0 || max != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestQueryReport(t *testing.T) {
+	rep := NewQuery(queryFixture()).Report("all faults")
+	for _, want := range []string{"all faults: 7 records", "uwr-permanent", "top elements", "line0.data0"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestQueryRecordsCopies(t *testing.T) {
+	recs := queryFixture()
+	q := NewQuery(recs)
+	got := q.Records()
+	got[0].Outcome = "mutated"
+	if recs[0].Outcome == "mutated" {
+		t.Error("Records() must return a copy")
+	}
+}
+
+// TestQueryOnRealCampaign reproduces the paper's detailed
+// investigation: among Algorithm I's severe failures, the cache words
+// holding the state variable must rank first.
+func TestQueryOnRealCampaign(t *testing.T) {
+	res := pilot(t, "alg1", 400)
+	q := NewQuery(res.Records)
+	severe := q.Severe()
+	if severe.Len() == 0 {
+		t.Skip("no severe failures in this pilot slice")
+	}
+	top := severe.TopElements(3)
+	found := false
+	for _, ec := range top {
+		if strings.HasPrefix(ec.Element, "line0.data") || ec.Element == "r6" || ec.Element == "r7" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("severe failures not dominated by state-variable locations: %v", top)
+	}
+}

@@ -1,0 +1,118 @@
+package goofi
+
+import (
+	"fmt"
+	"io"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/stats"
+)
+
+// WriteMarkdownReport renders a campaign comparison as GitHub-flavoured
+// markdown in the structure of EXPERIMENTS.md, so documentation tables
+// can be regenerated mechanically from fresh campaigns:
+//
+//	go run ./cmd/goofi -compare -markdown > report.md
+func WriteMarkdownReport(w io.Writer, a1, a2 *Analysis) error {
+	md := &mdWriter{w: w}
+
+	md.printf("# Campaign report: %s vs %s\n\n", a1.Variant, a2.Variant)
+	md.printf("Faults injected: %d (%s), %d (%s).\n\n",
+		a1.Total.Total(), a1.Variant, a2.Total.Total(), a2.Variant)
+
+	md.printf("## Outcome distribution\n\n")
+	md.printf("| Outcome | %s | %s |\n|---|---|---|\n", a1.Variant, a2.Variant)
+	row := func(label string, cats ...string) {
+		md.printf("| %s | %s | %s |\n", label,
+			mdProp(a1.Total.SumProportion(cats...)),
+			mdProp(a2.Total.SumProportion(cats...)))
+	}
+	row("Non-effective errors", catLatent, catOverwritten)
+	row("Detected errors", detectedCategories()...)
+	row("Undetected wrong results (permanent)", catPermanent)
+	row("Undetected wrong results (semi-permanent)", catSemiPermanent)
+	row("Undetected wrong results (transient)", catTransient)
+	row("Undetected wrong results (insignificant)", catInsignificant)
+	row("Total undetected wrong results", valueFailureCategories()...)
+	row("Severe undetected wrong results", severeCategories()...)
+
+	md.printf("\n## Detection mechanisms\n\n")
+	md.printf("| Mechanism | %s | %s |\n|---|---|---|\n", a1.Variant, a2.Variant)
+	for _, mech := range cpu.Mechanisms() {
+		cat := detectedPrefix + string(mech)
+		if a1.Total.Count(cat) == 0 && a2.Total.Count(cat) == 0 {
+			continue
+		}
+		row(string(mech), cat)
+	}
+
+	md.printf("\n## Regional structure (%s)\n\n", a1.Variant)
+	md.printf("| Region | Faults | Value failures | Severe |\n|---|---|---|---|\n")
+	for _, rc := range []struct {
+		name string
+		c    *stats.Counter
+	}{{"cache", a1.Cache}, {"registers", a1.Regs}} {
+		md.printf("| %s | %d | %s | %s |\n", rc.name, rc.c.Total(),
+			mdProp(ValueFailureProportion(rc.c)), mdProp(SevereProportion(rc.c)))
+	}
+
+	md.printf("\n## Headline\n\n")
+	writeHeadline(md, a1)
+	writeHeadline(md, a2)
+	return md.err
+}
+
+func writeHeadline(md *mdWriter, a *Analysis) {
+	vf := ValueFailureProportion(a.Total)
+	sev := SevereProportion(a.Total)
+	md.printf("- **%s**: value failures %s; severe %s", a.Variant, mdProp(vf), mdProp(sev))
+	if vf.Count > 0 {
+		share := stats.Proportion{Count: sev.Count, N: vf.Count}
+		md.printf("; severe share of value failures %s", mdProp(share))
+	}
+	md.printf("\n")
+}
+
+// WriteInvestigation appends the severe-failure investigation of one
+// record set as markdown (which elements, what deviations), mirroring
+// the paper's "detailed investigation" narrative.
+func WriteInvestigation(w io.Writer, recs []Record) error {
+	md := &mdWriter{w: w}
+	q := NewQuery(recs)
+	severe := q.Severe()
+	md.printf("## Severe-failure investigation\n\n")
+	if severe.Len() == 0 {
+		md.printf("No severe value failures in %d records.\n", q.Len())
+		return md.err
+	}
+	md.printf("%d of %d records are severe. Injected elements:\n\n", severe.Len(), q.Len())
+	md.printf("| Element | Severe count |\n|---|---|\n")
+	for _, ec := range severe.TopElements(10) {
+		md.printf("| %s | %d |\n", ec.Element, ec.Count)
+	}
+	min, mean, max := severe.MaxDeviationStats()
+	md.printf("\nOutput deviations of the severe failures: min %.2f, mean %.2f, max %.2f degrees.\n",
+		min, mean, max)
+	perm := q.ByOutcome(classify.Permanent)
+	md.printf("Permanent failures: %d.\n", perm.Len())
+	return md.err
+}
+
+func mdProp(p stats.Proportion) string {
+	return fmt.Sprintf("%.2f%% ± %.2f%% (%d)", p.P()*100, p.CI95()*100, p.Count)
+}
+
+// mdWriter accumulates the first write error, keeping the rendering
+// code linear.
+type mdWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (m *mdWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}

@@ -1,0 +1,84 @@
+package goofi
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdownReport(t *testing.T) {
+	a1 := Analyze([]Record{
+		{Variant: "alg1", Region: "cache", Outcome: "uwr-permanent", MaxDev: 60},
+		{Variant: "alg1", Region: "cache", Outcome: "overwritten"},
+		{Variant: "alg1", Region: "registers", Outcome: "detected", Mechanism: "JUMP ERROR"},
+	})
+	a2 := Analyze([]Record{
+		{Variant: "alg2", Region: "cache", Outcome: "uwr-insignificant", MaxDev: 0.01},
+		{Variant: "alg2", Region: "registers", Outcome: "latent"},
+	})
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Campaign report: alg1 vs alg2",
+		"| Outcome | alg1 | alg2 |",
+		"Undetected wrong results (permanent)",
+		"JUMP ERROR",
+		"## Regional structure",
+		"## Headline",
+		"severe share of value failures",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteInvestigation(t *testing.T) {
+	recs := []Record{
+		{Element: "line0.data0", Outcome: "uwr-permanent", MaxDev: 63},
+		{Element: "line0.data0", Outcome: "uwr-semi-permanent", MaxDev: 20},
+		{Element: "r13", Outcome: "overwritten"},
+	}
+	var buf bytes.Buffer
+	if err := WriteInvestigation(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 of 3", "line0.data0", "Permanent failures: 1", "max 63.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("investigation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteInvestigationNoSevere(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInvestigation(&buf, []Record{{Element: "r1", Outcome: "overwritten"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No severe value failures") {
+		t.Error("missing no-severe message")
+	}
+}
+
+// failingWriter errors after n bytes, to exercise error propagation.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteMarkdownReportPropagatesWriteError(t *testing.T) {
+	a := Analyze([]Record{{Variant: "alg1", Region: "cache", Outcome: "overwritten"}})
+	if err := WriteMarkdownReport(&failingWriter{n: 10}, a, a); err == nil {
+		t.Error("expected write error")
+	}
+}

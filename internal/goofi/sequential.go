@@ -1,0 +1,101 @@
+package goofi
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/stats"
+)
+
+// Sequential campaigns: instead of fixing the number of experiments in
+// advance (the paper used 9290 and 2372), run batches until the
+// quantity of interest is estimated to a target precision. The paper's
+// Algorithm II campaign, for example, is too small to bound the severe
+// rate tightly (0.17 % ± 0.17 %); a precision-driven campaign makes the
+// trade-off explicit.
+
+// Metric extracts the proportion of interest from a tally.
+type Metric func(*stats.Counter) stats.Proportion
+
+// PrecisionConfig configures a sequential campaign.
+type PrecisionConfig struct {
+	// Campaign is the base configuration; its Experiments field is
+	// ignored (batches are sized by BatchSize).
+	Campaign Config
+
+	// Metric is the proportion whose confidence interval drives
+	// termination (default: SevereProportion).
+	Metric Metric
+
+	// TargetHalfWidth stops the campaign once the metric's 95 %
+	// confidence half-width is at or below this value (e.g. 0.001 for
+	// ±0.1 percentage points).
+	TargetHalfWidth float64
+
+	// BatchSize is the number of experiments per batch (default 500).
+	BatchSize int
+
+	// MaxExperiments bounds the total effort (default 50000).
+	MaxExperiments int
+}
+
+// PrecisionResult is the outcome of a sequential campaign.
+type PrecisionResult struct {
+	Records     []Record
+	Estimate    stats.Proportion
+	HalfWidth   float64
+	Batches     int
+	Converged   bool // target reached before MaxExperiments
+	Experiments int
+}
+
+// RunUntilPrecision runs batches of experiments, extending the seed per
+// batch, until the metric's confidence half-width reaches the target or
+// the experiment budget is exhausted. Results are deterministic for a
+// given configuration.
+func RunUntilPrecision(cfg PrecisionConfig) (*PrecisionResult, error) {
+	if cfg.TargetHalfWidth <= 0 {
+		return nil, fmt.Errorf("goofi: TargetHalfWidth must be positive, got %v", cfg.TargetHalfWidth)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 500
+	}
+	if cfg.MaxExperiments <= 0 {
+		cfg.MaxExperiments = 50000
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		metric = SevereProportion
+	}
+
+	res := &PrecisionResult{}
+	counter := stats.NewCounter()
+	for res.Experiments < cfg.MaxExperiments {
+		batch := cfg.Campaign
+		batch.Experiments = cfg.BatchSize
+		if remaining := cfg.MaxExperiments - res.Experiments; batch.Experiments > remaining {
+			batch.Experiments = remaining
+		}
+		// A distinct seed per batch keeps samples independent while
+		// staying reproducible.
+		batch.Seed = cfg.Campaign.Seed + uint64(res.Batches)*1_000_003
+
+		out, err := Run(batch)
+		if err != nil {
+			return nil, err
+		}
+		res.Records = append(res.Records, out.Records...)
+		res.Batches++
+		res.Experiments += len(out.Records)
+
+		counter.Merge(Analyze(out.Records).Total)
+		res.Estimate = metric(counter)
+		res.HalfWidth = res.Estimate.CI95()
+		// A zero-count estimate has a degenerate normal CI; keep
+		// sampling until at least one observation or the budget ends.
+		if res.Estimate.Count > 0 && res.HalfWidth <= cfg.TargetHalfWidth {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package goofi
+
+import (
+	"testing"
+
+	"ctrlguard/internal/stats"
+	"ctrlguard/internal/workload"
+)
+
+func TestRunUntilPrecisionValidation(t *testing.T) {
+	if _, err := RunUntilPrecision(PrecisionConfig{}); err == nil {
+		t.Error("expected error for zero target")
+	}
+}
+
+func TestRunUntilPrecisionConverges(t *testing.T) {
+	// The value-failure rate (~5 %) is frequent enough to pin down
+	// with modest effort: half-width 2 percentage points needs a few
+	// hundred experiments.
+	res, err := RunUntilPrecision(PrecisionConfig{
+		Campaign:        Config{Variant: workload.AlgorithmI, Seed: 31},
+		Metric:          ValueFailureProportion,
+		TargetHalfWidth: 0.02,
+		BatchSize:       200,
+		MaxExperiments:  4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.HalfWidth > 0.02 {
+		t.Errorf("half-width %v above target", res.HalfWidth)
+	}
+	if res.Experiments != len(res.Records) {
+		t.Errorf("experiment count %d != records %d", res.Experiments, len(res.Records))
+	}
+	if res.Batches < 1 {
+		t.Error("no batches recorded")
+	}
+}
+
+func TestRunUntilPrecisionRespectsBudget(t *testing.T) {
+	// An absurdly tight target must stop at the budget, unconverged.
+	res, err := RunUntilPrecision(PrecisionConfig{
+		Campaign:        Config{Variant: workload.AlgorithmI, Seed: 31},
+		Metric:          SevereProportion,
+		TargetHalfWidth: 1e-9,
+		BatchSize:       150,
+		MaxExperiments:  300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("cannot converge to 1e-9 in 300 experiments")
+	}
+	if res.Experiments != 300 {
+		t.Errorf("experiments = %d, want the full budget 300", res.Experiments)
+	}
+}
+
+func TestRunUntilPrecisionDeterministic(t *testing.T) {
+	cfg := PrecisionConfig{
+		Campaign:        Config{Variant: workload.AlgorithmI, Seed: 5},
+		Metric:          ValueFailureProportion,
+		TargetHalfWidth: 0.05,
+		BatchSize:       100,
+		MaxExperiments:  800,
+	}
+	a, err := RunUntilPrecision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunUntilPrecision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Experiments != b.Experiments || a.Estimate != b.Estimate {
+		t.Errorf("sequential campaign not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunUntilPrecisionDefaultMetric(t *testing.T) {
+	res, err := RunUntilPrecision(PrecisionConfig{
+		Campaign:        Config{Variant: workload.AlgorithmI, Seed: 77},
+		TargetHalfWidth: 0.5, // trivially loose: one batch with ≥1 severe converges
+		BatchSize:       300,
+		MaxExperiments:  1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default metric is the severe proportion; the estimate must
+	// be consistent with re-analyzing the records.
+	want := SevereProportion(Analyze(res.Records).Total)
+	if res.Estimate != want {
+		t.Errorf("estimate %+v inconsistent with records %+v", res.Estimate, want)
+	}
+	var _ stats.Proportion = res.Estimate
+}

@@ -1,0 +1,63 @@
+package goofi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The original GOOFI logged every experiment to a SQL database; this
+// reproduction stores records as JSON lines, one experiment per line,
+// which is equally queryable and dependency-free.
+
+// WriteRecords streams records to w as JSON lines.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("goofi: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses JSON-lines records from r.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("goofi: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// SaveRecords writes records to path, creating or truncating it.
+func SaveRecords(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("goofi: create %s: %w", path, err)
+	}
+	if err := WriteRecords(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRecords reads records from path.
+func LoadRecords(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("goofi: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}

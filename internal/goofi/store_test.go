@@ -1,0 +1,101 @@
+package goofi
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{ID: 0, Variant: "alg1", Region: "cache", Element: "line0.data0", Bit: 27,
+			At: 12345, Outcome: "uwr-permanent", FirstDev: 300, StrongIts: 350, MaxDev: 60.1},
+		{ID: 1, Variant: "alg1", Region: "registers", Element: "pc", Bit: 14,
+			At: 99, Outcome: "detected", Mechanism: "JUMP ERROR", FirstDev: -1},
+		{ID: 2, Variant: "alg1", Region: "registers", Element: "r13", Bit: 5,
+			At: 20000, Outcome: "overwritten", FirstDev: -1},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriteRecordsIsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], `"mechanism":"JUMP ERROR"`) {
+		t.Errorf("line 1 missing mechanism: %s", lines[1])
+	}
+}
+
+func TestReadRecordsEmpty(t *testing.T) {
+	got, err := ReadRecords(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records from empty input", len(got))
+	}
+}
+
+func TestReadRecordsMalformed(t *testing.T) {
+	if _, err := ReadRecords(strings.NewReader("{not json")); err == nil {
+		t.Error("expected error for malformed input")
+	}
+}
+
+func TestSaveLoadRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	recs := sampleRecords()
+	if err := SaveRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadRecordsMissingFile(t *testing.T) {
+	if _, err := LoadRecords(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestSaveRecordsBadPath(t *testing.T) {
+	if err := SaveRecords(filepath.Join(t.TempDir(), "no", "dir", "x.jsonl"), nil); err == nil {
+		t.Error("expected error for unwritable path")
+	}
+}

@@ -1,0 +1,110 @@
+package goofi
+
+import (
+	"testing"
+
+	"ctrlguard/internal/workload"
+)
+
+func swifiPilot(t *testing.T) *Result {
+	t.Helper()
+	spec := workload.PaperRunSpec()
+	spec.Iterations = 120 // image faults show their nature quickly
+	res, err := RunSWIFI(Config{
+		Variant:     workload.AlgorithmI,
+		Experiments: 300,
+		Seed:        9,
+		Spec:        spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSWIFIRejectsZeroExperiments(t *testing.T) {
+	if _, err := RunSWIFI(Config{Variant: workload.AlgorithmI}); err == nil {
+		t.Error("expected error for zero experiments")
+	}
+}
+
+func TestSWIFIRecordsShape(t *testing.T) {
+	res := swifiPilot(t)
+	if len(res.Records) != 300 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	regions := map[string]int{}
+	for i, r := range res.Records {
+		if r.ID != i {
+			t.Errorf("record %d has ID %d", i, r.ID)
+		}
+		if r.At != 0 {
+			t.Errorf("SWIFI record %d has At = %d, want 0 (pre-runtime)", i, r.At)
+		}
+		regions[r.Region]++
+	}
+	if regions["image-code"] == 0 {
+		t.Error("no code-image faults sampled")
+	}
+	// The workload's code is far larger than its data, so code faults
+	// must dominate under uniform sampling.
+	if regions["image-code"] <= regions["image-data"] {
+		t.Errorf("regions = %v, expected code to dominate", regions)
+	}
+}
+
+func TestSWIFIDeterministic(t *testing.T) {
+	spec := workload.PaperRunSpec()
+	spec.Iterations = 30
+	run := func() []Record {
+		res, err := RunSWIFI(Config{
+			Variant: workload.AlgorithmI, Experiments: 40, Seed: 4, Spec: spec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Records
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestSWIFIDetectsMoreThanSCIFI(t *testing.T) {
+	// A permanent image fault is exercised on every iteration; the
+	// detected share must clearly exceed the transient campaign's.
+	res := swifiPilot(t)
+	a := AnalyzeSWIFI(res.Records)
+	det := DetectedProportion(a.Total)
+	if det.P() < 0.10 {
+		t.Errorf("SWIFI detected share = %v, expected well above the SCIFI ~4%%", det)
+	}
+	if a.Cache.Total()+a.Regs.Total() != a.Total.Total() {
+		t.Error("region split does not add up")
+	}
+}
+
+func TestSWIFISomeFaultsAreMasked(t *testing.T) {
+	// Bit flips in unreachable code or dead fields must stay
+	// non-effective even though they are permanent.
+	res := swifiPilot(t)
+	a := AnalyzeSWIFI(res.Records)
+	if NonEffectiveProportion(a.Total).Count == 0 {
+		t.Error("expected some masked image faults")
+	}
+}
+
+func TestSWIFIAnalysisRenders(t *testing.T) {
+	res := swifiPilot(t)
+	a := AnalyzeSWIFI(res.Records)
+	out := a.RenderRegionTable("SWIFI results")
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+	if a.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

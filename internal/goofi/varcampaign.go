@@ -1,0 +1,185 @@
+package goofi
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/inject"
+	"ctrlguard/internal/plant"
+	"ctrlguard/internal/stats"
+)
+
+// VarConfig configures a variable-level campaign: faults are IEEE-754
+// bit-flips applied directly to a Go controller's state vector at a
+// random control iteration, skipping the CPU simulation entirely. This
+// is the fast path for studying assertion and recovery designs on the
+// library itself — thousands of experiments per second — while the
+// SCIFI campaigns on the simulated CPU remain the faithful path.
+type VarConfig struct {
+	// Name labels the records (the Variant column).
+	Name string
+
+	// New constructs a fresh controller for each run. The controller
+	// is driven through Stateful.Update with inputs [r, y].
+	New func() control.Stateful
+
+	// Experiments is the number of faults to inject.
+	Experiments int
+
+	// Seed makes the campaign reproducible.
+	Seed uint64
+
+	// Iterations per run (0 = the paper's 650).
+	Iterations int
+
+	// Engine and Reference default to the paper's engine workload.
+	Engine    *plant.EngineConfig
+	Reference plant.ReferenceProfile
+
+	// Classify holds the thresholds (zero value = paper defaults).
+	Classify classify.Config
+
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (cfg *VarConfig) fill() error {
+	if cfg.New == nil {
+		return fmt.Errorf("goofi: VarConfig.New is required")
+	}
+	if cfg.Experiments <= 0 {
+		return fmt.Errorf("goofi: campaign needs a positive experiment count, got %d", cfg.Experiments)
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = plant.DefaultIterations
+	}
+	if cfg.Engine == nil {
+		ec := plant.DefaultEngineConfig()
+		cfg.Engine = &ec
+	}
+	if cfg.Reference == nil {
+		cfg.Reference = plant.PaperReference()
+	}
+	if cfg.Classify == (classify.Config{}) {
+		cfg.Classify = classify.DefaultConfig()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// runVarLoop drives ctrl closed-loop and returns the output trace.
+// corruptAt < 0 disables injection.
+func runVarLoop(ctrl control.Stateful, cfg *VarConfig, corruptAt int, flip inject.VarFlip) []float64 {
+	eng := plant.NewEngine(*cfg.Engine)
+	out := make([]float64, 0, cfg.Iterations)
+	y := eng.Speed()
+	for k := 0; k < cfg.Iterations; k++ {
+		if k == corruptAt {
+			flip.Apply(ctrl)
+		}
+		t := float64(k) * cfg.Engine.T
+		u := ctrl.Update([]float64{cfg.Reference(t), y})[0]
+		y = eng.Step(u)
+		out = append(out, u)
+	}
+	return out
+}
+
+// RunVariable executes a variable-level campaign and returns records in
+// the same schema as the CPU campaigns: Region "variable", Element
+// "state[i]", At = the injection iteration. Variable-level faults
+// cannot be detected by hardware EDMs, so every record is either a
+// value failure or non-effective; Latent means the final controller
+// state still differs from the reference run's.
+func RunVariable(cfg VarConfig) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+
+	goldenCtrl := cfg.New()
+	stateDim := len(goldenCtrl.State())
+	if stateDim == 0 {
+		return nil, fmt.Errorf("goofi: controller exposes no state to inject into")
+	}
+	golden := runVarLoop(goldenCtrl, &cfg, -1, inject.VarFlip{})
+	goldenFinal := goldenCtrl.State()
+
+	sampler := inject.NewVarSampler(cfg.Seed, stateDim, cfg.Iterations)
+	type experiment struct {
+		iteration int
+		flip      inject.VarFlip
+	}
+	exps := make([]experiment, cfg.Experiments)
+	for i := range exps {
+		it, flip := sampler.Next()
+		exps[i] = experiment{iteration: it, flip: flip}
+	}
+
+	records := make([]Record, cfg.Experiments)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	workers := cfg.Workers
+	if workers > cfg.Experiments {
+		workers = cfg.Experiments
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				e := exps[i]
+				ctrl := cfg.New()
+				outputs := runVarLoop(ctrl, &cfg, e.iteration, e.flip)
+				stateDiffers := !float64SlicesEqual(ctrl.State(), goldenFinal)
+				verdict := classify.Run(golden, outputs, stateDiffers, cfg.Classify)
+				records[i] = Record{
+					ID:        i,
+					Variant:   cfg.Name,
+					Region:    "variable",
+					Element:   fmt.Sprintf("state[%d]", e.flip.Element),
+					Bit:       e.flip.Bit,
+					At:        uint64(e.iteration),
+					Outcome:   verdict.Outcome.String(),
+					FirstDev:  verdict.FirstDeviation,
+					StrongIts: verdict.StrongIterations,
+					MaxDev:    verdict.MaxDeviation,
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Experiments; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	return &Result{Records: records}, nil
+}
+
+// VarSummary condenses a variable-level campaign: total value failures
+// and the severe share.
+func VarSummary(recs []Record) (valueFailures, severe stats.Proportion) {
+	c := counterForRegion(recs, "")
+	return ValueFailureProportion(c), SevereProportion(c)
+}
+
+// float64SlicesEqual compares two state vectors bit-exactly (NaN-safe:
+// a NaN state differs from any golden value, which is what the latent
+// classification needs).
+func float64SlicesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

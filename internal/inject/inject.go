@@ -1,0 +1,90 @@
+// Package inject implements the fault models and sampling of the
+// GOOFI campaigns: single bit-flips, uniformly sampled over fault
+// location (CPU state-element bits) and fault time (the points in time
+// instructions begin execution), matching §3.3.2 of the paper. It also
+// provides a variable-level injector that flips IEEE-754 bits of a Go
+// controller's state directly, for fast experiments that skip the CPU
+// simulator.
+package inject
+
+import (
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/fphys"
+	"ctrlguard/internal/stats"
+	"ctrlguard/internal/workload"
+)
+
+// Sampler draws (location, time) pairs for SCIFI-style campaigns.
+type Sampler struct {
+	rng   *stats.RNG
+	bits  []cpu.StateBit
+	total uint64 // dynamic instruction count of the reference run
+}
+
+// NewSampler creates a sampler over every injectable CPU state bit and
+// the [0, totalInstructions) time base measured on the golden run.
+func NewSampler(seed uint64, totalInstructions uint64) *Sampler {
+	return &Sampler{
+		rng:   stats.NewRNG(seed),
+		bits:  cpu.StateBits(),
+		total: totalInstructions,
+	}
+}
+
+// Locations returns the number of injectable state bits.
+func (s *Sampler) Locations() int {
+	return len(s.bits)
+}
+
+// Next draws one injection uniformly over locations × time.
+func (s *Sampler) Next() workload.Injection {
+	bit := s.bits[s.rng.Intn(len(s.bits))]
+	at := s.rng.Uint64() % s.total
+	return workload.Injection{At: at, Bit: bit}
+}
+
+// VarFlip is the variable-level fault model: flip one bit of one state
+// element of a Go controller, modelling a bit-flip in the memory word
+// holding that variable. This is the fast path used by examples and the
+// Guard ablation benches; the CPU-simulator path is the faithful one.
+type VarFlip struct {
+	Element int  // index into the controller's state vector
+	Bit     uint // 0..63, bit of the float64 representation
+}
+
+// Apply flips the bit in the controller's state.
+func (f VarFlip) Apply(ctrl control.Stateful) {
+	x := ctrl.State()
+	if f.Element < 0 || f.Element >= len(x) {
+		return
+	}
+	x[f.Element] = fphys.FlipBit64(x[f.Element], f.Bit)
+	ctrl.SetState(x)
+}
+
+// VarSampler draws variable-level injections uniformly over the state
+// elements and bits of a controller, and over control iterations.
+type VarSampler struct {
+	rng        *stats.RNG
+	elements   int
+	iterations int
+}
+
+// NewVarSampler creates a sampler for a controller with the given state
+// dimension over a run of the given length.
+func NewVarSampler(seed uint64, elements, iterations int) *VarSampler {
+	return &VarSampler{
+		rng:        stats.NewRNG(seed),
+		elements:   elements,
+		iterations: iterations,
+	}
+}
+
+// Next draws one (iteration, flip) pair.
+func (s *VarSampler) Next() (iteration int, flip VarFlip) {
+	return s.rng.Intn(s.iterations), VarFlip{
+		Element: s.rng.Intn(s.elements),
+		Bit:     uint(s.rng.Intn(64)),
+	}
+}

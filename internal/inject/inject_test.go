@@ -1,0 +1,129 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/cpu"
+)
+
+func TestSamplerDeterministic(t *testing.T) {
+	a := NewSampler(42, 10000)
+	b := NewSampler(42, 10000)
+	for i := 0; i < 100; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("samplers diverged at %d: %v vs %v", i, ia, ib)
+		}
+	}
+}
+
+func TestSamplerCoversBothRegions(t *testing.T) {
+	s := NewSampler(7, 10000)
+	seen := map[cpu.Region]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[s.Next().Bit.Region] = true
+	}
+	if !seen[cpu.RegionCache] || !seen[cpu.RegionRegisters] {
+		t.Errorf("regions sampled: %v, want both", seen)
+	}
+}
+
+func TestSamplerTimeRange(t *testing.T) {
+	const total = 5000
+	s := NewSampler(3, total)
+	for i := 0; i < 10000; i++ {
+		if inj := s.Next(); inj.At >= total {
+			t.Fatalf("At = %d, beyond total %d", inj.At, total)
+		}
+	}
+}
+
+func TestSamplerRegionWeightMatchesBitCounts(t *testing.T) {
+	// Sampling is uniform over bits, so the cache share must match
+	// the cache's share of enumerable bits.
+	var cacheBits int
+	bits := cpu.StateBits()
+	for _, b := range bits {
+		if b.Region == cpu.RegionCache {
+			cacheBits++
+		}
+	}
+	want := float64(cacheBits) / float64(len(bits))
+
+	s := NewSampler(9, 1000)
+	const n = 50000
+	got := 0
+	for i := 0; i < n; i++ {
+		if s.Next().Bit.Region == cpu.RegionCache {
+			got++
+		}
+	}
+	share := float64(got) / n
+	if math.Abs(share-want) > 0.02 {
+		t.Errorf("cache share = %v, want ≈ %v", share, want)
+	}
+}
+
+func TestSamplerLocations(t *testing.T) {
+	s := NewSampler(1, 10)
+	if s.Locations() != len(cpu.StateBits()) {
+		t.Errorf("Locations() = %d, want %d", s.Locations(), len(cpu.StateBits()))
+	}
+}
+
+func TestVarFlipApply(t *testing.T) {
+	ctrl := control.NewPI(control.PIConfig{Kp: 1, Ki: 1, T: 1, OutMax: 70, InitX: 1.0})
+	VarFlip{Element: 0, Bit: 63}.Apply(ctrl)
+	if ctrl.X != -1.0 {
+		t.Errorf("sign-bit flip: X = %v, want -1", ctrl.X)
+	}
+}
+
+func TestVarFlipOutOfRangeElementIgnored(t *testing.T) {
+	ctrl := control.NewPI(control.PIConfig{InitX: 3})
+	VarFlip{Element: 5, Bit: 0}.Apply(ctrl)
+	VarFlip{Element: -1, Bit: 0}.Apply(ctrl)
+	if ctrl.X != 3 {
+		t.Errorf("out-of-range element changed state: %v", ctrl.X)
+	}
+}
+
+func TestVarFlipDoubleApplyRestores(t *testing.T) {
+	ctrl := control.NewPI(control.PIConfig{InitX: 7.25})
+	f := VarFlip{Element: 0, Bit: 40}
+	f.Apply(ctrl)
+	f.Apply(ctrl)
+	if ctrl.X != 7.25 {
+		t.Errorf("double flip did not restore: %v", ctrl.X)
+	}
+}
+
+func TestVarSamplerBounds(t *testing.T) {
+	s := NewVarSampler(5, 3, 650)
+	for i := 0; i < 10000; i++ {
+		it, flip := s.Next()
+		if it < 0 || it >= 650 {
+			t.Fatalf("iteration %d out of range", it)
+		}
+		if flip.Element < 0 || flip.Element >= 3 {
+			t.Fatalf("element %d out of range", flip.Element)
+		}
+		if flip.Bit > 63 {
+			t.Fatalf("bit %d out of range", flip.Bit)
+		}
+	}
+}
+
+func TestVarSamplerDeterministic(t *testing.T) {
+	a := NewVarSampler(11, 3, 650)
+	b := NewVarSampler(11, 3, 650)
+	for i := 0; i < 100; i++ {
+		ita, fa := a.Next()
+		itb, fb := b.Next()
+		if ita != itb || fa != fb {
+			t.Fatal("samplers diverged")
+		}
+	}
+}

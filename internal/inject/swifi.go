@@ -1,0 +1,103 @@
+package inject
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/stats"
+)
+
+// Pre-runtime Software-Implemented Fault Injection (SWIFI), the second
+// injection technique GOOFI supports (§3.3.1 of the paper): the fault
+// is inserted into the program image before the run starts, modelling a
+// corrupted instruction or initialised variable in memory, rather than
+// a transient bit-flip during execution.
+
+// ImageTarget selects which part of the program image a SWIFI fault
+// mutates.
+type ImageTarget int
+
+// Image targets.
+const (
+	ImageCode ImageTarget = iota + 1
+	ImageData
+)
+
+// String returns the target's label.
+func (t ImageTarget) String() string {
+	switch t {
+	case ImageCode:
+		return "code"
+	case ImageData:
+		return "data"
+	default:
+		return "unknown"
+	}
+}
+
+// ImageFlip is one pre-runtime fault: invert a bit of one word of the
+// program image.
+type ImageFlip struct {
+	Target ImageTarget
+	Word   int // word index within the target section
+	Bit    uint
+}
+
+// String renders the flip for logging.
+func (f ImageFlip) String() string {
+	return fmt.Sprintf("%s[%d] bit %d", f.Target, f.Word, f.Bit)
+}
+
+// Apply returns a copy of prog with the fault inserted. The original is
+// not modified. It returns an error for out-of-range words.
+func (f ImageFlip) Apply(prog *cpu.Program) (*cpu.Program, error) {
+	mutated := &cpu.Program{
+		Code:       append([]uint32(nil), prog.Code...),
+		Data:       append([]uint32(nil), prog.Data...),
+		CodeLabels: prog.CodeLabels,
+		DataLabels: prog.DataLabels,
+	}
+	switch f.Target {
+	case ImageCode:
+		if f.Word < 0 || f.Word >= len(mutated.Code) {
+			return nil, fmt.Errorf("inject: code word %d out of range", f.Word)
+		}
+		mutated.Code[f.Word] ^= 1 << (f.Bit % 32)
+	case ImageData:
+		if f.Word < 0 || f.Word >= len(mutated.Data) {
+			return nil, fmt.Errorf("inject: data word %d out of range", f.Word)
+		}
+		mutated.Data[f.Word] ^= 1 << (f.Bit % 32)
+	default:
+		return nil, fmt.Errorf("inject: unknown image target %d", f.Target)
+	}
+	return mutated, nil
+}
+
+// ImageSampler draws SWIFI faults uniformly over every bit of the
+// program image (code and initialised data together).
+type ImageSampler struct {
+	rng       *stats.RNG
+	codeWords int
+	dataWords int
+}
+
+// NewImageSampler creates a sampler for the given program.
+func NewImageSampler(seed uint64, prog *cpu.Program) *ImageSampler {
+	return &ImageSampler{
+		rng:       stats.NewRNG(seed),
+		codeWords: len(prog.Code),
+		dataWords: len(prog.Data),
+	}
+}
+
+// Next draws one image flip.
+func (s *ImageSampler) Next() ImageFlip {
+	total := s.codeWords + s.dataWords
+	w := s.rng.Intn(total)
+	bit := uint(s.rng.Intn(32))
+	if w < s.codeWords {
+		return ImageFlip{Target: ImageCode, Word: w, Bit: bit}
+	}
+	return ImageFlip{Target: ImageData, Word: w - s.codeWords, Bit: bit}
+}

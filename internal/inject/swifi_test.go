@@ -1,0 +1,101 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/cpu"
+)
+
+func testProg(t *testing.T) *cpu.Program {
+	t.Helper()
+	p, err := cpu.Assemble(`
+.code
+        MOVI r1, 1
+        HALT
+.data
+v:      .word 7
+w:      .word 9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestImageFlipApplyCode(t *testing.T) {
+	prog := testProg(t)
+	orig := prog.Code[0]
+	mutated, err := ImageFlip{Target: ImageCode, Word: 0, Bit: 3}.Apply(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated.Code[0] != orig^8 {
+		t.Errorf("mutated word = %#x, want %#x", mutated.Code[0], orig^8)
+	}
+	if prog.Code[0] != orig {
+		t.Error("Apply modified the original program")
+	}
+}
+
+func TestImageFlipApplyData(t *testing.T) {
+	prog := testProg(t)
+	mutated, err := ImageFlip{Target: ImageData, Word: 1, Bit: 0}.Apply(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated.Data[1] != 8 {
+		t.Errorf("mutated data = %d, want 8", mutated.Data[1])
+	}
+}
+
+func TestImageFlipErrors(t *testing.T) {
+	prog := testProg(t)
+	bad := []ImageFlip{
+		{Target: ImageCode, Word: -1},
+		{Target: ImageCode, Word: 99},
+		{Target: ImageData, Word: 99},
+		{Target: ImageTarget(9), Word: 0},
+	}
+	for _, f := range bad {
+		if _, err := f.Apply(prog); err == nil {
+			t.Errorf("Apply(%v) should fail", f)
+		}
+	}
+}
+
+func TestImageFlipString(t *testing.T) {
+	s := ImageFlip{Target: ImageCode, Word: 4, Bit: 31}.String()
+	if !strings.Contains(s, "code") || !strings.Contains(s, "4") {
+		t.Errorf("String() = %q", s)
+	}
+	if ImageTarget(9).String() != "unknown" {
+		t.Error("unknown target label wrong")
+	}
+}
+
+func TestImageSamplerBoundsAndCoverage(t *testing.T) {
+	prog := testProg(t)
+	s := NewImageSampler(3, prog)
+	seen := map[ImageTarget]bool{}
+	for i := 0; i < 5000; i++ {
+		f := s.Next()
+		seen[f.Target] = true
+		if _, err := f.Apply(prog); err != nil {
+			t.Fatalf("sampler produced invalid flip %v: %v", f, err)
+		}
+	}
+	if !seen[ImageCode] || !seen[ImageData] {
+		t.Errorf("targets sampled: %v, want both", seen)
+	}
+}
+
+func TestImageSamplerDeterministic(t *testing.T) {
+	prog := testProg(t)
+	a, b := NewImageSampler(7, prog), NewImageSampler(7, prog)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("samplers diverged")
+		}
+	}
+}

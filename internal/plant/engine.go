@@ -1,0 +1,113 @@
+// Package plant implements the controlled object of the paper's
+// experiments: the engine model that the Simulink environment simulator
+// provided on the host workstation. The engine's speed responds to the
+// throttle angle commanded by the PI controller and to an external load
+// torque (the "hilly terrain" disturbance of Figure 4).
+//
+// The model is a first-order rotational inertia:
+//
+//	J * dω/dt = Kt*u − b*ω − L(t)
+//
+// where ω is the engine speed (rpm), u the throttle angle (degrees,
+// 0–70), L(t) the load torque, J the inertia, b viscous friction and Kt
+// the torque gain. The exact physics are irrelevant to the paper's
+// dependability result; what matters is that the closed loop with the
+// PI controller reproduces the qualitative traces of Figures 3–5
+// (setpoint tracking, disturbance dips, throttle in range).
+package plant
+
+import "ctrlguard/internal/fphys"
+
+// Default simulation parameters from the paper: 650 iterations of the
+// control loop covering 10 seconds, i.e. a 15.4 ms sample interval.
+const (
+	// DefaultSampleInterval is the paper's 15.4 ms control period.
+	DefaultSampleInterval = 10.0 / 650
+
+	// DefaultIterations is the paper's observed window of 650 samples.
+	DefaultIterations = 650
+
+	// ThrottleMin and ThrottleMax are the physical limits of the
+	// engine throttle angle in degrees.
+	ThrottleMin = 0.0
+	ThrottleMax = 70.0
+)
+
+// EngineConfig holds the physical parameters of the engine model.
+type EngineConfig struct {
+	Inertia    float64 // J, rotational inertia
+	Friction   float64 // b, viscous friction coefficient
+	TorqueGain float64 // Kt, torque per degree of throttle
+	T          float64 // sample interval in seconds
+	InitSpeed  float64 // initial engine speed in rpm
+	Load       LoadProfile
+}
+
+// DefaultEngineConfig returns parameters tuned so the closed loop with
+// the paper's PI controller reproduces the shape of Figures 3-5.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		Inertia:    0.08,
+		Friction:   0.07,
+		TorqueGain: 20.0,
+		T:          DefaultSampleInterval,
+		InitSpeed:  2000,
+		Load:       HillyTerrainLoad(),
+	}
+}
+
+// Engine is the controlled object. It is deterministic: two engines
+// with the same configuration produce identical trajectories for
+// identical inputs.
+type Engine struct {
+	cfg   EngineConfig
+	omega float64
+	k     int
+}
+
+// NewEngine creates an engine in its initial state.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{cfg: cfg, omega: cfg.InitSpeed}
+}
+
+// Step advances the engine by one sample interval with throttle angle u
+// (degrees, clamped to the physical range) and returns the new engine
+// speed in rpm. Speed never goes negative: a real engine stalls at zero.
+func (e *Engine) Step(u float64) float64 {
+	u = fphys.Clamp(u, ThrottleMin, ThrottleMax)
+	t := float64(e.k) * e.cfg.T
+	load := 0.0
+	if e.cfg.Load != nil {
+		load = e.cfg.Load(t)
+	}
+	dOmega := (e.cfg.TorqueGain*u - e.cfg.Friction*e.omega - load) / e.cfg.Inertia
+	e.omega += e.cfg.T * dOmega
+	if e.omega < 0 {
+		e.omega = 0
+	}
+	e.k++
+	return e.omega
+}
+
+// Speed returns the current engine speed in rpm without advancing time.
+func (e *Engine) Speed() float64 {
+	return e.omega
+}
+
+// Time returns the current simulation time in seconds.
+func (e *Engine) Time() float64 {
+	return float64(e.k) * e.cfg.T
+}
+
+// Reset returns the engine to its initial state.
+func (e *Engine) Reset() {
+	e.omega = e.cfg.InitSpeed
+	e.k = 0
+}
+
+// SteadyStateThrottle returns the throttle angle that holds speed omega
+// against load torque load, useful for initialising the controller
+// integrator to avoid a start-up transient.
+func (e *Engine) SteadyStateThrottle(omega, load float64) float64 {
+	return (e.cfg.Friction*omega + load) / e.cfg.TorqueGain
+}

@@ -1,0 +1,174 @@
+package plant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineSteadyState(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.Load = NoLoad()
+	eng := NewEngine(cfg)
+	u := eng.SteadyStateThrottle(2000, 0)
+	for i := 0; i < 5000; i++ {
+		eng.Step(u)
+	}
+	if math.Abs(eng.Speed()-2000) > 1 {
+		t.Errorf("steady-state speed = %v, want ≈ 2000", eng.Speed())
+	}
+}
+
+func TestEngineSpeedNeverNegative(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.InitSpeed = 10
+	cfg.Load = func(float64) float64 { return 1e6 } // crushing load
+	eng := NewEngine(cfg)
+	for i := 0; i < 100; i++ {
+		if y := eng.Step(0); y < 0 {
+			t.Fatalf("speed went negative: %v", y)
+		}
+	}
+}
+
+func TestEngineMoreThrottleMoreSpeed(t *testing.T) {
+	run := func(u float64) float64 {
+		cfg := DefaultEngineConfig()
+		cfg.Load = NoLoad()
+		eng := NewEngine(cfg)
+		for i := 0; i < 2000; i++ {
+			eng.Step(u)
+		}
+		return eng.Speed()
+	}
+	lo, hi := run(10), run(20)
+	if hi <= lo {
+		t.Errorf("speed(u=20)=%v should exceed speed(u=10)=%v", hi, lo)
+	}
+}
+
+func TestEngineClampsThrottle(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.Load = NoLoad()
+	a := NewEngine(cfg)
+	b := NewEngine(cfg)
+	for i := 0; i < 500; i++ {
+		a.Step(1e9)
+		b.Step(ThrottleMax)
+	}
+	if a.Speed() != b.Speed() {
+		t.Errorf("unclamped throttle produced different trajectory: %v vs %v", a.Speed(), b.Speed())
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	a := NewEngine(cfg)
+	b := NewEngine(cfg)
+	for i := 0; i < 650; i++ {
+		u := 7 + 3*math.Sin(float64(i)/20)
+		if ya, yb := a.Step(u), b.Step(u); ya != yb {
+			t.Fatalf("engines diverged at step %d: %v vs %v", i, ya, yb)
+		}
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	eng := NewEngine(DefaultEngineConfig())
+	for i := 0; i < 100; i++ {
+		eng.Step(40)
+	}
+	eng.Reset()
+	if eng.Speed() != 2000 {
+		t.Errorf("speed after reset = %v, want 2000", eng.Speed())
+	}
+	if eng.Time() != 0 {
+		t.Errorf("time after reset = %v, want 0", eng.Time())
+	}
+}
+
+func TestEngineTimeAdvances(t *testing.T) {
+	eng := NewEngine(DefaultEngineConfig())
+	eng.Step(7)
+	eng.Step(7)
+	want := 2 * DefaultSampleInterval
+	if math.Abs(eng.Time()-want) > 1e-12 {
+		t.Errorf("Time() = %v, want %v", eng.Time(), want)
+	}
+}
+
+func TestEngineSpeedFiniteProperty(t *testing.T) {
+	f := func(throttles []float64) bool {
+		eng := NewEngine(DefaultEngineConfig())
+		for _, u := range throttles {
+			y := eng.Step(u)
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperReferenceProfile(t *testing.T) {
+	ref := PaperReference()
+	tests := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 2000},
+		{4.99, 2000},
+		{5.0, 3000},
+		{9.99, 3000},
+	}
+	for _, tt := range tests {
+		if got := ref(tt.t); got != tt.want {
+			t.Errorf("ref(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestHillyTerrainLoadWindows(t *testing.T) {
+	load := HillyTerrainLoad()
+	if load(2.0) != 0 {
+		t.Error("load outside windows should be zero")
+	}
+	if load(3.5) <= 0 {
+		t.Error("load in 3<t<4 should be positive")
+	}
+	if load(7.5) <= 0 {
+		t.Error("load in 7<t<8 should be positive")
+	}
+	if load(5.5) != 0 {
+		t.Error("load between windows should be zero")
+	}
+	if load(9.0) != 0 {
+		t.Error("load after windows should be zero")
+	}
+}
+
+func TestHillyTerrainLoadContinuity(t *testing.T) {
+	load := HillyTerrainLoad()
+	// Half-sine bumps are ~0 at the window boundaries.
+	for _, tt := range []float64{3.0001, 3.9999, 7.0001, 7.9999} {
+		if v := load(tt); math.Abs(v) > 1 {
+			t.Errorf("load(%v) = %v, want near 0 (continuous bump)", tt, v)
+		}
+	}
+}
+
+func TestSteadyStateThrottleInverts(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.Load = NoLoad()
+	eng := NewEngine(cfg)
+	u := eng.SteadyStateThrottle(3000, 0)
+	for i := 0; i < 5000; i++ {
+		eng.Step(u)
+	}
+	if math.Abs(eng.Speed()-3000) > 1 {
+		t.Errorf("holding steady-state throttle gave %v rpm, want ≈ 3000", eng.Speed())
+	}
+}

@@ -1,0 +1,57 @@
+package plant
+
+import "math"
+
+// ReferenceProfile maps simulation time (seconds) to the desired engine
+// speed (rpm).
+type ReferenceProfile func(t float64) float64
+
+// LoadProfile maps simulation time (seconds) to the external load
+// torque acting on the engine.
+type LoadProfile func(t float64) float64
+
+// PaperReference returns the reference speed profile of Figure 3:
+// 2000 rpm for the first half of the 10 second window, then a momentary
+// change to 3000 rpm.
+func PaperReference() ReferenceProfile {
+	return StepReference(2000, 3000, 5.0)
+}
+
+// StepReference returns a profile that holds `before` rpm until
+// stepTime and `after` rpm from then on.
+func StepReference(before, after, stepTime float64) ReferenceProfile {
+	return func(t float64) float64 {
+		if t < stepTime {
+			return before
+		}
+		return after
+	}
+}
+
+// ConstantReference returns a profile pinned at rpm.
+func ConstantReference(rpm float64) ReferenceProfile {
+	return func(float64) float64 { return rpm }
+}
+
+// HillyTerrainLoad returns the load torque profile of Figure 4: the
+// engine load rises while the vehicle climbs during 3 < t < 4 and
+// 7 < t < 8, producing the speed dips seen in Figure 3. Each episode is
+// a half-sine bump so the load is continuous.
+func HillyTerrainLoad() LoadProfile {
+	const amplitude = 130.0
+	return func(t float64) float64 {
+		switch {
+		case t > 3 && t < 4:
+			return amplitude * math.Sin(math.Pi*(t-3))
+		case t > 7 && t < 8:
+			return amplitude * math.Sin(math.Pi*(t-7))
+		default:
+			return 0
+		}
+	}
+}
+
+// NoLoad returns a profile with zero external load.
+func NoLoad() LoadProfile {
+	return func(float64) float64 { return 0 }
+}

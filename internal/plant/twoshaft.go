@@ -1,0 +1,114 @@
+package plant
+
+// TwoShaft is a crude two-spool jet-engine abstraction: two coupled
+// rotational shafts whose speeds respond to two actuators (fuel flow
+// and nozzle area), each with its own authority range. It is the
+// controlled object for the MIMO workload implementing the paper's
+// future-work direction (multiple-input multiple-output controllers
+// such as jet-engine controllers).
+//
+//	dn1/dt = (g11·u1 + g12·u2 − d1·n1) / J1
+//	dn2/dt = (g21·u1 + g22·u2 − d2·n2) / J2
+type TwoShaft struct {
+	cfg TwoShaftConfig
+	n1  float64
+	n2  float64
+	k   int
+}
+
+// TwoShaftConfig holds the physical parameters.
+type TwoShaftConfig struct {
+	G11, G12 float64 // actuator gains onto shaft 1
+	G21, G22 float64 // actuator gains onto shaft 2
+	D1, D2   float64 // drag coefficients
+	J1, J2   float64 // shaft inertias
+	T        float64 // sample interval, seconds
+	Init1    float64 // initial shaft speeds
+	Init2    float64
+
+	// U1Min..U2Max are the actuator authority ranges (fuel flow and
+	// nozzle area).
+	U1Min, U1Max float64
+	U2Min, U2Max float64
+}
+
+// DefaultTwoShaftConfig returns parameters giving a well-behaved
+// closed loop with the MIMO workload's controller gains.
+func DefaultTwoShaftConfig() TwoShaftConfig {
+	return TwoShaftConfig{
+		G11: 8, G12: 1,
+		G21: 1.5, G22: 6,
+		D1: 0.9, D2: 1.1,
+		J1: 1, J2: 1,
+		T:     DefaultSampleInterval,
+		Init1: 300, Init2: 200,
+		U1Min: 0, U1Max: 100,
+		U2Min: 0, U2Max: 40,
+	}
+}
+
+// NewTwoShaft creates the plant in its initial state.
+func NewTwoShaft(cfg TwoShaftConfig) *TwoShaft {
+	return &TwoShaft{cfg: cfg, n1: cfg.Init1, n2: cfg.Init2}
+}
+
+// Step advances one sample interval with actuator commands u1, u2
+// (clamped to their authority ranges) and returns the new shaft speeds.
+// Speeds never go negative.
+func (p *TwoShaft) Step(u1, u2 float64) (n1, n2 float64) {
+	u1 = clampTo(u1, p.cfg.U1Min, p.cfg.U1Max)
+	u2 = clampTo(u2, p.cfg.U2Min, p.cfg.U2Max)
+	d1 := (p.cfg.G11*u1 + p.cfg.G12*u2 - p.cfg.D1*p.n1) / p.cfg.J1
+	d2 := (p.cfg.G21*u1 + p.cfg.G22*u2 - p.cfg.D2*p.n2) / p.cfg.J2
+	p.n1 += p.cfg.T * d1
+	p.n2 += p.cfg.T * d2
+	if p.n1 < 0 {
+		p.n1 = 0
+	}
+	if p.n2 < 0 {
+		p.n2 = 0
+	}
+	p.k++
+	return p.n1, p.n2
+}
+
+// Speeds returns the current shaft speeds.
+func (p *TwoShaft) Speeds() (n1, n2 float64) {
+	return p.n1, p.n2
+}
+
+// Reset restores the initial state.
+func (p *TwoShaft) Reset() {
+	p.n1, p.n2 = p.cfg.Init1, p.cfg.Init2
+	p.k = 0
+}
+
+// SteadyStateInputs returns the actuator commands holding the given
+// shaft speeds, by inverting the static gain matrix.
+func (p *TwoShaft) SteadyStateInputs(n1, n2 float64) (u1, u2 float64) {
+	// Solve G·u = D·n for u.
+	b1 := p.cfg.D1 * n1
+	b2 := p.cfg.D2 * n2
+	det := p.cfg.G11*p.cfg.G22 - p.cfg.G12*p.cfg.G21
+	u1 = (b1*p.cfg.G22 - p.cfg.G12*b2) / det
+	u2 = (p.cfg.G11*b2 - b1*p.cfg.G21) / det
+	return u1, u2
+}
+
+// PaperMIMOReference returns the reference profiles for the MIMO
+// workload: both shafts hold their initial set-points for the first
+// half of the window, then step up (shaft 1: 300→400, shaft 2:
+// 200→250), mirroring the shape of the paper's Figure 3 for two loops.
+func PaperMIMOReference() (ref1, ref2 ReferenceProfile) {
+	return StepReference(300, 400, 5.0), StepReference(200, 250, 5.0)
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package plant
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoShaftSteadyState(t *testing.T) {
+	cfg := DefaultTwoShaftConfig()
+	p := NewTwoShaft(cfg)
+	u1, u2 := p.SteadyStateInputs(300, 200)
+	for i := 0; i < 20000; i++ {
+		p.Step(u1, u2)
+	}
+	n1, n2 := p.Speeds()
+	if math.Abs(n1-300) > 1 || math.Abs(n2-200) > 1 {
+		t.Errorf("steady state = (%v, %v), want (300, 200)", n1, n2)
+	}
+}
+
+func TestTwoShaftCoupling(t *testing.T) {
+	// Raising u2 alone must raise shaft 1 too (cross gain G12 > 0).
+	base := NewTwoShaft(DefaultTwoShaftConfig())
+	more := NewTwoShaft(DefaultTwoShaftConfig())
+	for i := 0; i < 5000; i++ {
+		base.Step(30, 20)
+		more.Step(30, 30)
+	}
+	b1, _ := base.Speeds()
+	m1, _ := more.Speeds()
+	if m1 <= b1 {
+		t.Errorf("shaft 1 should rise with u2: %v vs %v", m1, b1)
+	}
+}
+
+func TestTwoShaftClampsActuators(t *testing.T) {
+	a := NewTwoShaft(DefaultTwoShaftConfig())
+	b := NewTwoShaft(DefaultTwoShaftConfig())
+	for i := 0; i < 500; i++ {
+		a.Step(1e9, -1e9)
+		b.Step(100, 0)
+	}
+	a1, a2 := a.Speeds()
+	b1, b2 := b.Speeds()
+	if a1 != b1 || a2 != b2 {
+		t.Error("actuator clamping not applied")
+	}
+}
+
+func TestTwoShaftSpeedsNeverNegative(t *testing.T) {
+	p := NewTwoShaft(DefaultTwoShaftConfig())
+	for i := 0; i < 5000; i++ {
+		p.Step(0, 0)
+		n1, n2 := p.Speeds()
+		if n1 < 0 || n2 < 0 {
+			t.Fatalf("negative speed: %v, %v", n1, n2)
+		}
+	}
+}
+
+func TestTwoShaftReset(t *testing.T) {
+	p := NewTwoShaft(DefaultTwoShaftConfig())
+	p.Step(50, 30)
+	p.Reset()
+	n1, n2 := p.Speeds()
+	if n1 != 300 || n2 != 200 {
+		t.Errorf("reset state = (%v, %v)", n1, n2)
+	}
+}
+
+func TestTwoShaftSteadyStateInputsInRange(t *testing.T) {
+	cfg := DefaultTwoShaftConfig()
+	p := NewTwoShaft(cfg)
+	for _, set := range [][2]float64{{300, 200}, {400, 250}} {
+		u1, u2 := p.SteadyStateInputs(set[0], set[1])
+		if u1 < cfg.U1Min || u1 > cfg.U1Max || u2 < cfg.U2Min || u2 > cfg.U2Max {
+			t.Errorf("set-point (%v, %v) needs out-of-range inputs (%v, %v)", set[0], set[1], u1, u2)
+		}
+	}
+}
+
+func TestPaperMIMOReference(t *testing.T) {
+	r1, r2 := PaperMIMOReference()
+	if r1(0) != 300 || r1(6) != 400 {
+		t.Errorf("shaft 1 reference wrong: %v, %v", r1(0), r1(6))
+	}
+	if r2(0) != 200 || r2(6) != 250 {
+		t.Errorf("shaft 2 reference wrong: %v, %v", r2(0), r2(6))
+	}
+}

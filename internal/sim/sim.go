@@ -1,0 +1,94 @@
+// Package sim runs the closed loop of controller and engine for a
+// fixed number of samples and records the traces (reference, speed,
+// throttle) that the paper's figures and classification rules operate
+// on. It also hosts the iteration hook used by variable-level fault
+// injection.
+package sim
+
+import (
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/plant"
+)
+
+// Trace is the record of one closed-loop run: one entry per control
+// iteration.
+type Trace struct {
+	T []float64 // simulation time at each iteration, seconds
+	R []float64 // reference speed, rpm
+	Y []float64 // measured engine speed, rpm
+	U []float64 // controller output u_lim, degrees
+}
+
+// Len returns the number of recorded iterations.
+func (tr *Trace) Len() int {
+	return len(tr.U)
+}
+
+// Config describes a closed-loop run.
+type Config struct {
+	Iterations int
+	T          float64 // sample interval, seconds
+	Reference  plant.ReferenceProfile
+
+	// OnIteration, if non-nil, is invoked with the iteration index
+	// before each controller step. Fault-injection experiments use it
+	// to corrupt controller state mid-run.
+	OnIteration func(k int)
+}
+
+// PaperConfig returns the paper's run: 650 iterations at 15.4 ms with
+// the 2000→3000 rpm reference step.
+func PaperConfig() Config {
+	return Config{
+		Iterations: plant.DefaultIterations,
+		T:          plant.DefaultSampleInterval,
+		Reference:  plant.PaperReference(),
+	}
+}
+
+// Run simulates the closed loop: each iteration reads the engine speed,
+// computes the controller command, and applies it to the engine for one
+// sample interval.
+func Run(ctrl control.Controller, eng *plant.Engine, cfg Config) *Trace {
+	tr := &Trace{
+		T: make([]float64, 0, cfg.Iterations),
+		R: make([]float64, 0, cfg.Iterations),
+		Y: make([]float64, 0, cfg.Iterations),
+		U: make([]float64, 0, cfg.Iterations),
+	}
+	y := eng.Speed()
+	for k := 0; k < cfg.Iterations; k++ {
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(k)
+		}
+		t := float64(k) * cfg.T
+		r := cfg.Reference(t)
+		u := ctrl.Step(r, y)
+		y = eng.Step(u)
+		tr.T = append(tr.T, t)
+		tr.R = append(tr.R, r)
+		tr.Y = append(tr.Y, y)
+		tr.U = append(tr.U, u)
+	}
+	return tr
+}
+
+// MaxAbsDeviation returns the largest absolute difference between the U
+// traces of a and b over their common prefix.
+func MaxAbsDeviation(a, b *Trace) float64 {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	maxDev := 0.0
+	for i := 0; i < n; i++ {
+		d := a.U[i] - b.U[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ctrlguard/internal/control"
+	"ctrlguard/internal/plant"
+)
+
+func paperLoop() (*control.PI, *plant.Engine, Config) {
+	eng := plant.NewEngine(plant.DefaultEngineConfig())
+	ctrl := control.NewPI(control.PaperPIConfig(plant.DefaultSampleInterval))
+	return ctrl, eng, PaperConfig()
+}
+
+func TestRunLength(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	tr := Run(ctrl, eng, cfg)
+	if tr.Len() != plant.DefaultIterations {
+		t.Errorf("trace length = %d, want %d", tr.Len(), plant.DefaultIterations)
+	}
+	for _, s := range [][]float64{tr.T, tr.R, tr.Y} {
+		if len(s) != tr.Len() {
+			t.Errorf("trace slices have inconsistent lengths")
+		}
+	}
+}
+
+func TestRunTracksReferenceBeforeStep(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	tr := Run(ctrl, eng, cfg)
+	// Around t=2.5 s: no load, settled at 2000 rpm.
+	k := int(2.5 / cfg.T)
+	if math.Abs(tr.Y[k]-2000) > 5 {
+		t.Errorf("y(2.5s) = %v, want ≈ 2000", tr.Y[k])
+	}
+}
+
+func TestRunTracksReferenceAfterStep(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	tr := Run(ctrl, eng, cfg)
+	k := tr.Len() - 1
+	if math.Abs(tr.Y[k]-3000) > 5 {
+		t.Errorf("final y = %v, want ≈ 3000", tr.Y[k])
+	}
+}
+
+func TestRunLoadDisturbanceCausesDip(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	tr := Run(ctrl, eng, cfg)
+	// During the first load bump (3 < t < 4) the speed must dip below
+	// the reference by a visible margin.
+	minY := math.Inf(1)
+	for k := range tr.Y {
+		if tr.T[k] > 3 && tr.T[k] < 4 && tr.Y[k] < minY {
+			minY = tr.Y[k]
+		}
+	}
+	if minY > 1995 {
+		t.Errorf("speed during load bump = %v, expected a dip below 1995", minY)
+	}
+}
+
+func TestRunOutputWithinThrottleRange(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	tr := Run(ctrl, eng, cfg)
+	for k, u := range tr.U {
+		if u < plant.ThrottleMin || u > plant.ThrottleMax {
+			t.Fatalf("u[%d] = %v outside throttle range", k, u)
+		}
+	}
+}
+
+func TestRunOutputSaturatesOnStep(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	tr := Run(ctrl, eng, cfg)
+	saturated := false
+	for k := range tr.U {
+		if tr.T[k] >= 5 && tr.T[k] < 5.5 && tr.U[k] == plant.ThrottleMax {
+			saturated = true
+		}
+	}
+	if !saturated {
+		t.Error("expected the throttle to saturate at 70 during the reference step (Figure 5)")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c1, e1, cfg := paperLoop()
+	tr1 := Run(c1, e1, cfg)
+	c2, e2, _ := paperLoop()
+	tr2 := Run(c2, e2, cfg)
+	if MaxAbsDeviation(tr1, tr2) != 0 {
+		t.Error("identical runs produced different traces")
+	}
+}
+
+func TestRunOnIterationHook(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	var seen []int
+	cfg.Iterations = 5
+	cfg.OnIteration = func(k int) { seen = append(seen, k) }
+	Run(ctrl, eng, cfg)
+	if len(seen) != 5 || seen[0] != 0 || seen[4] != 4 {
+		t.Errorf("hook iterations = %v, want [0 1 2 3 4]", seen)
+	}
+}
+
+func TestRunHookCanInjectFault(t *testing.T) {
+	ctrl, eng, cfg := paperLoop()
+	golden := Run(ctrl, eng, cfg)
+
+	ctrl2, eng2, cfg2 := paperLoop()
+	cfg2.OnIteration = func(k int) {
+		if k == 300 {
+			ctrl2.X = 70 // corrupt the state mid-run
+		}
+	}
+	faulty := Run(ctrl2, eng2, cfg2)
+	if MaxAbsDeviation(golden, faulty) <= 0.1 {
+		t.Error("state corruption did not perturb the output trace")
+	}
+}
+
+func TestMaxAbsDeviationCommonPrefix(t *testing.T) {
+	a := &Trace{U: []float64{1, 2, 3}}
+	b := &Trace{U: []float64{1, 5}}
+	if got := MaxAbsDeviation(a, b); got != 3 {
+		t.Errorf("MaxAbsDeviation = %v, want 3", got)
+	}
+	if got := MaxAbsDeviation(b, a); got != 3 {
+		t.Errorf("MaxAbsDeviation should be symmetric, got %v", got)
+	}
+}
+
+func TestMaxAbsDeviationIdentical(t *testing.T) {
+	a := &Trace{U: []float64{1, 2, 3}}
+	if got := MaxAbsDeviation(a, a); got != 0 {
+		t.Errorf("MaxAbsDeviation(a,a) = %v, want 0", got)
+	}
+}

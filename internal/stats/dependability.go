@@ -1,0 +1,90 @@
+package stats
+
+import "math"
+
+// Dependability projections: a fault-injection campaign estimates the
+// conditional probability that one bit upset causes a failure of a
+// given class; combined with an environment's upset rate this yields
+// the failure rate, MTTF and mission reliability that system designers
+// actually need. The paper motivates its study with heavy-ion and
+// neutron-induced upsets in aerospace CPUs; these helpers make that
+// connection computable.
+
+// DependabilityModel combines a campaign result with an environment.
+type DependabilityModel struct {
+	// UpsetsPerBitHour is the single-event-upset rate of the
+	// environment (typical orders: 1e-6 for deep space, 1e-10 at
+	// ground level).
+	UpsetsPerBitHour float64
+
+	// ExposedBits is the number of injectable state bits of the
+	// device (the campaign's sampling universe).
+	ExposedBits int
+
+	// FailureProbability is the campaign's estimate of P(failure of
+	// the class of interest | one upset).
+	FailureProbability Proportion
+}
+
+// FailureRatePerHour returns λ·B·p, the rate of the modelled failure
+// class.
+func (m DependabilityModel) FailureRatePerHour() float64 {
+	return m.UpsetsPerBitHour * float64(m.ExposedBits) * m.FailureProbability.P()
+}
+
+// MTTFHours returns the mean time to failure in hours, or +Inf when
+// the campaign observed no failures of the class.
+func (m DependabilityModel) MTTFHours() float64 {
+	rate := m.FailureRatePerHour()
+	if rate == 0 {
+		return math.Inf(1)
+	}
+	return 1 / rate
+}
+
+// MissionReliability returns exp(−rate·t): the probability of
+// surviving a mission of the given duration without a failure of the
+// modelled class, under the usual constant-rate assumption.
+func (m DependabilityModel) MissionReliability(hours float64) float64 {
+	return math.Exp(-m.FailureRatePerHour() * hours)
+}
+
+// ImprovementFactor returns how many times longer the MTTF of b is
+// than that of a (for example, Algorithm II versus Algorithm I). It is
+// +Inf when b shows no failures and a does.
+func ImprovementFactor(a, b DependabilityModel) float64 {
+	ra, rb := a.FailureRatePerHour(), b.FailureRatePerHour()
+	if rb == 0 {
+		if ra == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return ra / rb
+}
+
+// WilsonCI95 returns the 95 % Wilson score interval for a proportion.
+// Unlike the paper's normal approximation (Proportion.CI95), it is
+// meaningful for zero counts — important when Algorithm II eliminates
+// a failure class entirely and the question becomes "how sure are we
+// the true rate is small?".
+func (p Proportion) WilsonCI95() (lo, hi float64) {
+	if p.N == 0 {
+		return 0, 1
+	}
+	const z = z95
+	n := float64(p.N)
+	phat := p.P()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFailureRateArithmetic(t *testing.T) {
+	m := DependabilityModel{
+		UpsetsPerBitHour:   1e-6,
+		ExposedBits:        1000,
+		FailureProbability: Proportion{Count: 5, N: 1000}, // 0.5 %
+	}
+	want := 1e-6 * 1000 * 0.005
+	if got := m.FailureRatePerHour(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("rate = %v, want %v", got, want)
+	}
+	if got := m.MTTFHours(); math.Abs(got-1/want) > 1e-6 {
+		t.Errorf("MTTF = %v, want %v", got, 1/want)
+	}
+}
+
+func TestMTTFInfiniteWithoutFailures(t *testing.T) {
+	m := DependabilityModel{
+		UpsetsPerBitHour:   1e-6,
+		ExposedBits:        1000,
+		FailureProbability: Proportion{Count: 0, N: 2372},
+	}
+	if !math.IsInf(m.MTTFHours(), 1) {
+		t.Errorf("MTTF = %v, want +Inf", m.MTTFHours())
+	}
+	if m.MissionReliability(1e9) != 1 {
+		t.Error("reliability should be 1 with zero rate")
+	}
+}
+
+func TestMissionReliabilityDecays(t *testing.T) {
+	m := DependabilityModel{
+		UpsetsPerBitHour:   1e-5,
+		ExposedBits:        1626,
+		FailureProbability: Proportion{Count: 60, N: 9290},
+	}
+	r1 := m.MissionReliability(100)
+	r2 := m.MissionReliability(10000)
+	if !(r1 > r2 && r1 < 1 && r2 > 0) {
+		t.Errorf("reliability not decaying sensibly: %v, %v", r1, r2)
+	}
+	// Sanity: R(t) = exp(-rate t).
+	want := math.Exp(-m.FailureRatePerHour() * 100)
+	if math.Abs(r1-want) > 1e-12 {
+		t.Errorf("R(100) = %v, want %v", r1, want)
+	}
+}
+
+func TestImprovementFactor(t *testing.T) {
+	base := DependabilityModel{UpsetsPerBitHour: 1e-6, ExposedBits: 1000,
+		FailureProbability: Proportion{Count: 60, N: 9290}}
+	better := base
+	better.FailureProbability = Proportion{Count: 3, N: 2372}
+	f := ImprovementFactor(base, better)
+	want := (60.0 / 9290.0) / (3.0 / 2372.0)
+	if math.Abs(f-want) > 1e-9 {
+		t.Errorf("factor = %v, want %v", f, want)
+	}
+}
+
+func TestImprovementFactorEdgeCases(t *testing.T) {
+	zero := DependabilityModel{UpsetsPerBitHour: 1e-6, ExposedBits: 1000,
+		FailureProbability: Proportion{Count: 0, N: 100}}
+	some := zero
+	some.FailureProbability = Proportion{Count: 5, N: 100}
+	if !math.IsInf(ImprovementFactor(some, zero), 1) {
+		t.Error("eliminating all failures should be an infinite improvement")
+	}
+	if ImprovementFactor(zero, zero) != 1 {
+		t.Error("two zero-rate models should compare equal")
+	}
+}
+
+func TestWilsonCI95KnownValues(t *testing.T) {
+	// 0 of 2372: upper bound ≈ 3.84/(n+3.84) ≈ 0.00162.
+	p := Proportion{Count: 0, N: 2372}
+	lo, hi := p.WilsonCI95()
+	if lo != 0 {
+		t.Errorf("lo = %v, want 0", lo)
+	}
+	if hi < 0.0010 || hi > 0.0025 {
+		t.Errorf("hi = %v, want ≈ 0.0016", hi)
+	}
+}
+
+func TestWilsonCI95ContainsEstimate(t *testing.T) {
+	for _, p := range []Proportion{{5, 100}, {50, 100}, {99, 100}, {1, 10000}} {
+		lo, hi := p.WilsonCI95()
+		if p.P() < lo || p.P() > hi {
+			t.Errorf("estimate %v outside Wilson interval [%v, %v]", p.P(), lo, hi)
+		}
+		if lo < 0 || hi > 1 {
+			t.Errorf("interval [%v, %v] out of [0,1]", lo, hi)
+		}
+	}
+}
+
+func TestWilsonCI95EmptyTrials(t *testing.T) {
+	lo, hi := (Proportion{}).WilsonCI95()
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+func TestWilsonNarrowerThanNormalForZeroCounts(t *testing.T) {
+	// The normal approximation collapses to width zero for p̂ = 0 —
+	// useless. Wilson must give a positive, informative upper bound.
+	p := Proportion{Count: 0, N: 1000}
+	if p.CI95() != 0 {
+		t.Fatalf("normal CI = %v, want degenerate 0", p.CI95())
+	}
+	if _, hi := p.WilsonCI95(); hi <= 0 {
+		t.Error("Wilson upper bound should be positive")
+	}
+}

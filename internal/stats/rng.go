@@ -1,0 +1,45 @@
+package stats
+
+// RNG is a small deterministic pseudo-random number generator
+// (SplitMix64) used for fault-location and fault-time sampling. It is
+// self-contained so campaign results are bit-for-bit reproducible across
+// Go releases, unlike math/rand whose stream is not guaranteed stable.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform pseudo-random int in [0, n). It panics if
+// n <= 0, mirroring math/rand.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	bound := uint64(n)
+	limit := (^uint64(0) / bound) * bound
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,190 @@
+// Package stats provides the statistical machinery used by the
+// fault-injection analysis: proportion estimates with 95 % confidence
+// intervals (normal approximation, as in the paper), counters keyed by
+// outcome category, and plain-text table rendering matching the layout
+// of Tables 2-4 of the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// z95 is the two-sided 95 % quantile of the standard normal
+// distribution, used by the paper for its confidence intervals.
+const z95 = 1.96
+
+// Proportion is an estimated proportion out of n trials.
+type Proportion struct {
+	Count int // number of observations in the category
+	N     int // total number of trials
+}
+
+// P returns the point estimate Count/N, or 0 when N == 0.
+func (p Proportion) P() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.Count) / float64(p.N)
+}
+
+// CI95 returns the half-width of the 95 % confidence interval using the
+// normal approximation 1.96*sqrt(p(1-p)/n), the formula the paper uses.
+func (p Proportion) CI95() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	est := p.P()
+	return z95 * math.Sqrt(est*(1-est)/float64(p.N))
+}
+
+// String formats the proportion in the paper's style,
+// e.g. "12.16% (± 0.66%) 1130".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%6.2f%% (±%5.2f%%) %6d", p.P()*100, p.CI95()*100, p.Count)
+}
+
+// Counter tallies observations per category label.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add records one observation of category.
+func (c *Counter) Add(category string) {
+	c.counts[category]++
+	c.total++
+}
+
+// AddN records n observations of category.
+func (c *Counter) AddN(category string, n int) {
+	c.counts[category] += n
+	c.total += n
+}
+
+// Count returns the number of observations of category.
+func (c *Counter) Count(category string) int {
+	return c.counts[category]
+}
+
+// Total returns the total number of observations.
+func (c *Counter) Total() int {
+	return c.total
+}
+
+// Proportion returns the proportion of observations in category.
+func (c *Counter) Proportion(category string) Proportion {
+	return Proportion{Count: c.counts[category], N: c.total}
+}
+
+// SumProportion returns the proportion of observations falling in any of
+// the given categories.
+func (c *Counter) SumProportion(categories ...string) Proportion {
+	sum := 0
+	for _, cat := range categories {
+		sum += c.counts[cat]
+	}
+	return Proportion{Count: sum, N: c.total}
+}
+
+// Categories returns the sorted list of category labels seen so far.
+func (c *Counter) Categories() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds all counts from other into c.
+func (c *Counter) Merge(other *Counter) {
+	for k, v := range other.counts {
+		c.counts[k] += v
+	}
+	c.total += other.total
+}
+
+// Table is a plain-text table builder used to render the paper's result
+// tables. Rows are added in order; columns are fixed at construction.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row. Missing cells render empty; extra cells are
+// dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal separator row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	total += 2 * (len(widths) - 1)
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		if row == nil {
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+			continue
+		}
+		writeRow(row)
+	}
+	return b.String()
+}

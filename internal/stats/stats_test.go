@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionPointEstimate(t *testing.T) {
+	tests := []struct {
+		name  string
+		count int
+		n     int
+		want  float64
+	}{
+		{"half", 50, 100, 0.5},
+		{"zero count", 0, 100, 0},
+		{"all", 100, 100, 1},
+		{"empty trials", 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Proportion{Count: tt.count, N: tt.n}
+			if got := p.P(); got != tt.want {
+				t.Errorf("P() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProportionCI95KnownValue(t *testing.T) {
+	// p = 0.5, n = 100: CI = 1.96*sqrt(0.25/100) = 0.098.
+	p := Proportion{Count: 50, N: 100}
+	if got := p.CI95(); math.Abs(got-0.098) > 1e-9 {
+		t.Errorf("CI95() = %v, want 0.098", got)
+	}
+}
+
+func TestProportionCI95Degenerate(t *testing.T) {
+	for _, p := range []Proportion{{0, 0}, {0, 10}, {10, 10}} {
+		if got := p.CI95(); got != 0 {
+			t.Errorf("CI95(%+v) = %v, want 0", p, got)
+		}
+	}
+}
+
+func TestProportionCI95ShrinksWithN(t *testing.T) {
+	small := Proportion{Count: 5, N: 10}
+	large := Proportion{Count: 500, N: 1000}
+	if small.CI95() <= large.CI95() {
+		t.Errorf("CI should shrink with n: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}
+
+func TestProportionCI95Property(t *testing.T) {
+	f := func(count, n uint16) bool {
+		nn := int(n%1000) + 1
+		cc := int(count) % (nn + 1)
+		p := Proportion{Count: cc, N: nn}
+		ci := p.CI95()
+		// The half-width is at most 1.96·sqrt(0.25/n) ≤ 0.98 (n = 1).
+		return ci >= 0 && ci <= 0.98+1e-9 && !math.IsNaN(ci)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Add("a")
+	c.Add("a")
+	c.Add("b")
+	c.AddN("c", 3)
+	if got := c.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %d, want 2", got)
+	}
+	if got := c.Total(); got != 6 {
+		t.Errorf("Total() = %d, want 6", got)
+	}
+	if got := c.Proportion("c").P(); got != 0.5 {
+		t.Errorf("Proportion(c).P() = %v, want 0.5", got)
+	}
+	if got := c.Count("missing"); got != 0 {
+		t.Errorf("Count(missing) = %d, want 0", got)
+	}
+}
+
+func TestCounterSumProportion(t *testing.T) {
+	c := NewCounter()
+	c.AddN("x", 2)
+	c.AddN("y", 3)
+	c.AddN("z", 5)
+	got := c.SumProportion("x", "y")
+	if got.Count != 5 || got.N != 10 {
+		t.Errorf("SumProportion = %+v, want {5 10}", got)
+	}
+}
+
+func TestCounterCategoriesSorted(t *testing.T) {
+	c := NewCounter()
+	c.Add("zeta")
+	c.Add("alpha")
+	c.Add("mid")
+	got := c.Categories()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("Categories() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Categories()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a := NewCounter()
+	a.AddN("x", 2)
+	b := NewCounter()
+	b.AddN("x", 3)
+	b.Add("y")
+	a.Merge(b)
+	if a.Count("x") != 5 || a.Count("y") != 1 || a.Total() != 6 {
+		t.Errorf("merge result wrong: x=%d y=%d total=%d", a.Count("x"), a.Count("y"), a.Total())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "Category", "Value")
+	tbl.AddRow("latent", "12")
+	tbl.AddSeparator()
+	tbl.AddRow("overwritten", "61")
+	out := tbl.String()
+	for _, want := range []string{"Demo", "Category", "latent", "overwritten", "61"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tbl := NewTable("", "A", "B", "C")
+	tbl.AddRow("only")
+	out := tbl.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("table output missing cell:\n%s", out)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGIntnRoughlyUniform(t *testing.T) {
+	r := NewRNG(99)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := n / buckets
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}

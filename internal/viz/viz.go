@@ -1,0 +1,111 @@
+// Package viz renders time series as plain-text line charts, used by
+// the command-line tools to regenerate the paper's figures in a
+// terminal.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+	Mark   byte // character used to draw this series
+}
+
+// Chart configures a plot.
+type Chart struct {
+	Title  string
+	YLabel string
+	XLabel string
+	Width  int // plot columns (default 100)
+	Height int // plot rows (default 20)
+}
+
+// Render draws the series over a common x-axis of sample indices.
+// Series are drawn in order, later series over earlier ones.
+func (c Chart) Render(series ...Series) string {
+	width := c.Width
+	if width <= 0 {
+		width = 100
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 20
+	}
+
+	n := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if n == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		for col := 0; col < width; col++ {
+			idx := col * len(s.Values) / width
+			if idx >= len(s.Values) {
+				continue
+			}
+			v := s.Values[idx]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			if row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	var legend []string
+	for _, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c = %s", mark, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, ", "))
+	}
+	for r, row := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", c.XLabel)
+	}
+	return b.String()
+}

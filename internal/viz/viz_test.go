@@ -1,0 +1,61 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsTitleAndLegend(t *testing.T) {
+	out := Chart{Title: "Figure 3", XLabel: "time"}.Render(
+		Series{Name: "reference", Values: []float64{1, 2, 3}, Mark: '.'},
+		Series{Name: "actual", Values: []float64{1, 2, 2.5}, Mark: '#'},
+	)
+	for _, want := range []string{"Figure 3", "reference", "actual", "time", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Chart{}.Render(Series{Name: "flat", Values: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestRenderRespectsDimensions(t *testing.T) {
+	out := Chart{Width: 30, Height: 5}.Render(Series{Name: "s", Values: []float64{0, 1, 2, 3}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	plotRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotRows++
+		}
+	}
+	if plotRows != 5 {
+		t.Errorf("plot rows = %d, want 5", plotRows)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	out := Chart{}.Render(Series{Name: "s", Values: []float64{1, math.NaN(), math.Inf(1), 2}})
+	if out == "" {
+		t.Error("chart with non-finite values rendered nothing")
+	}
+}
+
+func TestRenderDefaultMark(t *testing.T) {
+	out := Chart{}.Render(Series{Name: "s", Values: []float64{1, 2}})
+	if !strings.Contains(out, "* = s") {
+		t.Error("default mark not used in legend")
+	}
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"math"
+
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/plant"
+)
+
+// DefaultCycleBudget is the per-iteration instruction limit enforced by
+// the host. A healthy iteration (idle polling included) takes a few
+// hundred instructions; a run that exceeds the budget is terminated by
+// the watchdog, like a bus time-out would terminate a wedged Thor.
+const DefaultCycleBudget = 20000
+
+// DefaultIdleSpins is how many times the workload's wait loop polls the
+// ready flag before the next sample period begins. It models the duty
+// cycle of the real target, which computes for microseconds and then
+// idles until the next 15.4 ms data exchange. The idle share determines
+// how exposed the registers are: faults hitting registers while the CPU
+// idles are overwritten by the reloads at the top of the next
+// iteration, whereas the cached state variable stays live throughout —
+// the effect behind the paper's cache-dominated value failures.
+const DefaultIdleSpins = 100
+
+// Injection describes one SCIFI-style fault: flip Bit just before the
+// instruction with global index At begins execution.
+type Injection struct {
+	At  uint64
+	Bit cpu.StateBit
+}
+
+// RunSpec configures one execution of a workload program against its
+// environment simulator.
+type RunSpec struct {
+	Iterations  int
+	CycleBudget int // per-iteration instruction limit (0 = default)
+	IdleSpins   int // ready-flag polls per sample period (0 = default)
+
+	// EngineCfg and Reference configure the default (engine)
+	// environment; they are ignored when NewEnv is set.
+	EngineCfg plant.EngineConfig
+	Reference plant.ReferenceProfile
+
+	// Ports describes the I/O window; the zero value means the engine
+	// workload's layout (2 inputs, 1 output).
+	Ports PortLayout
+
+	// NewEnv constructs the environment simulator for one run. nil
+	// means the paper's engine environment. A fresh environment is
+	// created per run, so the factory must be safe for concurrent
+	// use.
+	NewEnv func(RunSpec) Environment
+
+	Injection *Injection // nil for the reference (golden) run
+
+	// Observer, if non-nil, is invoked before every instruction with
+	// the current iteration, the global instruction index and the
+	// machine — GOOFI's detail mode, used for error-propagation
+	// analysis. It slows the run down considerably.
+	Observer func(iteration int, instr uint64, vm *cpu.CPU)
+}
+
+// PaperRunSpec returns the paper's experiment parameters: 650 control
+// iterations of the engine workload.
+func PaperRunSpec() RunSpec {
+	return RunSpec{
+		Iterations: plant.DefaultIterations,
+		EngineCfg:  plant.DefaultEngineConfig(),
+		Reference:  plant.PaperReference(),
+	}
+}
+
+// Outcome is the observable result of one run.
+type Outcome struct {
+	// Outputs holds the first output port's value for every completed
+	// iteration (u_lim for the engine workload).
+	Outputs []float64
+
+	// MultiOutputs holds every output port's trace: MultiOutputs[j][k]
+	// is port j at iteration k. Outputs aliases MultiOutputs[0].
+	MultiOutputs [][]float64
+
+	// Speeds holds the engine speed after each completed iteration
+	// (engine environment only; empty for other environments).
+	Speeds []float64
+
+	// Trap is non-nil when an error-detection mechanism terminated
+	// the run; TrapIteration is the iteration during which it fired.
+	Trap          *cpu.TrapError
+	TrapIteration int
+
+	// FinalState is the end-of-run architectural state snapshot,
+	// valid only when Trap is nil.
+	FinalState []uint32
+
+	// Instructions is the total number of instructions executed.
+	Instructions uint64
+
+	// IterationStarts records the instruction count at the beginning
+	// of each iteration, letting callers target an injection at a
+	// precise point of a chosen control iteration.
+	IterationStarts []uint64
+}
+
+// Detected reports whether the run was terminated by an EDM.
+func (o *Outcome) Detected() bool {
+	return o.Trap != nil
+}
+
+// ioPort implements cpu.IOBus for a PortLayout: input doubles, output
+// doubles, the sync word and the ready flag. The ready flag reads 0 for
+// the first idleSpins polls of each sample period, keeping the CPU in
+// its wait loop like the real target idling between data exchanges.
+type ioPort struct {
+	ports      PortLayout
+	in         []float64
+	outHi      []uint32
+	outLo      []uint32
+	syncSeen   bool
+	readyPolls int
+	idleSpins  int
+}
+
+var _ cpu.IOBus = (*ioPort)(nil)
+
+func newIOPort(ports PortLayout, idleSpins int) *ioPort {
+	return &ioPort{
+		ports:     ports,
+		in:        make([]float64, ports.Inputs),
+		outHi:     make([]uint32, ports.Outputs),
+		outLo:     make([]uint32, ports.Outputs),
+		idleSpins: idleSpins,
+	}
+}
+
+func (p *ioPort) ReadIO(off uint32) uint32 {
+	switch {
+	case off == p.ports.ReadyOffset():
+		p.readyPolls++
+		if p.readyPolls > p.idleSpins {
+			return 1
+		}
+		return 0
+	case off == p.ports.SyncOffset():
+		return 0
+	}
+	idx := int(off / 8)
+	hi := off%8 == 0
+	switch {
+	case idx < p.ports.Inputs:
+		bits := math.Float64bits(p.in[idx])
+		if hi {
+			return uint32(bits >> 32)
+		}
+		return uint32(bits)
+	case idx < p.ports.Inputs+p.ports.Outputs:
+		j := idx - p.ports.Inputs
+		if hi {
+			return p.outHi[j]
+		}
+		return p.outLo[j]
+	default:
+		return 0
+	}
+}
+
+func (p *ioPort) WriteIO(off uint32, v uint32) {
+	if off == p.ports.SyncOffset() {
+		p.syncSeen = true
+		return
+	}
+	idx := int(off / 8)
+	j := idx - p.ports.Inputs
+	if j < 0 || j >= p.ports.Outputs {
+		return
+	}
+	if off%8 == 0 {
+		p.outHi[j] = v
+	} else {
+		p.outLo[j] = v
+	}
+}
+
+// outputs returns the delivered output values; valid once the sync
+// store has been observed.
+func (p *ioPort) outputs() []float64 {
+	out := make([]float64, p.ports.Outputs)
+	for j := range out {
+		out[j] = math.Float64frombits(uint64(p.outHi[j])<<32 | uint64(p.outLo[j]))
+	}
+	return out
+}
+
+// Run executes prog against its environment for spec.Iterations control
+// iterations, optionally injecting one bit-flip, and returns the
+// observable outcome. Runs are fully deterministic.
+func Run(prog *cpu.Program, spec RunSpec) *Outcome {
+	budget := spec.CycleBudget
+	if budget <= 0 {
+		budget = DefaultCycleBudget
+	}
+	idle := spec.IdleSpins
+	if idle <= 0 {
+		idle = DefaultIdleSpins
+	}
+	ports := spec.Ports
+	if ports == (PortLayout{}) {
+		ports = sisoPorts
+	}
+	var env Environment
+	if spec.NewEnv != nil {
+		env = spec.NewEnv(spec)
+	} else {
+		env = newEngineEnv(spec)
+	}
+
+	port := newIOPort(ports, idle)
+	vm := cpu.New(prog, port)
+
+	out := &Outcome{MultiOutputs: make([][]float64, ports.Outputs)}
+	for j := range out.MultiOutputs {
+		out.MultiOutputs[j] = make([]float64, 0, spec.Iterations)
+	}
+	injected := false
+	for k := 0; k < spec.Iterations; k++ {
+		out.IterationStarts = append(out.IterationStarts, vm.InstrCount())
+		copy(port.in, env.Inputs(k))
+		port.syncSeen = false
+		port.readyPolls = 0
+
+		cycles := 0
+		for !port.syncSeen {
+			if spec.Injection != nil && !injected && vm.InstrCount() == spec.Injection.At {
+				// Errors here are programming mistakes (covered by
+				// tests); an invalid bit cannot occur for bits
+				// produced by cpu.StateBits.
+				if err := vm.FlipBit(spec.Injection.Bit); err != nil {
+					panic(err)
+				}
+				injected = true
+			}
+			if spec.Observer != nil {
+				spec.Observer(k, vm.InstrCount(), vm)
+			}
+			if err := vm.Step(); err != nil {
+				out.Trap = asTrap(err)
+				out.TrapIteration = k
+				out.Instructions = vm.InstrCount()
+				out.finish(env)
+				return out
+			}
+			cycles++
+			if cycles > budget {
+				out.Trap = &cpu.TrapError{Mech: cpu.MechWatchdog,
+					Info: "iteration exceeded its cycle budget"}
+				out.TrapIteration = k
+				out.Instructions = vm.InstrCount()
+				out.finish(env)
+				return out
+			}
+		}
+
+		u := port.outputs()
+		for j, v := range u {
+			out.MultiOutputs[j] = append(out.MultiOutputs[j], v)
+		}
+		env.Deliver(k, u)
+	}
+	out.FinalState = vm.FinalState()
+	out.Instructions = vm.InstrCount()
+	out.finish(env)
+	return out
+}
+
+// finish wires the convenience views of the outcome.
+func (o *Outcome) finish(env Environment) {
+	if len(o.MultiOutputs) > 0 {
+		o.Outputs = o.MultiOutputs[0]
+	}
+	if e, ok := env.(*engineEnv); ok {
+		o.Speeds = e.speeds
+	}
+}
+
+// asTrap converts the error from CPU.Step into a *TrapError; ErrHalted
+// cannot occur for the looping workloads but is mapped to a constraint
+// trap defensively rather than dropped.
+func asTrap(err error) *cpu.TrapError {
+	if t, ok := err.(*cpu.TrapError); ok {
+		return t
+	}
+	return &cpu.TrapError{Mech: cpu.MechConstraint, Info: err.Error()}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+)
+
+func TestMIMOGoldenTracksSetpoints(t *testing.T) {
+	out := Run(Program(MIMOAlgorithmI), MIMORunSpec())
+	if out.Detected() {
+		t.Fatalf("golden run trapped: %v", out.Trap)
+	}
+	if len(out.MultiOutputs) != 2 {
+		t.Fatalf("output ports = %d, want 2", len(out.MultiOutputs))
+	}
+	// After the step the actuators settle at the steady-state inputs
+	// for (400, 250): u1 ≈ 40.5, u2 ≈ 35.7.
+	u1, u2 := out.MultiOutputs[0][649], out.MultiOutputs[1][649]
+	if math.Abs(u1-40.5) > 1 || math.Abs(u2-35.7) > 1 {
+		t.Errorf("final actuators = (%v, %v), want ≈ (40.5, 35.7)", u1, u2)
+	}
+}
+
+func TestMIMOAlgIIGoldenMatchesAlgI(t *testing.T) {
+	a := Run(Program(MIMOAlgorithmI), MIMORunSpec())
+	b := Run(Program(MIMOAlgorithmII), MIMORunSpec())
+	for j := range a.MultiOutputs {
+		for k := range a.MultiOutputs[j] {
+			if a.MultiOutputs[j][k] != b.MultiOutputs[j][k] {
+				t.Fatalf("fault-free MIMO Algorithm II diverged at output %d, k=%d", j, k)
+			}
+		}
+	}
+}
+
+func TestMIMOStateCorruptionSevereForAlgI(t *testing.T) {
+	prog := Program(MIMOAlgorithmI)
+	golden := Run(prog, MIMORunSpec())
+
+	// x1 occupies line0.data0/1; flip a high exponent bit mid-run.
+	spec := MIMORunSpec()
+	spec.Injection = &Injection{
+		At:  golden.IterationStarts[300] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: 28},
+	}
+	out := Run(prog, spec)
+	if out.Detected() {
+		t.Fatalf("unexpected detection: %v", out.Trap)
+	}
+	v := classify.RunMulti(golden.MultiOutputs, out.MultiOutputs, true, classify.DefaultConfig())
+	if !v.Outcome.IsSevere() {
+		t.Errorf("outcome = %v, want severe", v.Outcome)
+	}
+}
+
+func TestMIMOStateCorruptionRecoveredByAlgII(t *testing.T) {
+	prog := Program(MIMOAlgorithmII)
+	golden := Run(prog, MIMORunSpec())
+
+	spec := MIMORunSpec()
+	spec.Injection = &Injection{
+		At:  golden.IterationStarts[300] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: 28},
+	}
+	out := Run(prog, spec)
+	if out.Detected() {
+		t.Fatalf("unexpected detection: %v", out.Trap)
+	}
+	v := classify.RunMulti(golden.MultiOutputs, out.MultiOutputs, true, classify.DefaultConfig())
+	if v.Outcome.IsSevere() {
+		t.Errorf("outcome = %v, want minor (generalised scheme recovers)", v.Outcome)
+	}
+}
+
+func TestMIMOSecondStateCorruptionRecoveredByAlgII(t *testing.T) {
+	// x2 lives in line0.data2/3: the generalised scheme must protect
+	// every state variable, not just the first.
+	prog := Program(MIMOAlgorithmII)
+	golden := Run(prog, MIMORunSpec())
+
+	spec := MIMORunSpec()
+	spec.Injection = &Injection{
+		At:  golden.IterationStarts[300] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data2", Bit: 28},
+	}
+	out := Run(prog, spec)
+	if out.Detected() {
+		t.Fatalf("unexpected detection: %v", out.Trap)
+	}
+	v := classify.RunMulti(golden.MultiOutputs, out.MultiOutputs, true, classify.DefaultConfig())
+	if v.Outcome.IsSevere() {
+		t.Errorf("outcome = %v, want minor", v.Outcome)
+	}
+}
+
+func TestMIMOCorruptionOnSecondOutputClassified(t *testing.T) {
+	// A fault whose effect shows on output 2 must be visible to the
+	// multi-output classification even when output 1 stays clean.
+	prog := Program(MIMOAlgorithmI)
+	golden := Run(prog, MIMORunSpec())
+
+	spec := MIMORunSpec()
+	spec.Injection = &Injection{
+		At:  golden.IterationStarts[300] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data2", Bit: 28},
+	}
+	out := Run(prog, spec)
+	if out.Detected() {
+		t.Skipf("detected by %v", out.Trap.Mech)
+	}
+	multi := classify.RunMulti(golden.MultiOutputs, out.MultiOutputs, true, classify.DefaultConfig())
+	first := classify.Run(golden.MultiOutputs[0], out.MultiOutputs[0], true, classify.DefaultConfig())
+	if multi.Outcome < first.Outcome {
+		t.Error("multi-output verdict weaker than a single output's")
+	}
+	if !multi.Outcome.IsValueFailure() {
+		t.Errorf("x2 corruption invisible to classification: %v", multi.Outcome)
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	if SpecFor(AlgorithmI).Ports != (PortLayout{}) {
+		t.Error("SISO spec should use the default layout")
+	}
+	spec := SpecFor(MIMOAlgorithmII)
+	if spec.Ports != (PortLayout{Inputs: 4, Outputs: 2}) {
+		t.Errorf("MIMO ports = %+v", spec.Ports)
+	}
+	if spec.NewEnv == nil {
+		t.Error("MIMO spec missing environment factory")
+	}
+}
+
+func TestPortLayoutOffsets(t *testing.T) {
+	p := PortLayout{Inputs: 4, Outputs: 2}
+	if p.SyncOffset() != 48 || p.ReadyOffset() != 52 {
+		t.Errorf("offsets = %d, %d; want 48, 52", p.SyncOffset(), p.ReadyOffset())
+	}
+	siso := PortLayout{Inputs: 2, Outputs: 1}
+	if siso.SyncOffset() != 24 || siso.ReadyOffset() != 28 {
+		t.Errorf("SISO offsets = %d, %d; want 24, 28", siso.SyncOffset(), siso.ReadyOffset())
+	}
+}

@@ -1,0 +1,257 @@
+package workload
+
+// The MIMO workload implements the paper's future-work direction on the
+// simulated CPU: a controller with multiple state variables and
+// multiple output signals (a two-spool jet-engine abstraction), with
+// the generalised protection scheme of §4.3 — assert every state
+// before backing any up, recover ALL states together, assert every
+// output before returning, recover all outputs and states together.
+//
+// The control structure is two PI loops (fuel flow → shaft 1, nozzle
+// area → shaft 2) closed around the coupled two-shaft plant. Actuator
+// ranges: u1 ∈ [0, 100], u2 ∈ [0, 40]. Anti-windup per loop keeps each
+// integrator inside its actuator range — the invariant the assertions
+// check.
+//
+// I/O window: r1@0, r2@8, n1@16, n2@24 in; u1@32, u2@40 out; sync@48,
+// ready@52 (see mimoPorts).
+
+// MIMO workload variants.
+const (
+	// MIMOAlgorithmI is the unprotected two-loop controller.
+	MIMOAlgorithmI Variant = "mimo-alg1"
+
+	// MIMOAlgorithmII applies the generalised assertion + best effort
+	// recovery scheme of §4.3 to both states and both outputs.
+	MIMOAlgorithmII Variant = "mimo-alg2"
+)
+
+// mimoLoops is the shared two-loop computation: e1/e2 from the I/O
+// window, PI with clamping and anti-windup per loop, outputs delivered
+// to the I/O window. It leaves the data base in r1.
+const mimoLoops = `
+        MOVI r1, 0x2000
+        LD   r2, 0(r1)        ; r1ref
+        LD   r3, 4(r1)
+        LD   r4, 16(r1)       ; n1
+        LD   r5, 20(r1)
+        FSUBD r2, r2, r4      ; e1 = r1ref - n1
+        MOVI r1, 0x1000
+        LD   r6, @x1(r1)      ; x1
+        LD   r7, @x1+4(r1)
+        FMOVD r8, 0.29        ; Kp1
+        FMULD r8, r2, r8
+        FADDD r8, r8, r6      ; u1 = Kp1*e1 + x1
+        FMOVD r10, 100.0      ; u1 upper limit
+        FMOVD r4, 0.0
+        OR   r12, r8, r0
+        OR   r13, r9, r0
+        FCMPD r12, r10
+        BLE  ck1lo
+        OR   r12, r10, r0
+        OR   r13, r11, r0
+ck1lo:  SIG
+        FCMPD r12, r4
+        BGE  ki1sel
+        OR   r12, r4, r0
+        OR   r13, r5, r0
+ki1sel: SIG
+        FCMPD r8, r10
+        BLE  aw1lo
+        FCMPD r2, r4
+        BLE  ki1pos
+        MOVI r10, 0
+        MOVI r11, 0
+        JMP  int1
+aw1lo:  SIG
+        FCMPD r8, r4
+        BGE  ki1pos
+        FCMPD r2, r4
+        BGE  ki1pos
+        MOVI r10, 0
+        MOVI r11, 0
+        JMP  int1
+ki1pos: SIG
+        FMOVD r10, 0.5        ; Ki1
+int1:   SIG
+        FMOVD r4, 0.015384615384615385
+        FMULD r2, r2, r4
+        FMULD r2, r2, r10
+        FADDD r6, r6, r2      ; x1 += T*e1*Ki1
+        ST   r6, @x1(r1)
+        ST   r7, @x1+4(r1)
+        MOVI r1, 0x2000
+        ST   r12, 32(r1)      ; deliver u1
+        ST   r13, 36(r1)
+
+        LD   r2, 8(r1)        ; r2ref
+        LD   r3, 12(r1)
+        LD   r4, 24(r1)       ; n2
+        LD   r5, 28(r1)
+        FSUBD r2, r2, r4      ; e2 = r2ref - n2
+        MOVI r1, 0x1000
+        LD   r6, @x2(r1)      ; x2
+        LD   r7, @x2+4(r1)
+        FMOVD r8, 0.35        ; Kp2
+        FMULD r8, r2, r8
+        FADDD r8, r8, r6      ; u2 = Kp2*e2 + x2
+        FMOVD r10, 40.0       ; u2 upper limit
+        FMOVD r4, 0.0
+        OR   r12, r8, r0
+        OR   r13, r9, r0
+        FCMPD r12, r10
+        BLE  ck2lo
+        OR   r12, r10, r0
+        OR   r13, r11, r0
+ck2lo:  SIG
+        FCMPD r12, r4
+        BGE  ki2sel
+        OR   r12, r4, r0
+        OR   r13, r5, r0
+ki2sel: SIG
+        FCMPD r8, r10
+        BLE  aw2lo
+        FCMPD r2, r4
+        BLE  ki2pos
+        MOVI r10, 0
+        MOVI r11, 0
+        JMP  int2
+aw2lo:  SIG
+        FCMPD r8, r4
+        BGE  ki2pos
+        FCMPD r2, r4
+        BGE  ki2pos
+        MOVI r10, 0
+        MOVI r11, 0
+        JMP  int2
+ki2pos: SIG
+        FMOVD r10, 0.67      ; Ki2
+int2:   SIG
+        FMOVD r4, 0.015384615384615385
+        FMULD r2, r2, r4
+        FMULD r2, r2, r10
+        FADDD r6, r6, r2      ; x2 += T*e2*Ki2
+        ST   r6, @x2(r1)
+        ST   r7, @x2+4(r1)
+        MOVI r1, 0x2000
+        ST   r12, 40(r1)      ; deliver u2
+        ST   r13, 44(r1)
+`
+
+// mimoEpilogue signals the iteration and idles until the next period.
+const mimoEpilogue = `
+        MOVI r15, 1
+        ST   r15, 48(r1)      ; sync
+wait:   SIG
+        LD   r15, 52(r1)      ; ready flag
+        CMP  r15, r0
+        BEQ  wait
+        JMP  loop
+`
+
+// srcMIMOAlgorithmI is the unprotected two-loop controller (Algorithm I
+// generalised to two states and two outputs). The initial integrator
+// values are the steady-state actuator commands for (300, 200) rpm.
+const srcMIMOAlgorithmI = `
+.code
+loop:   SIG
+` + mimoLoops + mimoEpilogue + `
+.data
+x1:     .double 30.10752688   ; fuel-flow integrator
+x2:     .double 29.13978495   ; nozzle integrator
+`
+
+// srcMIMOAlgorithmII applies §4.3's generalised scheme:
+//
+//  1. assert every state x_i before backing any up; on failure recover
+//     ALL states from the previous iteration's backups, otherwise back
+//     ALL of them up;
+//  2. after computing, assert every output u_j; on failure deliver ALL
+//     previous outputs and restore ALL states;
+//  3. back up the outputs;  4. return them.
+const srcMIMOAlgorithmII = `
+.code
+loop:   SIG
+        MOVI r1, 0x1000
+        LD   r6, @x1(r1)
+        LD   r7, @x1+4(r1)
+        LD   r8, @x2(r1)
+        LD   r9, @x2+4(r1)
+        FMOVD r4, 0.0
+        FMOVD r10, 100.0
+        FCMPD r6, r4          ; assert x1 in [0, 100]
+        BLT  recx
+        FCMPD r6, r10
+        BGT  recx
+        FMOVD r10, 40.0
+        FCMPD r8, r4          ; assert x2 in [0, 40]
+        BLT  recx
+        FCMPD r8, r10
+        BGT  recx
+        ST   r6, @x1old(r1)   ; back up ALL states
+        ST   r7, @x1old+4(r1)
+        ST   r8, @x2old(r1)
+        ST   r9, @x2old+4(r1)
+        JMP  xok
+recx:   SIG
+        LD   r6, @x1old(r1)   ; recover ALL states
+        LD   r7, @x1old+4(r1)
+        ST   r6, @x1(r1)
+        ST   r7, @x1+4(r1)
+        LD   r8, @x2old(r1)
+        LD   r9, @x2old+4(r1)
+        ST   r8, @x2(r1)
+        ST   r9, @x2+4(r1)
+xok:    SIG
+` + mimoLoops + `
+        LD   r2, 32(r1)       ; read back u1
+        LD   r3, 36(r1)
+        LD   r8, 40(r1)       ; read back u2
+        LD   r9, 44(r1)
+        FMOVD r4, 0.0
+        FMOVD r10, 100.0
+        FCMPD r2, r4          ; assert u1 in [0, 100]
+        BLT  recu
+        FCMPD r2, r10
+        BGT  recu
+        FMOVD r10, 40.0
+        FCMPD r8, r4          ; assert u2 in [0, 40]
+        BLT  recu
+        FCMPD r8, r10
+        BGT  recu
+        JMP  uok
+recu:   SIG
+        MOVI r1, 0x1000
+        LD   r2, @u1old(r1)   ; deliver ALL previous outputs
+        LD   r3, @u1old+4(r1)
+        LD   r8, @u2old(r1)
+        LD   r9, @u2old+4(r1)
+        LD   r6, @x1old(r1)   ; and restore ALL states
+        LD   r7, @x1old+4(r1)
+        ST   r6, @x1(r1)
+        ST   r7, @x1+4(r1)
+        LD   r6, @x2old(r1)
+        LD   r7, @x2old+4(r1)
+        ST   r6, @x2(r1)
+        ST   r7, @x2+4(r1)
+        MOVI r1, 0x2000
+        ST   r2, 32(r1)
+        ST   r3, 36(r1)
+        ST   r8, 40(r1)
+        ST   r9, 44(r1)
+uok:    SIG
+        MOVI r1, 0x1000
+        ST   r2, @u1old(r1)   ; back up the outputs
+        ST   r3, @u1old+4(r1)
+        ST   r8, @u2old(r1)
+        ST   r9, @u2old+4(r1)
+        MOVI r1, 0x2000
+` + mimoEpilogue + `
+.data
+x1:     .double 30.10752688
+x2:     .double 29.13978495
+x1old:  .double 30.10752688
+x2old:  .double 29.13978495
+u1old:  .double 30.10752688
+u2old:  .double 29.13978495
+`

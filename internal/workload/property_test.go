@@ -1,0 +1,112 @@
+package workload_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/inject"
+	"ctrlguard/internal/workload"
+)
+
+// shortRun keeps property tests fast.
+func shortRun() workload.RunSpec {
+	spec := workload.PaperRunSpec()
+	spec.Iterations = 40
+	return spec
+}
+
+// TestPropertyInjectionNeverPanics drives the whole stack with random
+// faults: whatever bit flips at whatever time, Run must return a
+// well-formed Outcome (trap or completed run), never panic.
+func TestPropertyInjectionNeverPanics(t *testing.T) {
+	prog := workload.Program(workload.AlgorithmI)
+	golden := workload.Run(prog, shortRun())
+	if golden.Detected() {
+		t.Fatal(golden.Trap)
+	}
+	sampler := inject.NewSampler(99, golden.Instructions)
+
+	f := func(_ uint8) bool {
+		inj := sampler.Next()
+		spec := shortRun()
+		spec.Injection = &inj
+		out := workload.Run(prog, spec)
+		if out.Detected() {
+			return out.Trap.Mech != "" && out.TrapIteration >= 0
+		}
+		return len(out.Outputs) == spec.Iterations && out.FinalState != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOutputsAlwaysFinite: whatever fault is injected, every
+// delivered output is a finite float (the limiter and the EDMs together
+// keep garbage off the actuator bus or terminate the run).
+func TestPropertyOutputsAlwaysFinite(t *testing.T) {
+	prog := workload.Program(workload.AlgorithmII)
+	golden := workload.Run(prog, shortRun())
+	sampler := inject.NewSampler(123, golden.Instructions)
+
+	f := func(_ uint8) bool {
+		inj := sampler.Next()
+		spec := shortRun()
+		spec.Injection = &inj
+		out := workload.Run(prog, spec)
+		for _, u := range out.Outputs {
+			if u != u || u > 1e12 || u < -1e12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInjectionDeterministic: the same fault always produces
+// bit-identical outcomes.
+func TestPropertyInjectionDeterministic(t *testing.T) {
+	prog := workload.Program(workload.AlgorithmI)
+	golden := workload.Run(prog, shortRun())
+	sampler := inject.NewSampler(7, golden.Instructions)
+	for i := 0; i < 50; i++ {
+		inj := sampler.Next()
+		spec := shortRun()
+		spec.Injection = &inj
+		a := workload.Run(prog, spec)
+		b := workload.Run(prog, spec)
+		if a.Detected() != b.Detected() || a.Instructions != b.Instructions {
+			t.Fatalf("run %d not deterministic", i)
+		}
+		if !a.Detected() && !cpu.StatesEqual(a.FinalState, b.FinalState) {
+			t.Fatalf("final states differ for %v", inj)
+		}
+	}
+}
+
+// TestIterationStartsMonotonic: iteration starts strictly increase and
+// each window is wide enough for the idle polling plus compute.
+func TestIterationStartsMonotonic(t *testing.T) {
+	out := workload.Run(workload.Program(workload.AlgorithmI), workload.PaperRunSpec())
+	if out.Detected() {
+		t.Fatal(out.Trap)
+	}
+	for k := 1; k < len(out.IterationStarts); k++ {
+		if out.IterationStarts[k] <= out.IterationStarts[k-1] {
+			t.Fatalf("iteration starts not increasing at %d", k)
+		}
+		// The poll phase for sample period k executes at the start of
+		// window k, so every window except the very first spans at
+		// least the idle polls.
+		if k >= 2 {
+			width := out.IterationStarts[k] - out.IterationStarts[k-1]
+			if width < uint64(workload.DefaultIdleSpins) {
+				t.Fatalf("iteration %d spans %d instructions, less than the idle polls", k, width)
+			}
+		}
+	}
+}
