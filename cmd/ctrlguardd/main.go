@@ -1,0 +1,63 @@
+// Command ctrlguardd serves fault-injection campaigns over HTTP — the
+// long-running counterpart to cmd/goofi's one-shot runs, playing the
+// role of the paper's interactive GOOFI service: queue campaigns, watch
+// their progress live, and query the stored per-experiment records.
+//
+// Usage:
+//
+//	ctrlguardd -addr :8077 -data ./results/campaigns
+//
+// Then, for example:
+//
+//	curl -d '{"variant":"alg1","n":2000,"seed":2001}' localhost:8077/api/v1/campaigns
+//	curl -N localhost:8077/api/v1/campaigns/c000001/events
+//	curl localhost:8077/api/v1/campaigns/c000001/report
+//	curl -X DELETE localhost:8077/api/v1/campaigns/c000001
+//	curl localhost:8077/metrics
+//
+// SIGINT/SIGTERM shuts down gracefully: running campaigns stop at the
+// next experiment boundary and their partial records are persisted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ctrlguard/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 1, "campaigns executed concurrently (each parallelises its own experiments)")
+		queue   = flag.Int("queue", 16, "max campaigns waiting in the queue")
+		data    = flag.String("data", "", "directory for per-campaign JSONL record files (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	if *data != "" {
+		if err := os.MkdirAll(*data, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlguardd:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Addr:       *addr,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		DataDir:    *data,
+	})
+	if err := srv.ListenAndServe(ctx); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "ctrlguardd:", err)
+		os.Exit(1)
+	}
+}

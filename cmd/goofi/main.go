@@ -18,9 +18,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -49,11 +52,22 @@ func main() {
 	)
 	flag.Parse()
 
-	v, err := pickVariant(*alg, *variant)
-	if err == nil && *precision > 0 {
-		err = runPrecision(v, *seed, *workers, *precision)
+	// The same spec type validates ctrlguardd's JSON submissions; the
+	// CLI flags are just another front end to it.
+	spec := goofi.CampaignSpec{
+		Alg: *alg, Variant: *variant, Experiments: *n,
+		Seed: *seed, Workers: *workers, Precision: *precision,
+	}
+	// Cancel on SIGINT so a long campaign still flushes the records
+	// completed so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg, err := spec.Resolve()
+	if err == nil && spec.Sequential() {
+		err = runPrecision(ctx, cfg, *precision)
 	} else if err == nil {
-		err = run(v, *n, *n2, *seed, *workers, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *quiet)
+		err = run(ctx, cfg.Variant, *n, *n2, *seed, *workers, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *quiet)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goofi:", err)
@@ -61,7 +75,7 @@ func main() {
 	}
 }
 
-func run(v workload.Variant, n, n2 int, seed uint64, workers int, out string,
+func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, workers int, out string,
 	compare, swifi bool, analyze, trace string, disasm, markdown, quiet bool) error {
 	switch {
 	case disasm:
@@ -72,7 +86,7 @@ func run(v workload.Variant, n, n2 int, seed uint64, workers int, out string,
 	case trace != "":
 		return runTrace(v, trace)
 	case compare:
-		return runCompare(n, n2, seed, workers, markdown, quiet)
+		return runCompare(ctx, n, n2, seed, workers, markdown, quiet)
 	}
 
 	var (
@@ -82,16 +96,28 @@ func run(v workload.Variant, n, n2 int, seed uint64, workers int, out string,
 	if swifi {
 		res, err = goofi.RunSWIFI(goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers})
 	} else {
-		res, err = campaign(v, n, seed, workers, quiet)
+		res, err = campaign(ctx, v, n, seed, workers, quiet)
 	}
-	if err != nil {
+	interrupted := errors.Is(err, context.Canceled) && res != nil
+	if err != nil && !interrupted {
 		return err
 	}
-	if out != "" {
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "\ninterrupted after %d/%d experiments\n", len(res.Records), n)
+	}
+	if out != "" && len(res.Records) > 0 {
 		if err := goofi.SaveRecords(out, res.Records); err != nil {
 			return err
 		}
-		fmt.Printf("records written to %s\n", out)
+		fmt.Printf("records written to %s (%d experiments)\n", out, len(res.Records))
+	}
+	if interrupted {
+		if len(res.Records) == 0 {
+			return context.Canceled
+		}
+		a := goofi.Analyze(res.Records)
+		fmt.Println(a.RenderRegionTable(fmt.Sprintf("Partial results for %s (interrupted)", v)))
+		return nil
 	}
 	var a *goofi.Analysis
 	title := fmt.Sprintf("Results for %s (cf. paper Table %s)", v, tableFor(v))
@@ -108,13 +134,18 @@ func run(v workload.Variant, n, n2 int, seed uint64, workers int, out string,
 
 // runPrecision runs a sequential campaign until the severe-rate
 // confidence interval reaches the requested half-width.
-func runPrecision(v workload.Variant, seed uint64, workers int, target float64) error {
-	fmt.Printf("sequential campaign on %s until severe-rate CI half-width <= %.4f%%\n", v, target*100)
-	res, err := goofi.RunUntilPrecision(goofi.PrecisionConfig{
-		Campaign:        goofi.Config{Variant: v, Seed: seed, Workers: workers},
+func runPrecision(ctx context.Context, cfg goofi.Config, target float64) error {
+	fmt.Printf("sequential campaign on %s until severe-rate CI half-width <= %.4f%%\n", cfg.Variant, target*100)
+	res, err := goofi.RunUntilPrecisionContext(ctx, goofi.PrecisionConfig{
+		Campaign:        cfg,
 		TargetHalfWidth: target,
 	})
-	if err != nil {
+	if errors.Is(err, context.Canceled) && res != nil {
+		fmt.Fprintf(os.Stderr, "interrupted after %d experiments\n", res.Experiments)
+		if res.Experiments == 0 {
+			return context.Canceled
+		}
+	} else if err != nil {
 		return err
 	}
 	fmt.Printf("experiments: %d in %d batches (converged: %v)\n", res.Experiments, res.Batches, res.Converged)
@@ -128,7 +159,11 @@ func runPrecision(v workload.Variant, seed uint64, workers int, target float64) 
 // and print the tables plus the severe-failure investigation.
 func runAnalyze(path string) error {
 	recs, err := goofi.LoadRecords(path)
-	if err != nil {
+	var trunc *goofi.TruncatedError
+	if errors.As(err, &trunc) {
+		// A crash-interrupted campaign log: analyse what survived.
+		fmt.Fprintf(os.Stderr, "goofi: warning: %v (analysing %d intact records)\n", trunc, len(recs))
+	} else if err != nil {
 		return err
 	}
 	a := goofi.Analyze(recs)
@@ -180,12 +215,12 @@ func runTrace(v workload.Variant, spec string) error {
 	return nil
 }
 
-func runCompare(n, n2 int, seed uint64, workers int, markdown, quiet bool) error {
-	r1, err := campaign(workload.AlgorithmI, n, seed, workers, quiet)
+func runCompare(ctx context.Context, n, n2 int, seed uint64, workers int, markdown, quiet bool) error {
+	r1, err := campaign(ctx, workload.AlgorithmI, n, seed, workers, quiet)
 	if err != nil {
 		return err
 	}
-	r2, err := campaign(workload.AlgorithmII, n2, seed+1, workers, quiet)
+	r2, err := campaign(ctx, workload.AlgorithmII, n2, seed+1, workers, quiet)
 	if err != nil {
 		return err
 	}
@@ -205,7 +240,7 @@ func runCompare(n, n2 int, seed uint64, workers int, markdown, quiet bool) error
 	return nil
 }
 
-func campaign(v workload.Variant, n int, seed uint64, workers int, quiet bool) (*goofi.Result, error) {
+func campaign(ctx context.Context, v workload.Variant, n int, seed uint64, workers int, quiet bool) (*goofi.Result, error) {
 	cfg := goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers}
 	if !quiet {
 		cfg.Progress = func(done, total int) {
@@ -217,26 +252,7 @@ func campaign(v workload.Variant, n int, seed uint64, workers int, quiet bool) (
 			}
 		}
 	}
-	return goofi.Run(cfg)
-}
-
-func pickVariant(alg int, variant string) (workload.Variant, error) {
-	switch {
-	case variant != "" && alg != 0:
-		return "", fmt.Errorf("use either -alg or -variant, not both")
-	case alg == 1:
-		return workload.AlgorithmI, nil
-	case alg == 2:
-		return workload.AlgorithmII, nil
-	case variant != "":
-		v := workload.Variant(variant)
-		if _, ok := workload.Source(v); !ok {
-			return "", fmt.Errorf("unknown variant %q (have %v)", variant, workload.Variants())
-		}
-		return v, nil
-	default:
-		return workload.AlgorithmI, nil
-	}
+	return goofi.RunContext(ctx, cfg)
 }
 
 func tableFor(v workload.Variant) string {

@@ -6,6 +6,7 @@
 package goofi
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -43,6 +44,11 @@ type Config struct {
 	// Progress, if non-nil, is called after each completed experiment
 	// with the number done so far.
 	Progress func(done, total int)
+
+	// OnRecord, if non-nil, is called with each completed experiment's
+	// record. Calls are serialised (never concurrent) but their order
+	// follows worker completion, not experiment ID.
+	OnRecord func(Record)
 }
 
 // Record is the logged result of a single fault-injection experiment —
@@ -72,6 +78,17 @@ type Result struct {
 // fault injections with uniform (location, time) sampling, classified
 // against the golden outputs.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the
+// campaign stops at the next experiment boundary and returns the
+// records completed so far (ordered by experiment ID) together with
+// ctx's error. A nil ctx behaves like context.Background.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Experiments <= 0 {
 		return nil, fmt.Errorf("goofi: campaign needs a positive experiment count, got %d", cfg.Experiments)
 	}
@@ -105,6 +122,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	records := make([]Record, cfg.Experiments)
+	completed := make([]bool, cfg.Experiments)
 	var (
 		wg   sync.WaitGroup
 		mu   sync.Mutex
@@ -116,22 +134,44 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				records[i] = runExperiment(prog, cfg, golden, i, injections[i])
-				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					cfg.Progress(done, cfg.Experiments)
-					mu.Unlock()
+				if ctx.Err() != nil {
+					continue // drain without running
 				}
+				rec := runExperiment(prog, cfg, golden, i, injections[i])
+				mu.Lock()
+				records[i] = rec
+				completed[i] = true
+				done++
+				if cfg.Progress != nil {
+					cfg.Progress(done, cfg.Experiments)
+				}
+				if cfg.OnRecord != nil {
+					cfg.OnRecord(rec)
+				}
+				mu.Unlock()
 			}
 		}()
 	}
+feed:
 	for i := 0; i < cfg.Experiments; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		partial := make([]Record, 0, done)
+		for i, ok := range completed {
+			if ok {
+				partial = append(partial, records[i])
+			}
+		}
+		return &Result{Config: cfg, Golden: golden, Records: partial}, err
+	}
 	return &Result{Config: cfg, Golden: golden, Records: records}, nil
 }
 

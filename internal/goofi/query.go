@@ -91,8 +91,8 @@ func (q Query) Detected(mechanism string) Query {
 
 // ElementCount is one row of a per-element tally.
 type ElementCount struct {
-	Element string
-	Count   int
+	Element string `json:"element"`
+	Count   int    `json:"count"`
 }
 
 // TopElements returns the k elements with the most records in the

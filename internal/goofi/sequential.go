@@ -1,6 +1,7 @@
 package goofi
 
 import (
+	"context"
 	"fmt"
 
 	"ctrlguard/internal/stats"
@@ -53,6 +54,17 @@ type PrecisionResult struct {
 // the experiment budget is exhausted. Results are deterministic for a
 // given configuration.
 func RunUntilPrecision(cfg PrecisionConfig) (*PrecisionResult, error) {
+	return RunUntilPrecisionContext(context.Background(), cfg)
+}
+
+// RunUntilPrecisionContext is RunUntilPrecision with cancellation: when
+// ctx is cancelled the campaign stops at the next experiment boundary
+// and returns the records and estimate accumulated so far together
+// with ctx's error. A nil ctx behaves like context.Background.
+func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*PrecisionResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.TargetHalfWidth <= 0 {
 		return nil, fmt.Errorf("goofi: TargetHalfWidth must be positive, got %v", cfg.TargetHalfWidth)
 	}
@@ -79,17 +91,22 @@ func RunUntilPrecision(cfg PrecisionConfig) (*PrecisionResult, error) {
 		// staying reproducible.
 		batch.Seed = cfg.Campaign.Seed + uint64(res.Batches)*1_000_003
 
-		out, err := Run(batch)
+		out, err := RunContext(ctx, batch)
+		if out != nil && len(out.Records) > 0 {
+			res.Records = append(res.Records, out.Records...)
+			res.Batches++
+			res.Experiments += len(out.Records)
+
+			counter.Merge(Analyze(out.Records).Total)
+			res.Estimate = metric(counter)
+			res.HalfWidth = res.Estimate.CI95()
+		}
 		if err != nil {
+			if ctx.Err() != nil {
+				return res, err
+			}
 			return nil, err
 		}
-		res.Records = append(res.Records, out.Records...)
-		res.Batches++
-		res.Experiments += len(out.Records)
-
-		counter.Merge(Analyze(out.Records).Total)
-		res.Estimate = metric(counter)
-		res.HalfWidth = res.Estimate.CI95()
 		// A zero-count estimate has a degenerate normal CI; keep
 		// sampling until at least one observation or the budget ends.
 		if res.Estimate.Count > 0 && res.HalfWidth <= cfg.TargetHalfWidth {

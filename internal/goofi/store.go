@@ -2,6 +2,7 @@ package goofi
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,19 +25,58 @@ func WriteRecords(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
+// TruncatedError reports a JSONL stream whose final line failed to
+// parse — the signature of a campaign log cut short mid-write by a
+// crash or interrupt. The records parsed before it are still returned
+// alongside the error, so callers can tolerate-and-report.
+type TruncatedError struct {
+	Line int   // 1-based line number of the unparsable final line
+	Err  error // the underlying JSON error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("goofi: truncated record on final line %d: %v", e.Line, e.Err)
+}
+
+func (e *TruncatedError) Unwrap() error { return e.Err }
+
 // ReadRecords parses JSON-lines records from r.
+//
+// A malformed line in the middle of the stream is a hard error. A
+// malformed *final* line — a record cut short by a crash-interrupted
+// campaign — returns the successfully parsed records together with a
+// *TruncatedError naming the line, so a partial campaign database
+// remains analysable.
 func ReadRecords(r io.Reader) ([]Record, error) {
 	var out []Record
-	dec := json.NewDecoder(r)
-	for {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	var trunc *TruncatedError
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if trunc != nil {
+			// The bad line was not the last one: corrupt, not truncated.
+			return nil, fmt.Errorf("goofi: decode record on line %d: %w", trunc.Line, trunc.Err)
+		}
 		var rec Record
-		if err := dec.Decode(&rec); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("goofi: decode record %d: %w", len(out), err)
+		if err := json.Unmarshal(b, &rec); err != nil {
+			trunc = &TruncatedError{Line: line, Err: err}
+			continue
 		}
 		out = append(out, rec)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("goofi: read records: %w", err)
+	}
+	if trunc != nil {
+		return out, trunc
+	}
+	return out, nil
 }
 
 // SaveRecords writes records to path, creating or truncating it.

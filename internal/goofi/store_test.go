@@ -2,6 +2,7 @@ package goofi
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -65,6 +66,61 @@ func TestReadRecordsEmpty(t *testing.T) {
 func TestReadRecordsMalformed(t *testing.T) {
 	if _, err := ReadRecords(strings.NewReader("{not json")); err == nil {
 		t.Error("expected error for malformed input")
+	}
+}
+
+// A crash-interrupted campaign leaves a half-written final line; the
+// intact records must still be readable, with the bad line reported.
+func TestReadRecordsTruncatedFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	cut := full[:len(full)-25] // chop mid-way through record 2
+
+	got, err := ReadRecords(strings.NewReader(cut))
+	if err == nil {
+		t.Fatal("expected a TruncatedError for the half-written final line")
+	}
+	var trunc *TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("got %T (%v), want *TruncatedError", err, err)
+	}
+	if trunc.Line != 3 {
+		t.Errorf("TruncatedError.Line = %d, want 3", trunc.Line)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name the line", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records alongside the error, want the 2 intact ones", len(got))
+	}
+	want := sampleRecords()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// A malformed line in the *middle* of the stream is corruption, not
+// truncation: that stays a hard error.
+func TestReadRecordsCorruptMiddleLine(t *testing.T) {
+	in := `{"id":0,"variant":"alg1"}` + "\n" + `{"id":1,"var` + "\n" + `{"id":2,"variant":"alg1"}` + "\n"
+	got, err := ReadRecords(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected hard error for a corrupt middle line")
+	}
+	var trunc *TruncatedError
+	if errors.As(err, &trunc) {
+		t.Errorf("middle-line corruption misreported as truncation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name line 2", err)
+	}
+	if got != nil {
+		t.Errorf("expected no records on hard error, got %d", len(got))
 	}
 }
 

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/workload"
+)
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit validates a JSON campaign spec and enqueues it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec goofi.CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	c, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.log.Printf("campaign %s submitted: %+v", c.ID, spec)
+	w.Header().Set("Location", "/api/v1/campaigns/"+c.ID)
+	s.writeJSON(w, http.StatusAccepted, c.Snapshot())
+}
+
+// handleList lists campaigns in submission order, optionally filtered
+// by ?state=.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	stateFilter := State(r.URL.Query().Get("state"))
+	views := make([]View, 0)
+	for _, c := range s.mgr.List() {
+		v := c.Snapshot()
+		if stateFilter != "" && v.State != stateFilter {
+			continue
+		}
+		views = append(views, v)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"campaigns": views})
+}
+
+// campaign resolves {id}, writing 404 on miss.
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) *Campaign {
+	id := r.PathValue("id")
+	c, err := s.mgr.Get(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "no campaign %q", id)
+		return nil
+	}
+	return c
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if c := s.campaign(w, r); c != nil {
+		s.writeJSON(w, http.StatusOK, c.Snapshot())
+	}
+}
+
+// handleCancel cancels a queued or running campaign.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	stopped, err := s.mgr.Cancel(c.ID)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if !stopped {
+		s.writeError(w, http.StatusConflict, "campaign %s already %s", c.ID, c.Snapshot().State)
+		return
+	}
+	s.log.Printf("campaign %s cancelled", c.ID)
+	s.writeJSON(w, http.StatusAccepted, c.Snapshot())
+}
+
+// report is the JSON answer of /report: the analysis phase over the
+// campaign's stored records, optionally filtered.
+type report struct {
+	Campaign     string               `json:"campaign"`
+	State        State                `json:"state"`
+	Filters      map[string]string    `json:"filters,omitempty"`
+	Records      int                  `json:"records"`
+	Outcomes     map[string]int       `json:"outcomes"`
+	Severe       int                  `json:"severe"`
+	Detected     int                  `json:"detected"`
+	TopElements  []goofi.ElementCount `json:"topElements,omitempty"`
+	MaxDeviation struct {
+		Min  float64 `json:"min"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"maxDeviation"`
+}
+
+// handleReport runs the analysis phase over a campaign's records,
+// reusing the goofi query layer. Filters: ?region=, ?outcome=,
+// ?element=. With ?format=table the paper-style region table is
+// returned as plain text instead.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	recs := c.Records()
+	if len(recs) == 0 {
+		s.writeError(w, http.StatusConflict, "campaign %s has no records yet (state %s)", c.ID, c.Snapshot().State)
+		return
+	}
+
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		a := goofi.Analyze(recs)
+		fmt.Fprintln(w, a.RenderRegionTable(fmt.Sprintf("Campaign %s (%d records)", c.ID, len(recs))))
+		fmt.Fprintln(w, a.Summary())
+		return
+	}
+
+	q := goofi.NewQuery(recs)
+	filters := map[string]string{}
+	if v := r.URL.Query().Get("region"); v != "" {
+		filters["region"] = v
+		q = q.ByRegion(v)
+	}
+	if v := r.URL.Query().Get("element"); v != "" {
+		filters["element"] = v
+		q = q.ByElement(v)
+	}
+	if v := r.URL.Query().Get("outcome"); v != "" {
+		filters["outcome"] = v
+		q = q.Where(func(rec goofi.Record) bool { return rec.Outcome == v })
+	}
+
+	rep := report{
+		Campaign: c.ID,
+		State:    c.Snapshot().State,
+		Filters:  filters,
+		Records:  q.Len(),
+		Outcomes: map[string]int{},
+		Severe:   q.Severe().Len(),
+		Detected: q.Detected("").Len(),
+	}
+	if len(filters) == 0 {
+		rep.Filters = nil
+	}
+	for _, rec := range q.Records() {
+		rep.Outcomes[rec.Outcome]++
+	}
+	rep.TopElements = q.TopElements(5)
+	rep.MaxDeviation.Min, rep.MaxDeviation.Mean, rep.MaxDeviation.Max = q.MaxDeviationStats()
+	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// handleVariants lists the workload variants a spec may name.
+func (s *Server) handleVariants(w http.ResponseWriter, _ *http.Request) {
+	vs := workload.Variants()
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = string(v)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"variants": names})
+}
+
+// handleMetrics serves the ctrlguardd expvar map as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	page := metrics.page
+	if page == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	fmt.Fprintln(w, page.String())
+}

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ctrlguard/internal/goofi"
+)
+
+// The original GOOFI was an interactive service: campaigns were queued
+// through its GUI and every experiment landed in a SQL database for
+// later analysis. Manager is that service core for ctrlguardd — a
+// bounded job queue feeding a pool of campaign runners, each campaign
+// executing through goofi.RunContext with live progress fan-out and
+// JSONL persistence.
+
+// State is a campaign's lifecycle stage.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one progress update on a campaign's event stream.
+type Event struct {
+	Type     string         `json:"type"` // "snapshot", "progress", or a terminal state
+	Campaign string         `json:"campaign"`
+	State    State          `json:"state"`
+	Done     int            `json:"done"`
+	Total    int            `json:"total"`
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// Campaign is one queued, running, or finished fault-injection job.
+type Campaign struct {
+	ID      string
+	Spec    goofi.CampaignSpec
+	Created time.Time
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	done     int
+	total    int
+	outcomes map[string]int
+	errMsg   string
+	records  []goofi.Record
+	dataPath string
+	cancel   context.CancelFunc
+	subs     map[chan Event]struct{}
+	doneCh   chan struct{} // closed on reaching a terminal state
+}
+
+// View is the JSON representation of a campaign's current state.
+type View struct {
+	ID          string             `json:"id"`
+	State       State              `json:"state"`
+	Spec        goofi.CampaignSpec `json:"spec"`
+	Created     time.Time          `json:"created"`
+	Started     *time.Time         `json:"started,omitempty"`
+	Finished    *time.Time         `json:"finished,omitempty"`
+	Done        int                `json:"done"`
+	Total       int                `json:"total"`
+	Outcomes    map[string]int     `json:"outcomes,omitempty"`
+	Records     int                `json:"records"`
+	RecordsPath string             `json:"recordsPath,omitempty"`
+	Error       string             `json:"error,omitempty"`
+}
+
+// Snapshot returns a consistent copy of the campaign's state.
+func (c *Campaign) Snapshot() View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := View{
+		ID:          c.ID,
+		State:       c.state,
+		Spec:        c.Spec,
+		Created:     c.Created,
+		Done:        c.done,
+		Total:       c.total,
+		Outcomes:    copyCounts(c.outcomes),
+		Records:     len(c.records),
+		RecordsPath: c.dataPath,
+		Error:       c.errMsg,
+	}
+	if !c.started.IsZero() {
+		t := c.started
+		v.Started = &t
+	}
+	if !c.finished.IsZero() {
+		t := c.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Records returns the campaign's completed experiment records.
+func (c *Campaign) Records() []goofi.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]goofi.Record(nil), c.records...)
+}
+
+// Subscribe registers a progress listener. The returned channel
+// receives an initial snapshot, then progress events (dropped rather
+// than blocking a slow reader), and is signalled done via Done().
+// cancel must be called when the listener goes away.
+func (c *Campaign) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 64)
+	c.mu.Lock()
+	ch <- c.eventLocked("snapshot")
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		delete(c.subs, ch)
+		c.mu.Unlock()
+	}
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// state.
+func (c *Campaign) Done() <-chan struct{} { return c.doneCh }
+
+// eventLocked builds an event from the current state; c.mu must be held.
+func (c *Campaign) eventLocked(typ string) Event {
+	return Event{
+		Type:     typ,
+		Campaign: c.ID,
+		State:    c.state,
+		Done:     c.done,
+		Total:    c.total,
+		Outcomes: copyCounts(c.outcomes),
+		Error:    c.errMsg,
+	}
+}
+
+// broadcastLocked fans an event out to subscribers without blocking;
+// c.mu must be held.
+func (c *Campaign) broadcastLocked(ev Event) {
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop; it re-syncs from Done()+Snapshot
+		}
+	}
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity — the service sheds load instead of buffering unboundedly.
+var ErrQueueFull = errors.New("server: campaign queue is full")
+
+// ErrNotFound is returned for unknown campaign IDs.
+var ErrNotFound = errors.New("server: no such campaign")
+
+// Manager owns the campaign queue and worker pool.
+type Manager struct {
+	queue   chan *Campaign
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	dataDir string
+
+	mu     sync.Mutex
+	jobs   map[string]*Campaign
+	order  []string // submission order, for stable listing
+	nextID int
+}
+
+// NewManager starts a manager with the given number of concurrent
+// campaign runners (min 1), a bounded queue of queueDepth (min 1), and
+// an optional dataDir to which each finished campaign's records are
+// persisted as <id>.jsonl.
+func NewManager(workers, queueDepth int, dataDir string) *Manager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		queue:   make(chan *Campaign, queueDepth),
+		baseCtx: ctx,
+		stop:    cancel,
+		dataDir: dataDir,
+		jobs:    make(map[string]*Campaign),
+	}
+	metricsInit(workers)
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m
+}
+
+// Close cancels running campaigns, stops the runners, and waits for
+// them to exit. Queued campaigns are marked cancelled.
+func (m *Manager) Close() {
+	m.stop()
+	// Drain jobs still sitting in the queue so runners can exit.
+	for {
+		select {
+		case c := <-m.queue:
+			c.finalize(nil, context.Canceled, "")
+		default:
+			m.wg.Wait()
+			return
+		}
+	}
+}
+
+// Submit validates a spec and enqueues a campaign for execution.
+func (m *Manager) Submit(spec goofi.CampaignSpec) (*Campaign, error) {
+	if _, err := spec.Resolve(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &Campaign{
+		ID:       fmt.Sprintf("c%06d", m.nextID+1),
+		Spec:     spec,
+		Created:  time.Now(),
+		state:    StateQueued,
+		total:    spec.Experiments,
+		outcomes: make(map[string]int),
+		subs:     make(map[chan Event]struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	if spec.Sequential() {
+		c.total = spec.MaxExperiments // upper bound; 0 = engine default
+	}
+	select {
+	case m.queue <- c:
+	default:
+		return nil, ErrQueueFull // shed without consuming an ID
+	}
+	m.nextID++
+	m.jobs[c.ID] = c
+	m.order = append(m.order, c.ID)
+	metrics.CampaignsQueued.Add(1)
+	return c, nil
+}
+
+// Get returns a campaign by ID.
+func (m *Manager) Get(id string) (*Campaign, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// List returns all campaigns in submission order.
+func (m *Manager) List() []*Campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Campaign, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel stops a queued or running campaign. Cancelling a campaign
+// that already reached a terminal state is a no-op reporting false.
+func (m *Manager) Cancel(id string) (bool, error) {
+	c, err := m.Get(id)
+	if err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.state.Terminal():
+		return false, nil
+	case c.cancel != nil: // running: stop at the next experiment boundary
+		c.cancel()
+		return true, nil
+	default: // still queued: mark dead; the runner discards it
+		c.state = StateCancelled
+		c.finished = time.Now()
+		metrics.CampaignsQueued.Add(-1)
+		metrics.CampaignsCancelled.Add(1)
+		c.broadcastLocked(c.eventLocked(string(StateCancelled)))
+		close(c.doneCh)
+		return true, nil
+	}
+}
+
+// runner is one worker of the campaign pool.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case c := <-m.queue:
+			m.execute(c)
+		}
+	}
+}
+
+// execute runs one campaign to completion (or cancellation).
+func (m *Manager) execute(c *Campaign) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	c.mu.Lock()
+	if c.state.Terminal() { // cancelled while queued
+		c.mu.Unlock()
+		return
+	}
+	c.state = StateRunning
+	c.started = time.Now()
+	c.cancel = cancel
+	c.broadcastLocked(c.eventLocked("progress"))
+	c.mu.Unlock()
+	metrics.CampaignsQueued.Add(-1)
+	metrics.CampaignsRunning.Add(1)
+	metrics.BusyWorkers.Add(1)
+	defer metrics.CampaignsRunning.Add(-1)
+	defer metrics.BusyWorkers.Add(-1)
+
+	cfg, err := c.Spec.Resolve()
+	if err != nil { // validated at Submit; only a programming error lands here
+		c.finalize(nil, err, "")
+		return
+	}
+	cfg.OnRecord = func(rec goofi.Record) {
+		metrics.ExperimentsTotal.Add(1)
+		c.mu.Lock()
+		c.done++
+		c.outcomes[rec.Outcome]++
+		c.broadcastLocked(c.eventLocked("progress"))
+		c.mu.Unlock()
+	}
+
+	var recs []goofi.Record
+	var runErr error
+	if c.Spec.Sequential() {
+		res, err := goofi.RunUntilPrecisionContext(ctx, goofi.PrecisionConfig{
+			Campaign:        cfg,
+			TargetHalfWidth: c.Spec.Precision,
+			MaxExperiments:  c.Spec.MaxExperiments,
+		})
+		if res != nil {
+			recs = res.Records
+		}
+		runErr = err
+	} else {
+		res, err := goofi.RunContext(ctx, cfg)
+		if res != nil {
+			recs = res.Records
+		}
+		runErr = err
+	}
+
+	path := ""
+	if m.dataDir != "" && len(recs) > 0 {
+		path = filepath.Join(m.dataDir, c.ID+".jsonl")
+		if err := goofi.SaveRecords(path, recs); err != nil {
+			path = ""
+			if runErr == nil {
+				runErr = err
+			}
+		}
+	}
+	c.finalize(recs, runErr, path)
+}
+
+// finalize records the campaign's terminal state and notifies
+// subscribers.
+func (c *Campaign) finalize(recs []goofi.Record, err error, dataPath string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state.Terminal() {
+		return
+	}
+	wasQueued := c.state == StateQueued
+	c.records = recs
+	c.dataPath = dataPath
+	c.finished = time.Now()
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		c.state = StateCancelled
+		metrics.CampaignsCancelled.Add(1)
+	case err != nil:
+		c.state = StateFailed
+		c.errMsg = err.Error()
+		metrics.CampaignsFailed.Add(1)
+	default:
+		c.state = StateDone
+		metrics.CampaignsDone.Add(1)
+	}
+	if wasQueued {
+		metrics.CampaignsQueued.Add(-1)
+	}
+	c.broadcastLocked(c.eventLocked(string(c.state)))
+	close(c.doneCh)
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// Process-wide campaign metrics, published once under the "ctrlguardd"
+// expvar map (expvar registration panics on duplicates, and several
+// servers may exist in one process under test). Queued/Running/Busy
+// are gauges; the rest are monotonic counters.
+var metrics struct {
+	CampaignsQueued    expvar.Int
+	CampaignsRunning   expvar.Int
+	CampaignsDone      expvar.Int
+	CampaignsFailed    expvar.Int
+	CampaignsCancelled expvar.Int
+	ExperimentsTotal   expvar.Int
+	BusyWorkers        expvar.Int
+	TotalWorkers       expvar.Int
+
+	start time.Time
+	once  sync.Once
+	page  *expvar.Map
+}
+
+// metricsInit publishes the metric set (first call only) and records
+// the worker-pool size for the utilization gauge.
+func metricsInit(workers int) {
+	metrics.once.Do(func() {
+		metrics.start = time.Now()
+		m := new(expvar.Map).Init()
+		m.Set("campaigns_queued", &metrics.CampaignsQueued)
+		m.Set("campaigns_running", &metrics.CampaignsRunning)
+		m.Set("campaigns_done", &metrics.CampaignsDone)
+		m.Set("campaigns_failed", &metrics.CampaignsFailed)
+		m.Set("campaigns_cancelled", &metrics.CampaignsCancelled)
+		m.Set("experiments_total", &metrics.ExperimentsTotal)
+		m.Set("campaign_workers", &metrics.TotalWorkers)
+		m.Set("campaign_workers_busy", &metrics.BusyWorkers)
+		m.Set("experiments_per_sec", expvar.Func(func() any {
+			secs := time.Since(metrics.start).Seconds()
+			if secs <= 0 {
+				return 0.0
+			}
+			return float64(metrics.ExperimentsTotal.Value()) / secs
+		}))
+		m.Set("worker_utilization", expvar.Func(func() any {
+			total := metrics.TotalWorkers.Value()
+			if total <= 0 {
+				return 0.0
+			}
+			return float64(metrics.BusyWorkers.Value()) / float64(total)
+		}))
+		expvar.Publish("ctrlguardd", m)
+		metrics.page = m
+	})
+	metrics.TotalWorkers.Set(int64(workers))
+}

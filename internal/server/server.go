@@ -1,0 +1,120 @@
+// Package server implements ctrlguardd, the fault-injection campaign
+// service. It plays the role GOOFI's interactive tool played in the
+// paper — campaigns are queued, executed experiment-by-experiment, and
+// every record is persisted for later analysis — behind a small JSON
+// HTTP API:
+//
+//	POST   /api/v1/campaigns             submit a campaign spec
+//	GET    /api/v1/campaigns             list campaigns
+//	GET    /api/v1/campaigns/{id}        one campaign's state
+//	DELETE /api/v1/campaigns/{id}        cancel a campaign
+//	GET    /api/v1/campaigns/{id}/events live progress (NDJSON or SSE)
+//	GET    /api/v1/campaigns/{id}/report query the stored records
+//	GET    /api/v1/variants              available workload variants
+//	GET    /metrics                      expvar campaign metrics
+//	GET    /healthz                      liveness probe
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default :8077).
+	Addr string
+
+	// Workers is the number of campaigns executed concurrently
+	// (default 1 — individual campaigns already parallelise their
+	// experiments across cores).
+	Workers int
+
+	// QueueDepth bounds the number of campaigns waiting to run
+	// (default 16); submissions beyond it are rejected with 503.
+	QueueDepth int
+
+	// DataDir, if set, receives each campaign's records as
+	// <id>.jsonl through the goofi JSONL store.
+	DataDir string
+
+	// Logger receives request and lifecycle logs (default
+	// log.Default).
+	Logger *log.Logger
+}
+
+// Server is the ctrlguardd HTTP service.
+type Server struct {
+	cfg Config
+	mgr *Manager
+	mux *http.ServeMux
+	log *log.Logger
+}
+
+// New builds a Server and starts its campaign worker pool.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8077"
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	s := &Server{
+		cfg: cfg,
+		mgr: NewManager(cfg.Workers, cfg.QueueDepth, cfg.DataDir),
+		mux: http.NewServeMux(),
+		log: cfg.Logger,
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /api/v1/variants", s.handleVariants)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool, cancelling any running campaigns.
+func (s *Server) Close() { s.mgr.Close() }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down
+// gracefully: in-flight requests get a drain window while running
+// campaigns are cancelled at their next experiment boundary.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	srv := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	s.log.Printf("ctrlguardd listening on %s (%d campaign workers, queue depth %d)",
+		s.cfg.Addr, s.cfg.Workers, s.cfg.QueueDepth)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Printf("ctrlguardd shutting down")
+	s.mgr.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
