@@ -11,6 +11,7 @@
 package ctrlguard_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"ctrlguard/internal/inject"
 	"ctrlguard/internal/plant"
 	"ctrlguard/internal/sim"
+	"ctrlguard/internal/tune"
 	"ctrlguard/internal/workload"
 )
 
@@ -336,6 +338,33 @@ func BenchmarkAblationGuardPolicies(b *testing.B) {
 			b.ReportMetric(float64(okRuns)/float64(runs)*100, "runs_under_1deg_pct")
 		})
 	}
+}
+
+// BenchmarkTuneEvaluate measures the tuner's evaluation throughput:
+// one full candidate evaluation per op (fault-free run plus a
+// 200-experiment variable-level campaign), the unit the design-space
+// search spends its time on. The experiments/s metric is the budget
+// planner for guardtune: evaluations × experiments ÷ rate ≈ wall time.
+func BenchmarkTuneEvaluate(b *testing.B) {
+	const experiments = 200
+	ev := tune.NewEvaluator(17)
+	cand := tune.Config{Policy: tune.PolicyRollback, RateLimit: 8}
+	// Warm up outside the timer: assertion learning and overhead
+	// calibration happen once per evaluator.
+	res, err := ev.Evaluate(context.Background(), cand, experiments)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(context.Background(), cand, experiments); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(experiments*b.N)/b.Elapsed().Seconds(), "experiments/s")
+	b.ReportMetric(res.Severe.P()*100, "severe_pct")
+	b.ReportMetric(res.Overhead*100, "overhead_pct")
 }
 
 // --- Micro-benchmarks of the core paths ---

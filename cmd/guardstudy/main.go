@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	guardstudy [-n 4000] [-seed 17]
+//	guardstudy [-n 4000] [-seed 17] [-json results.jsonl]
 package main
 
 import (
@@ -23,14 +23,16 @@ import (
 	"ctrlguard/internal/goofi"
 	"ctrlguard/internal/plant"
 	"ctrlguard/internal/stats"
+	"ctrlguard/internal/tune"
 )
 
 func main() {
 	n := flag.Int("n", 4000, "experiments per design")
 	seed := flag.Uint64("seed", 17, "campaign seed")
+	jsonOut := flag.String("json", "", "also write per-design results as JSON lines to this path (- for stdout, replacing the table)")
 	flag.Parse()
 
-	if err := run(*n, *seed); err != nil {
+	if err := run(*n, *seed, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "guardstudy:", err)
 		os.Exit(1)
 	}
@@ -125,7 +127,7 @@ func designs() ([]design, error) {
 	}, nil
 }
 
-func run(n int, seed uint64) error {
+func run(n int, seed uint64, jsonOut string) error {
 	all, err := designs()
 	if err != nil {
 		return err
@@ -134,6 +136,11 @@ func run(n int, seed uint64) error {
 	tbl := stats.NewTable(
 		fmt.Sprintf("Protection designs under %d state bit-flips each", n),
 		"Design", "Value failures", "Severe", "Severe share", "Notes")
+	// Results share tune.Result with guardtune, so a hand-curated
+	// study feeds the same stores and plots as the design-space
+	// search. False positives and overhead are not measured here; the
+	// zero-experiment proportions mark them unknown, not zero.
+	results := make([]tune.Result, 0, len(all))
 	for _, d := range all {
 		res, err := goofi.RunVariable(goofi.VarConfig{
 			Name: d.name, New: d.new, Experiments: n, Seed: seed,
@@ -144,10 +151,26 @@ func run(n int, seed uint64) error {
 		vf, sev := goofi.VarSummary(res.Records)
 		share := stats.Proportion{Count: sev.Count, N: vf.Count}
 		tbl.AddRow(d.name, vf.String(), sev.String(), share.String(), d.why)
+		results = append(results, tune.Result{
+			Name:          d.name,
+			Experiments:   n,
+			ValueFailures: vf,
+			Severe:        sev,
+		})
+	}
+
+	if jsonOut == "-" {
+		return tune.WriteResults(os.Stdout, results)
 	}
 	fmt.Println(tbl.String())
 	fmt.Println("Faults are injected directly into the controller state, the")
 	fmt.Println("channel behind the paper's severe failures; hardware EDMs are")
 	fmt.Println("not in play at this level.")
+	if jsonOut != "" {
+		if err := tune.SaveResults(jsonOut, results); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote %d results to %s.\n", len(results), jsonOut)
+	}
 	return nil
 }

@@ -1,0 +1,213 @@
+// Command guardtune searches the protection design space for the
+// engine controller: each candidate configuration (recovery policy,
+// assertion slack, rate-assertion threshold, learned vs static
+// assertions) is scored with a fault-injection campaign plus a
+// fault-free run, and successive halving concentrates measurement on
+// the designs still in contention. The result is a Pareto front over
+// {severe failures, value failures, false positives, overhead} and a
+// recommended configuration under an overhead budget.
+//
+// With a fixed -seed the search is fully deterministic: running it
+// twice prints identical fronts.
+//
+// Usage:
+//
+//	guardtune [-seed 17] [-n0 250] [-rounds 3] [-budget 1.0]
+//	          [-policies rollback,freeze] [-slacks 0,0.25] [-rates 0,8]
+//	          [-learned false,true] [-out results.jsonl] [-svg front.svg]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ctrlguard/internal/stats"
+	"ctrlguard/internal/tune"
+	"ctrlguard/internal/viz"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 17, "search seed (fixed seed = identical results)")
+	n0 := flag.Int("n0", 0, "round-0 experiments per candidate (0 = default 250)")
+	rounds := flag.Int("rounds", 0, "successive-halving rounds (0 = default 3)")
+	budget := flag.Float64("budget", 0, "overhead budget for the recommendation (0 = default 1.0)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	iters := flag.Int("iterations", 0, "closed-loop iterations per run (0 = paper's 650)")
+	policies := flag.String("policies", "", "comma-separated recovery policies (default none,rollback,freeze,saturate)")
+	learned := flag.String("learned", "", "comma-separated bools: learn assertions from a fault-free run? (default false,true)")
+	slacks := flag.String("slacks", "", "comma-separated assertion slack values (default 0,0.1,0.25)")
+	rates := flag.String("rates", "", "comma-separated rate-assertion thresholds, 0 disables (default 0,3,8)")
+	out := flag.String("out", "", "write per-candidate results as JSON lines to this path")
+	svg := flag.String("svg", "", "write the Pareto front as an SVG scatter to this path")
+	flag.Parse()
+
+	spec := tune.Spec{
+		Seed:               *seed,
+		InitialExperiments: *n0,
+		Rounds:             *rounds,
+		OverheadBudget:     *budget,
+		Workers:            *workers,
+		Iterations:         *iters,
+	}
+	var err error
+	if spec.Space, err = parseSpace(*policies, *learned, *slacks, *rates); err == nil {
+		err = run(spec, *out, *svg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "guardtune:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSpace builds the search space from the axis flags; empty flags
+// leave the axis to the tuner's defaults.
+func parseSpace(policies, learned, slacks, rates string) (tune.Space, error) {
+	var sp tune.Space
+	for _, f := range splitList(policies) {
+		sp.Policies = append(sp.Policies, tune.Policy(f))
+	}
+	for _, f := range splitList(learned) {
+		v, err := strconv.ParseBool(f)
+		if err != nil {
+			return sp, fmt.Errorf("-learned %q: %w", f, err)
+		}
+		sp.Learned = append(sp.Learned, v)
+	}
+	var err error
+	if sp.Slacks, err = parseFloats(slacks); err != nil {
+		return sp, fmt.Errorf("-slacks: %w", err)
+	}
+	if sp.RateLimits, err = parseFloats(rates); err != nil {
+		return sp, fmt.Errorf("-rates: %w", err)
+	}
+	return sp, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(spec tune.Spec, outPath, svgPath string) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	outcome, err := tune.Search(context.Background(), spec, func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rguardtune: %d/%d candidate evaluations", done, total)
+		if done >= total {
+			fmt.Fprintln(os.Stderr)
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		return err
+	}
+
+	fmt.Printf("Searched %d configurations over %d rounds: %d evaluations, %d fault injections.\n\n",
+		outcome.Candidates, len(outcome.Rounds), outcome.Evaluations, outcome.Experiments)
+	fmt.Println(frontTable(outcome))
+
+	base := outcome.Baseline
+	fmt.Printf("Unprotected baseline: severe %s, value failures %s.\n",
+		base.Severe.String(), base.ValueFailures.String())
+	if rec := outcome.Recommended; rec != nil {
+		fmt.Printf("Recommended: %s — severe %s vs baseline %s at %.0f%% overhead (budget %.0f%%).\n",
+			rec.Name, rec.Severe.String(), base.Severe.String(),
+			rec.Overhead*100, outcome.Spec.OverheadBudget*100)
+	} else {
+		fmt.Printf("No front member fits the %.0f%% overhead budget.\n",
+			outcome.Spec.OverheadBudget*100)
+	}
+
+	if outPath != "" {
+		if err := tune.SaveResults(outPath, outcome.Results); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote %d results to %s.\n", len(outcome.Results), outPath)
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(frontSVG(outcome)), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", svgPath, err)
+		}
+		fmt.Printf("Wrote Pareto scatter to %s.\n", svgPath)
+	}
+	return nil
+}
+
+// frontTable renders the final results, front members first, with the
+// recommendation marked.
+func frontTable(o *tune.Outcome) string {
+	onFront := make(map[string]bool, len(o.Front))
+	for _, r := range o.Front {
+		onFront[r.Name] = true
+	}
+	tbl := stats.NewTable("Protection design space, final round",
+		"Design", "Severe", "Value failures", "False positives", "Overhead", "")
+	row := func(r tune.Result) {
+		note := ""
+		if onFront[r.Name] {
+			note = "front"
+		}
+		if o.Recommended != nil && r.Name == o.Recommended.Name {
+			note = "front, recommended"
+		}
+		tbl.AddRow(r.Name, r.Severe.String(), r.ValueFailures.String(),
+			r.FalsePositives.String(), fmt.Sprintf("%.0f%%", r.Overhead*100), note)
+	}
+	for _, r := range o.Results {
+		if onFront[r.Name] {
+			row(r)
+		}
+	}
+	tbl.AddSeparator()
+	for _, r := range o.Results {
+		if !onFront[r.Name] {
+			row(r)
+		}
+	}
+	return tbl.String()
+}
+
+// frontSVG plots every final-round result on the overhead/severe
+// plane with the Pareto front highlighted.
+func frontSVG(o *tune.Outcome) string {
+	onFront := make(map[string]bool, len(o.Front))
+	for _, r := range o.Front {
+		onFront[r.Name] = true
+	}
+	pts := make([]viz.Point, 0, len(o.Results))
+	for _, r := range o.Results {
+		pts = append(pts, viz.Point{
+			X:     r.Overhead,
+			Y:     r.Severe.P(),
+			Label: fmt.Sprintf("%s: severe %s, overhead %.0f%%", r.Name, r.Severe.String(), r.Overhead*100),
+			Front: onFront[r.Name],
+		})
+	}
+	return viz.Scatter{
+		Title:  "Protection designs: severe-failure rate vs overhead",
+		XLabel: "modelled overhead (fraction of bare iteration)",
+		YLabel: "severe-failure rate",
+	}.Render(pts)
+}

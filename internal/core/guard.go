@@ -29,6 +29,18 @@ const (
 	// range when the assertion is a RangeAssertion or
 	// PerElementRange; other assertions fall back to Rollback.
 	Saturate
+
+	// Freeze holds the last accepted output for the offending
+	// iteration without writing the state back: on a state violation
+	// the controller update is skipped entirely and the previous
+	// output is delivered again; on an output violation the previous
+	// output replaces the rejected one but the state is left as the
+	// update wrote it. Freeze is the cheapest recovery (no state
+	// writes), at the price of letting a corrupted state persist —
+	// a distinct point in the cost/coverage design space the tuner
+	// explores. Before any output exists to hold, Freeze falls back
+	// to Rollback.
+	Freeze
 )
 
 // ErrAssertionFailed is returned by Guard.Step under the FailStop
@@ -109,6 +121,18 @@ func (g *Guard) Step(inputs []float64) ([]float64, error) {
 		switch g.policy {
 		case FailStop:
 			return nil, ErrAssertionFailed
+		case Freeze:
+			if g.uBackup != nil {
+				// Hold the previous output and skip the update;
+				// the suspect state is deliberately left alone.
+				g.stats.OutputRecoveries++
+				u := make([]float64, len(g.uBackup))
+				copy(u, g.uBackup)
+				return u, nil
+			}
+			// Nothing delivered yet to hold: recover the state.
+			g.ctrl.SetState(g.xBackup)
+			g.stats.StateRecoveries++
 		case Saturate:
 			if sat, ok := saturate(g.stateAssert, x); ok {
 				g.ctrl.SetState(sat)
@@ -137,6 +161,9 @@ func (g *Guard) Step(inputs []float64) ([]float64, error) {
 		switch g.policy {
 		case FailStop:
 			return nil, ErrAssertionFailed
+		case Freeze: // previous output, state left as the update wrote it
+			copy(u, g.uBackup)
+			g.stats.OutputRecoveries++
 		case Saturate:
 			if sat, ok := saturate(g.outAssert, u); ok {
 				u = sat

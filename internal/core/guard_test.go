@@ -106,6 +106,69 @@ func TestGuardFailStop(t *testing.T) {
 	}
 }
 
+func TestGuardFreezeStateViolationHoldsOutput(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(Freeze))
+	if _, err := g.Step([]float64{0}); err != nil { // healthy: u = 5
+		t.Fatal(err)
+	}
+
+	ctrl.x[0] = 1e9 // corrupt the state between iterations
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 {
+		t.Errorf("u under freeze = %v, want the held output 5", u[0])
+	}
+	// Freeze must not write the state back: the corruption persists.
+	if ctrl.x[0] != 1e9 {
+		t.Errorf("state = %v, want the corrupted 1e9 left alone", ctrl.x[0])
+	}
+	s := g.Stats()
+	if s.StateViolations != 1 || s.StateRecoveries != 0 || s.OutputRecoveries != 1 {
+		t.Errorf("stats = %+v, want 1 state violation, 0 state recoveries, 1 output hold", s)
+	}
+}
+
+func TestGuardFreezeOutputViolationKeepsState(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70},
+		WithPolicy(Freeze),
+		WithOutputAssertion(RangeAssertion{Min: 0, Max: 10}))
+	if _, err := g.Step([]float64{0}); err != nil { // healthy: u = 5
+		t.Fatal(err)
+	}
+
+	// Push the output out of its range while the state stays legal.
+	u, err := g.Step([]float64{20}) // update makes x = u = 25 > 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 {
+		t.Errorf("u under freeze = %v, want the held output 5", u[0])
+	}
+	if ctrl.x[0] != 25 {
+		t.Errorf("state = %v, want 25 (freeze leaves the update in place)", ctrl.x[0])
+	}
+}
+
+func TestGuardFreezeFirstStepFallsBackToRollback(t *testing.T) {
+	ctrl := newFake(5)
+	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(Freeze))
+	ctrl.x[0] = 1e9 // corrupt before any output exists
+	u, err := g.Step([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 5 {
+		t.Errorf("u = %v, want 5 (state recovered from the seed backup)", u[0])
+	}
+	if s := g.Stats(); s.StateRecoveries != 1 {
+		t.Errorf("stats = %+v, want one state recovery", s)
+	}
+}
+
 func TestGuardSaturatePolicy(t *testing.T) {
 	ctrl := newFake(5)
 	g := NewGuard(ctrl, RangeAssertion{Min: 0, Max: 70}, WithPolicy(Saturate))

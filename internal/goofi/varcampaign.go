@@ -1,6 +1,7 @@
 package goofi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -98,49 +99,116 @@ func runVarLoop(ctrl control.Stateful, cfg *VarConfig, corruptAt int, flip injec
 // value failure or non-effective; Latent means the final controller
 // state still differs from the reference run's.
 func RunVariable(cfg VarConfig) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
+	return RunVariableContext(context.Background(), cfg)
+}
+
+// RunVariableContext is RunVariable with cancellation: when ctx is
+// cancelled the campaign stops at the next experiment boundary and
+// returns the records completed so far together with ctx's error.
+func RunVariableContext(ctx context.Context, cfg VarConfig) (*Result, error) {
+	results, err := RunVariableBatch(ctx, []VarConfig{cfg})
+	if len(results) == 1 {
+		return results[0], err
+	}
+	return nil, err
+}
+
+// varExperiment is one pre-drawn fault of a batched campaign.
+type varExperiment struct {
+	iteration int
+	flip      inject.VarFlip
+}
+
+// varCampaign is the prepared state of one campaign within a batch.
+type varCampaign struct {
+	cfg         VarConfig
+	golden      []float64
+	goldenFinal []float64
+	exps        []varExperiment
+	records     []Record
+	completed   []bool
+}
+
+// RunVariableBatch evaluates several variable-level campaigns over one
+// shared worker pool, interleaving their experiments so a batch of
+// small campaigns saturates the machine the way one large campaign
+// does — the throughput path for the design-space tuner, which
+// evaluates many candidate configurations at once. Results align with
+// cfgs by index, and each campaign's records are identical to what
+// RunVariable would produce alone: faults are pre-drawn per campaign
+// from its own seed, so scheduling cannot change any result.
+//
+// When ctx is cancelled the batch stops at the next experiment
+// boundary and every campaign returns the records it completed so far
+// (ordered by experiment ID) together with ctx's error.
+func RunVariableBatch(ctx context.Context, cfgs []VarConfig) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(cfgs) == 0 {
+		return nil, nil
 	}
 
-	goldenCtrl := cfg.New()
-	stateDim := len(goldenCtrl.State())
-	if stateDim == 0 {
-		return nil, fmt.Errorf("goofi: controller exposes no state to inject into")
+	// Set-up phase: golden run and pre-drawn faults per campaign.
+	camps := make([]*varCampaign, len(cfgs))
+	poolSize := 0
+	totalExps := 0
+	for ci := range cfgs {
+		cfg := cfgs[ci] // copy; fill must not mutate the caller's slice
+		if err := cfg.fill(); err != nil {
+			return nil, fmt.Errorf("goofi: campaign %d (%s): %w", ci, cfg.Name, err)
+		}
+		if cfg.Workers > poolSize {
+			poolSize = cfg.Workers
+		}
+		goldenCtrl := cfg.New()
+		stateDim := len(goldenCtrl.State())
+		if stateDim == 0 {
+			return nil, fmt.Errorf("goofi: campaign %d (%s): controller exposes no state to inject into", ci, cfg.Name)
+		}
+		c := &varCampaign{
+			cfg:       cfg,
+			exps:      make([]varExperiment, cfg.Experiments),
+			records:   make([]Record, cfg.Experiments),
+			completed: make([]bool, cfg.Experiments),
+		}
+		c.golden = runVarLoop(goldenCtrl, &c.cfg, -1, inject.VarFlip{})
+		c.goldenFinal = goldenCtrl.State()
+		sampler := inject.NewVarSampler(cfg.Seed, stateDim, cfg.Iterations)
+		for i := range c.exps {
+			it, flip := sampler.Next()
+			c.exps[i] = varExperiment{iteration: it, flip: flip}
+		}
+		totalExps += cfg.Experiments
+		camps[ci] = c
 	}
-	golden := runVarLoop(goldenCtrl, &cfg, -1, inject.VarFlip{})
-	goldenFinal := goldenCtrl.State()
+	if poolSize > totalExps {
+		poolSize = totalExps
+	}
 
-	sampler := inject.NewVarSampler(cfg.Seed, stateDim, cfg.Iterations)
-	type experiment struct {
-		iteration int
-		flip      inject.VarFlip
-	}
-	exps := make([]experiment, cfg.Experiments)
-	for i := range exps {
-		it, flip := sampler.Next()
-		exps[i] = experiment{iteration: it, flip: flip}
-	}
-
-	records := make([]Record, cfg.Experiments)
+	// Injection phase: one task queue over (campaign, experiment)
+	// pairs; records land at fixed indices, so the result is
+	// deterministic regardless of worker scheduling.
+	type task struct{ camp, exp int }
+	next := make(chan task)
 	var wg sync.WaitGroup
-	next := make(chan int)
-	workers := cfg.Workers
-	if workers > cfg.Experiments {
-		workers = cfg.Experiments
-	}
-	for w := 0; w < workers; w++ {
+	for w := 0; w < poolSize; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				e := exps[i]
-				ctrl := cfg.New()
-				outputs := runVarLoop(ctrl, &cfg, e.iteration, e.flip)
-				stateDiffers := !float64SlicesEqual(ctrl.State(), goldenFinal)
-				verdict := classify.Run(golden, outputs, stateDiffers, cfg.Classify)
-				records[i] = Record{
-					ID:        i,
-					Variant:   cfg.Name,
+			for tk := range next {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				c := camps[tk.camp]
+				e := c.exps[tk.exp]
+				ctrl := c.cfg.New()
+				outputs := runVarLoop(ctrl, &c.cfg, e.iteration, e.flip)
+				stateDiffers := !float64SlicesEqual(ctrl.State(), c.goldenFinal)
+				verdict := classify.Run(c.golden, outputs, stateDiffers, c.cfg.Classify)
+				c.records[tk.exp] = Record{
+					ID:        tk.exp,
+					Variant:   c.cfg.Name,
 					Region:    "variable",
 					Element:   fmt.Sprintf("state[%d]", e.flip.Element),
 					Bit:       e.flip.Bit,
@@ -150,16 +218,39 @@ func RunVariable(cfg VarConfig) (*Result, error) {
 					StrongIts: verdict.StrongIterations,
 					MaxDev:    verdict.MaxDeviation,
 				}
+				c.completed[tk.exp] = true
 			}
 		}()
 	}
-	for i := 0; i < cfg.Experiments; i++ {
-		next <- i
+feed:
+	for ci, c := range camps {
+		for i := 0; i < c.cfg.Experiments; i++ {
+			select {
+			case next <- task{camp: ci, exp: i}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	return &Result{Records: records}, nil
+	results := make([]*Result, len(camps))
+	err := ctx.Err()
+	for ci, c := range camps {
+		if err != nil {
+			partial := make([]Record, 0, len(c.records))
+			for i, ok := range c.completed {
+				if ok {
+					partial = append(partial, c.records[i])
+				}
+			}
+			results[ci] = &Result{Records: partial}
+			continue
+		}
+		results[ci] = &Result{Records: c.records}
+	}
+	return results, err
 }
 
 // VarSummary condenses a variable-level campaign: total value failures

@@ -1,6 +1,7 @@
 package goofi
 
 import (
+	"context"
 	"testing"
 
 	"ctrlguard/internal/control"
@@ -109,6 +110,62 @@ func TestVariableCampaignProtectionComparison(t *testing.T) {
 	}
 	if guarded >= bare/2 {
 		t.Errorf("Guard share %v not clearly below bare %v", guarded, bare)
+	}
+}
+
+// TestRunVariableBatchMatchesSolo checks the batched API's contract:
+// interleaving campaigns over one shared pool must not change any
+// campaign's records relative to running it alone.
+func TestRunVariableBatchMatchesSolo(t *testing.T) {
+	cfgs := []VarConfig{
+		{Name: "pi", New: piFactory(), Experiments: 120, Seed: 5},
+		{Name: "guarded", New: guardedFactory(nil), Experiments: 80, Seed: 9},
+		{Name: "protected", New: protectedFactory(), Experiments: 60, Seed: 5},
+	}
+	batch, err := RunVariableBatch(context.Background(), cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(cfgs) {
+		t.Fatalf("batch results = %d, want %d", len(batch), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		solo, err := RunVariable(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i].Records) != len(solo.Records) {
+			t.Fatalf("%s: batch records = %d, solo = %d", cfg.Name, len(batch[i].Records), len(solo.Records))
+		}
+		for j := range solo.Records {
+			if batch[i].Records[j] != solo.Records[j] {
+				t.Fatalf("%s record %d differs:\nbatch %+v\nsolo  %+v", cfg.Name, j, batch[i].Records[j], solo.Records[j])
+			}
+		}
+	}
+}
+
+func TestRunVariableBatchEmpty(t *testing.T) {
+	res, err := RunVariableBatch(context.Background(), nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+func TestRunVariableBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunVariableBatch(ctx, []VarConfig{
+		{Name: "pi", New: piFactory(), Experiments: 500, Seed: 1},
+	})
+	if err == nil {
+		t.Fatal("want context error from a cancelled batch")
+	}
+	if len(res) != 1 {
+		t.Fatalf("cancelled batch still returns per-campaign results, got %d", len(res))
+	}
+	if n := len(res[0].Records); n >= 500 {
+		t.Fatalf("cancelled campaign completed all %d experiments", n)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/tune"
 	"ctrlguard/internal/workload"
 )
 
@@ -178,6 +179,52 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep.TopElements = q.TopElements(5)
 	rep.MaxDeviation.Min, rep.MaxDeviation.Mean, rep.MaxDeviation.Max = q.MaxDeviationStats()
 	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// handleSubmitTune validates a JSON tuning spec and enqueues a
+// design-space search job. The job shares the campaign endpoints for
+// listing, state, events, and cancellation; its outcome is served by
+// /api/v1/tune/{id}/result once done.
+func (s *Server) handleSubmitTune(w http.ResponseWriter, r *http.Request) {
+	var spec tune.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad tune spec: %v", err)
+		return
+	}
+	c, err := s.mgr.SubmitTune(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.log.Printf("tune job %s submitted: %d planned evaluations", c.ID, c.Snapshot().Total)
+	w.Header().Set("Location", "/api/v1/tune/"+c.ID+"/result")
+	s.writeJSON(w, http.StatusAccepted, c.Snapshot())
+}
+
+// handleTuneResult serves a finished tune job's outcome: the Pareto
+// front, the baseline, and the recommendation.
+func (s *Server) handleTuneResult(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	if c.Kind != KindTune {
+		s.writeError(w, http.StatusConflict, "campaign %s is not a tune job", c.ID)
+		return
+	}
+	outcome := c.Outcome()
+	if outcome == nil {
+		s.writeError(w, http.StatusConflict, "tune job %s has no result yet (state %s)", c.ID, c.Snapshot().State)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, outcome)
 }
 
 // handleVariants lists the workload variants a spec may name.

@@ -9,6 +9,16 @@ import (
 	"time"
 
 	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/tune"
+)
+
+// Kind distinguishes the job types the manager runs: plain
+// fault-injection campaigns and design-space tuning searches.
+type Kind string
+
+const (
+	KindCampaign Kind = "campaign"
+	KindTune     Kind = "tune"
 )
 
 // The original GOOFI was an interactive service: campaigns were queued
@@ -47,12 +57,15 @@ type Event struct {
 
 // Campaign is one queued, running, or finished fault-injection job.
 type Campaign struct {
-	ID      string
-	Spec    goofi.CampaignSpec
-	Created time.Time
+	ID       string
+	Kind     Kind
+	Spec     goofi.CampaignSpec
+	TuneSpec *tune.Spec // set when Kind == KindTune
+	Created  time.Time
 
 	mu       sync.Mutex
 	state    State
+	outcome  *tune.Outcome // tune jobs: the finished search
 	started  time.Time
 	finished time.Time
 	done     int
@@ -69,8 +82,10 @@ type Campaign struct {
 // View is the JSON representation of a campaign's current state.
 type View struct {
 	ID          string             `json:"id"`
+	Kind        Kind               `json:"kind"`
 	State       State              `json:"state"`
 	Spec        goofi.CampaignSpec `json:"spec"`
+	TuneSpec    *tune.Spec         `json:"tuneSpec,omitempty"`
 	Created     time.Time          `json:"created"`
 	Started     *time.Time         `json:"started,omitempty"`
 	Finished    *time.Time         `json:"finished,omitempty"`
@@ -88,8 +103,10 @@ func (c *Campaign) Snapshot() View {
 	defer c.mu.Unlock()
 	v := View{
 		ID:          c.ID,
+		Kind:        c.Kind,
 		State:       c.state,
 		Spec:        c.Spec,
+		TuneSpec:    c.TuneSpec,
 		Created:     c.Created,
 		Done:        c.done,
 		Total:       c.total,
@@ -241,10 +258,8 @@ func (m *Manager) Submit(spec goofi.CampaignSpec) (*Campaign, error) {
 	if _, err := spec.Resolve(); err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	c := &Campaign{
-		ID:       fmt.Sprintf("c%06d", m.nextID+1),
+		Kind:     KindCampaign,
 		Spec:     spec,
 		Created:  time.Now(),
 		state:    StateQueued,
@@ -256,6 +271,35 @@ func (m *Manager) Submit(spec goofi.CampaignSpec) (*Campaign, error) {
 	if spec.Sequential() {
 		c.total = spec.MaxExperiments // upper bound; 0 = engine default
 	}
+	return m.enqueue(c)
+}
+
+// SubmitTune validates a tuning spec and enqueues a design-space
+// search job. It shares the campaign queue, listing, events, and
+// cancellation machinery; progress counts candidate evaluations
+// against tune.Spec.PlannedEvaluations' upper bound.
+func (m *Manager) SubmitTune(spec tune.Spec) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		Kind:     KindTune,
+		TuneSpec: &spec,
+		Created:  time.Now(),
+		state:    StateQueued,
+		total:    spec.PlannedEvaluations(),
+		outcomes: make(map[string]int),
+		subs:     make(map[chan Event]struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	return m.enqueue(c)
+}
+
+// enqueue assigns an ID and queues a job under the manager lock.
+func (m *Manager) enqueue(c *Campaign) (*Campaign, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c.ID = fmt.Sprintf("c%06d", m.nextID+1)
 	select {
 	case m.queue <- c:
 	default:
@@ -350,6 +394,11 @@ func (m *Manager) execute(c *Campaign) {
 	defer metrics.CampaignsRunning.Add(-1)
 	defer metrics.BusyWorkers.Add(-1)
 
+	if c.Kind == KindTune {
+		m.runTune(ctx, c)
+		return
+	}
+
 	cfg, err := c.Spec.Resolve()
 	if err != nil { // validated at Submit; only a programming error lands here
 		c.finalize(nil, err, "")
@@ -395,6 +444,41 @@ func (m *Manager) execute(c *Campaign) {
 		}
 	}
 	c.finalize(recs, runErr, path)
+}
+
+// runTune executes a tuning job: the full design-space search, with
+// candidate-evaluation progress fanned out to subscribers and the
+// final per-candidate results persisted like campaign records.
+func (m *Manager) runTune(ctx context.Context, c *Campaign) {
+	outcome, err := tune.Search(ctx, *c.TuneSpec, func(done, total int) {
+		c.mu.Lock()
+		c.done, c.total = done, total
+		c.broadcastLocked(c.eventLocked("progress"))
+		c.mu.Unlock()
+	})
+
+	path := ""
+	if m.dataDir != "" && outcome != nil && len(outcome.Results) > 0 {
+		path = filepath.Join(m.dataDir, c.ID+".jsonl")
+		if saveErr := tune.SaveResults(path, outcome.Results); saveErr != nil {
+			path = ""
+			if err == nil {
+				err = saveErr
+			}
+		}
+	}
+	c.mu.Lock()
+	c.outcome = outcome
+	c.mu.Unlock()
+	c.finalize(nil, err, path)
+}
+
+// Outcome returns a tune job's finished search, or nil while the
+// search is still running (or for plain campaigns).
+func (c *Campaign) Outcome() *tune.Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.outcome
 }
 
 // finalize records the campaign's terminal state and notifies

@@ -18,8 +18,8 @@ const z95 = 1.96
 
 // Proportion is an estimated proportion out of n trials.
 type Proportion struct {
-	Count int // number of observations in the category
-	N     int // total number of trials
+	Count int `json:"count"` // number of observations in the category
+	N     int `json:"n"`     // total number of trials
 }
 
 // P returns the point estimate Count/N, or 0 when N == 0.
@@ -38,6 +38,28 @@ func (p Proportion) CI95() float64 {
 	}
 	est := p.P()
 	return z95 * math.Sqrt(est*(1-est)/float64(p.N))
+}
+
+// Interval95 returns the bounds [lo, hi] of the 95 % confidence
+// interval, clamped to [0, 1]. With no experiments (N == 0) the true
+// proportion is completely unknown, so the degenerate full-uncertainty
+// interval [0, 1] is returned rather than a zero-width interval around
+// an arbitrary point estimate — callers comparing noisy estimates (for
+// example the tuner's dominance pruning) must not treat an unmeasured
+// proportion as a certain zero.
+func (p Proportion) Interval95() (lo, hi float64) {
+	if p.N == 0 {
+		return 0, 1
+	}
+	half := p.CI95()
+	lo, hi = p.P()-half, p.P()+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
 }
 
 // String formats the proportion in the paper's style,

@@ -45,6 +45,40 @@ func TestProportionCI95Degenerate(t *testing.T) {
 	}
 }
 
+// Regression test: an unmeasured proportion (n = 0) must report total
+// uncertainty, not a confident zero-width interval. Before Interval95
+// existed, callers dividing by N themselves could silently turn "no
+// experiments" into "certainly zero".
+func TestProportionInterval95NoExperiments(t *testing.T) {
+	lo, hi := Proportion{Count: 0, N: 0}.Interval95()
+	if lo != 0 || hi != 1 {
+		t.Errorf("Interval95 with n=0 = [%v, %v], want degenerate [0, 1]", lo, hi)
+	}
+}
+
+func TestProportionInterval95Clamped(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Proportion
+	}{
+		{"all failures, tiny n", Proportion{Count: 1, N: 1}},
+		{"no failures, tiny n", Proportion{Count: 0, N: 1}},
+		{"half", Proportion{Count: 50, N: 100}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lo, hi := tt.p.Interval95()
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Errorf("Interval95(%+v) = [%v, %v], want 0 <= lo <= hi <= 1", tt.p, lo, hi)
+			}
+			est := tt.p.P()
+			if est < lo || est > hi {
+				t.Errorf("Interval95(%+v) = [%v, %v] excludes the point estimate %v", tt.p, lo, hi, est)
+			}
+		})
+	}
+}
+
 func TestProportionCI95ShrinksWithN(t *testing.T) {
 	small := Proportion{Count: 5, N: 10}
 	large := Proportion{Count: 500, N: 1000}

@@ -1,0 +1,91 @@
+package tune
+
+// The tuner minimizes four objectives per configuration. Campaign-
+// backed objectives are noisy proportions, so pruning decisions use
+// 95 % confidence intervals: a candidate is only discarded when
+// another is better beyond noise somewhere and not worse beyond noise
+// anywhere — a noisy candidate whose intervals overlap everything
+// survives to the next refinement round, where a doubled campaign
+// tightens its intervals.
+
+// objective is one minimized metric with its uncertainty bounds.
+type objective struct {
+	point  float64
+	lo, hi float64
+}
+
+// objectives extracts the four metrics. Proportions carry their 95 %
+// intervals (degenerate [0, 1] when unmeasured, via
+// stats.Proportion.Interval95); the modelled overhead is exact.
+func objectives(r Result) [4]objective {
+	obj := [4]objective{}
+	for i, p := range []struct {
+		point float64
+		prop  interface{ Interval95() (float64, float64) }
+	}{
+		{r.Severe.P(), r.Severe},
+		{r.ValueFailures.P(), r.ValueFailures},
+		{r.FalsePositives.P(), r.FalsePositives},
+	} {
+		lo, hi := p.prop.Interval95()
+		obj[i] = objective{point: p.point, lo: lo, hi: hi}
+	}
+	obj[3] = objective{point: r.Overhead, lo: r.Overhead, hi: r.Overhead}
+	return obj
+}
+
+// Dominates reports point-wise Pareto dominance: a is no worse than b
+// on every objective and strictly better on at least one.
+func Dominates(a, b Result) bool {
+	oa, ob := objectives(a), objectives(b)
+	strict := false
+	for i := range oa {
+		if oa[i].point > ob[i].point {
+			return false
+		}
+		if oa[i].point < ob[i].point {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ConfidentlyDominates reports dominance beyond campaign noise: a is
+// better than b with separated 95 % intervals on at least one
+// objective (a.hi < b.lo) and not worse beyond noise on any
+// (never a.lo > b.hi). Only this relation may prune a candidate
+// during the search — point-wise dominance on overlapping intervals
+// could discard a configuration whose true rates are better.
+func ConfidentlyDominates(a, b Result) bool {
+	oa, ob := objectives(a), objectives(b)
+	separated := false
+	for i := range oa {
+		if oa[i].lo > ob[i].hi {
+			return false // worse beyond noise somewhere
+		}
+		if oa[i].hi < ob[i].lo {
+			separated = true
+		}
+	}
+	return separated
+}
+
+// ParetoFront returns the point-wise non-dominated subset, preserving
+// input order. Duplicated metric vectors all survive (neither
+// strictly dominates the other).
+func ParetoFront(rs []Result) []Result {
+	var front []Result
+	for i, r := range rs {
+		dominated := false
+		for j, other := range rs {
+			if i != j && Dominates(other, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	return front
+}

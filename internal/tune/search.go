@@ -1,0 +1,297 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+)
+
+// Spec is the external, serialisable description of a tuning job,
+// shared by cmd/guardtune's flag parsing and ctrlguardd's JSON API —
+// the same pattern goofi.CampaignSpec follows for campaigns.
+type Spec struct {
+	// Space is the parameter grid (empty axes default to
+	// DefaultSpace's).
+	Space Space `json:"space"`
+
+	// Seed drives every campaign of the search.
+	Seed uint64 `json:"seed"`
+
+	// InitialExperiments is the round-0 campaign size per candidate
+	// (default 250); it doubles each refinement round.
+	InitialExperiments int `json:"initialExperiments,omitempty"`
+
+	// Rounds is the number of successive-halving rounds (default 3):
+	// each round evaluates the survivors, then halves the field and
+	// doubles the campaign size.
+	Rounds int `json:"rounds,omitempty"`
+
+	// Workers bounds the evaluation worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+
+	// OverheadBudget caps the modelled runtime overhead a recommended
+	// configuration may cost (default 1.0 — at most doubling the bare
+	// control iteration).
+	OverheadBudget float64 `json:"overheadBudget,omitempty"`
+
+	// Iterations is the closed-loop run length (0 = the paper's 650).
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// withDefaults fills the spec's zero fields.
+func (s Spec) withDefaults() Spec {
+	s.Space = s.Space.withDefaults()
+	if s.InitialExperiments == 0 {
+		s.InitialExperiments = 250
+	}
+	if s.Rounds == 0 {
+		s.Rounds = 3
+	}
+	if s.OverheadBudget == 0 {
+		s.OverheadBudget = 1.0
+	}
+	return s
+}
+
+// Validate checks the spec after defaulting, mirroring what Search
+// will reject — front ends validate requests identically.
+func (s Spec) Validate() error {
+	d := s.withDefaults()
+	if err := d.Space.Validate(); err != nil {
+		return err
+	}
+	if s.InitialExperiments < 0 {
+		return fmt.Errorf("tune: initial experiments must be positive, got %d", s.InitialExperiments)
+	}
+	if d.Rounds < 1 || d.Rounds > 12 {
+		return fmt.Errorf("tune: rounds must be in [1, 12], got %d", d.Rounds)
+	}
+	if d.Workers < 0 {
+		return fmt.Errorf("tune: workers must be non-negative, got %d", d.Workers)
+	}
+	if d.OverheadBudget < 0 {
+		return fmt.Errorf("tune: overhead budget must be non-negative, got %g", d.OverheadBudget)
+	}
+	if d.Iterations < 0 {
+		return fmt.Errorf("tune: iterations must be non-negative, got %d", d.Iterations)
+	}
+	if len(d.candidates()) < 2 {
+		return fmt.Errorf("tune: the space holds %d candidate(s); need at least the baseline and one protected design", len(d.candidates()))
+	}
+	return nil
+}
+
+// candidates enumerates the grid with the unprotected baseline
+// guaranteed present — every search measures Algorithm I so the
+// recommendation can be judged against it.
+func (s Spec) candidates() []Config {
+	cands := s.Space.Candidates()
+	for _, c := range cands {
+		if c.Policy == PolicyNone {
+			return cands
+		}
+	}
+	return append([]Config{{Policy: PolicyNone}}, cands...)
+}
+
+// PlannedEvaluations returns an upper bound on candidate evaluations
+// across all rounds (confidence-interval pruning may discard more
+// than half a field, never less), for progress reporting.
+func (s Spec) PlannedEvaluations() int {
+	d := s.withDefaults()
+	c := len(d.candidates())
+	total := 0
+	for r := 0; r < d.Rounds; r++ {
+		total += c
+		c = keepCount(c)
+	}
+	return total
+}
+
+// keepCount is the successive-halving survivor count for a field of n:
+// the baseline plus half the protected candidates, never below the
+// baseline plus two (a front needs diversity to be worth refining).
+func keepCount(n int) int {
+	keep := 1 + (n-1+1)/2 // baseline + ceil((n-1)/2)
+	if min := 3; keep < min {
+		keep = min
+	}
+	if keep > n {
+		keep = n
+	}
+	return keep
+}
+
+// RoundSummary records one refinement round.
+type RoundSummary struct {
+	Round       int      `json:"round"`
+	Experiments int      `json:"experiments"` // campaign size per candidate
+	Candidates  int      `json:"candidates"`  // field size this round
+	Pruned      []string `json:"pruned,omitempty"`
+}
+
+// Outcome is a finished search.
+type Outcome struct {
+	Spec        Spec           `json:"spec"`
+	Candidates  int            `json:"candidates"`  // round-0 field size
+	Evaluations int            `json:"evaluations"` // candidate evaluations performed
+	Experiments int            `json:"experiments"` // fault injections performed
+	Rounds      []RoundSummary `json:"rounds"`
+
+	// Baseline is the unprotected Algorithm I measurement from the
+	// final round — the yardstick for every recommendation.
+	Baseline Result `json:"baseline"`
+
+	// Results holds the final round's evaluations, best first.
+	Results []Result `json:"results"`
+
+	// Front is the Pareto-optimal subset of Results over
+	// {severe, value failures, false positives, overhead}.
+	Front []Result `json:"front"`
+
+	// Recommended is the front member with the lowest severe-failure
+	// rate whose overhead fits the budget, or nil when nothing does.
+	Recommended *Result `json:"recommended,omitempty"`
+}
+
+// Progress reports search progress: done counts candidate evaluations
+// finished, total is Spec.PlannedEvaluations' upper bound.
+type Progress func(done, total int)
+
+// Search runs the design-space search: a grid pass over the space,
+// then successive-halving refinement — each round evaluates every
+// surviving candidate (fault-free run + fault-injection campaign over
+// a shared worker pool), prunes the field, and doubles the campaign
+// size, so measurement effort concentrates on the designs still in
+// contention. The final round's results yield the Pareto front and a
+// recommendation under the overhead budget.
+//
+// For a fixed spec the outcome is deterministic: candidate campaign
+// seeds derive from configuration identity, pruning uses fixed
+// tie-breaks, and no wall clock enters any metric.
+func Search(ctx context.Context, spec Spec, progress Progress) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec = spec.withDefaults()
+
+	ev := &Evaluator{Seed: spec.Seed, Workers: spec.Workers, Iterations: spec.Iterations}
+	survivors := spec.candidates()
+	out := &Outcome{Spec: spec, Candidates: len(survivors)}
+	total := spec.PlannedEvaluations()
+	report := func() {
+		if progress != nil {
+			progress(out.Evaluations, total)
+		}
+	}
+	report()
+
+	n := spec.InitialExperiments
+	var results []Result
+	for round := 0; round < spec.Rounds; round++ {
+		var err error
+		results, err = ev.EvaluateAll(ctx, survivors, n)
+		if err != nil {
+			return nil, err
+		}
+		out.Evaluations += len(survivors)
+		out.Experiments += len(survivors) * n
+		summary := RoundSummary{Round: round, Experiments: n, Candidates: len(survivors)}
+		report()
+
+		if round < spec.Rounds-1 {
+			var pruned []string
+			survivors, pruned = halve(results)
+			summary.Pruned = pruned
+			n *= 2
+		}
+		out.Rounds = append(out.Rounds, summary)
+	}
+
+	sortResults(results)
+	out.Results = results
+	out.Front = ParetoFront(results)
+	for _, r := range results {
+		if r.Config.Policy == PolicyNone {
+			out.Baseline = r
+			break
+		}
+	}
+	out.Recommended = recommend(out.Front, spec.OverheadBudget)
+	return out, nil
+}
+
+// halve selects the next round's survivors: first drop every
+// candidate another one confidently dominates (interval-separated, so
+// noise cannot prune a contender), then — if the field is still too
+// large — rank the protected candidates and keep the top half. The
+// unprotected baseline always survives as the comparison anchor.
+// Returns the survivors' configurations in stable order and the
+// pruned IDs.
+func halve(results []Result) (survivors []Config, pruned []string) {
+	alive := make([]Result, 0, len(results))
+	for i, r := range results {
+		if r.Config.Policy == PolicyNone {
+			alive = append(alive, r)
+			continue
+		}
+		confidentlyOut := false
+		for j, other := range results {
+			if i != j && ConfidentlyDominates(other, r) {
+				confidentlyOut = true
+				break
+			}
+		}
+		if confidentlyOut {
+			pruned = append(pruned, r.Config.ID())
+		} else {
+			alive = append(alive, r)
+		}
+	}
+
+	keep := keepCount(len(results))
+	if len(alive) > keep {
+		ranked := append([]Result(nil), alive...)
+		sortResults(ranked)
+		kept := make(map[string]bool, keep)
+		kept[Config{Policy: PolicyNone}.ID()] = true
+		for _, r := range ranked {
+			if len(kept) >= keep {
+				break
+			}
+			kept[r.Config.ID()] = true
+		}
+		trimmed := alive[:0]
+		for _, r := range alive {
+			if kept[r.Config.ID()] {
+				trimmed = append(trimmed, r)
+			} else {
+				pruned = append(pruned, r.Config.ID())
+			}
+		}
+		alive = trimmed
+	}
+
+	survivors = make([]Config, len(alive))
+	for i, r := range alive {
+		survivors[i] = r.Config
+	}
+	return survivors, pruned
+}
+
+// recommend picks the front member with the lowest severe-failure
+// rate whose modelled overhead fits the budget; ties fall to the
+// sortResults order. Returns nil when no front member fits.
+func recommend(front []Result, budget float64) *Result {
+	ranked := append([]Result(nil), front...)
+	sortResults(ranked)
+	for _, r := range ranked {
+		if r.Overhead <= budget {
+			out := r
+			return &out
+		}
+	}
+	return nil
+}

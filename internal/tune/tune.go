@@ -1,0 +1,226 @@
+// Package tune searches the protection design space opened by the
+// guard framework. The paper evaluates one hand-picked design
+// (Algorithm II); this package treats a protection configuration —
+// assertion bound slack, rate-assertion threshold, learned-vs-static
+// assertions, recovery policy — as a point in a parameterized space,
+// measures each candidate with variable-level fault-injection
+// campaigns plus a fault-free run (false positives and runtime
+// overhead), and searches the space with a grid seeded successive-
+// halving refinement. The output is a Pareto front over
+// {severe-failure rate, value-failure rate, false-positive rate,
+// runtime overhead} and a recommended dominant configuration under an
+// overhead budget.
+//
+// Everything is deterministic for a fixed seed: candidate campaign
+// seeds are derived from the configuration identity, fault-free
+// metrics are exact, and the runtime overhead is an instruction-count
+// cost model calibrated against the repo's simulated CPU rather than
+// a wall clock — so two runs of the same search produce identical
+// Pareto fronts.
+package tune
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy names a guard recovery policy in the design space. PolicyNone
+// selects the unprotected controller (the Algorithm I baseline every
+// search keeps for comparison).
+type Policy string
+
+const (
+	PolicyNone     Policy = "none"
+	PolicyRollback Policy = "rollback"
+	PolicyFreeze   Policy = "freeze"
+	PolicySaturate Policy = "saturate"
+)
+
+// Policies lists the valid policy names.
+func Policies() []Policy {
+	return []Policy{PolicyNone, PolicyRollback, PolicyFreeze, PolicySaturate}
+}
+
+func (p Policy) valid() bool {
+	switch p {
+	case PolicyNone, PolicyRollback, PolicyFreeze, PolicySaturate:
+		return true
+	}
+	return false
+}
+
+// Config is one point in the protection design space.
+//
+// The Slack and RateLimit parameters change meaning with Learned:
+//
+//   - Static assertions check the physical actuator range widened by
+//     Slack (a fraction of the range width per side), and RateLimit is
+//     an absolute per-sample output-unit bound (0 disables the rate
+//     assertion).
+//   - Learned assertions derive the envelope from a fault-free
+//     reference run; Slack is the margin fraction passed to the bounds
+//     learner and RateLimit is the safety factor applied to the worst
+//     observed per-sample change (0 disables the rate assertion).
+//
+// Under PolicySaturate a configuration with a rate assertion falls
+// back to rollback recovery whenever the violation is not saturable
+// (the guard only saturates pure range assertions); such points are
+// still legal — they simply measure like hybrids.
+type Config struct {
+	Policy    Policy  `json:"policy,omitempty"`
+	Learned   bool    `json:"learned,omitempty"`
+	Slack     float64 `json:"slack,omitempty"`
+	RateLimit float64 `json:"rateLimit,omitempty"`
+}
+
+// ID returns the configuration's canonical identity, used for
+// deterministic per-candidate seeding, deduplication, and display.
+func (c Config) ID() string {
+	if c.Policy == PolicyNone {
+		return string(PolicyNone)
+	}
+	kind := "static"
+	if c.Learned {
+		kind = "learned"
+	}
+	return fmt.Sprintf("%s/%s/slack=%g/rate=%g", c.Policy, kind, c.Slack, c.RateLimit)
+}
+
+// Validate reports whether the configuration is a legal design point.
+func (c Config) Validate() error {
+	if !c.Policy.valid() {
+		return fmt.Errorf("tune: unknown policy %q (want one of %v)", c.Policy, Policies())
+	}
+	if c.Slack < 0 {
+		return fmt.Errorf("tune: slack must be non-negative, got %g", c.Slack)
+	}
+	if c.RateLimit < 0 {
+		return fmt.Errorf("tune: rate limit must be non-negative, got %g", c.RateLimit)
+	}
+	return nil
+}
+
+// normalize collapses the assertion parameters of the unprotected
+// configuration so every PolicyNone point shares one identity.
+func (c Config) normalize() Config {
+	if c.Policy == PolicyNone {
+		return Config{Policy: PolicyNone}
+	}
+	return c
+}
+
+// Space is the parameter grid the search enumerates: the cross product
+// of policies, learned-vs-static, bound slacks, and rate limits.
+// PolicyNone contributes a single baseline candidate regardless of the
+// other axes.
+type Space struct {
+	Policies   []Policy  `json:"policies,omitempty"`
+	Learned    []bool    `json:"learned,omitempty"`
+	Slacks     []float64 `json:"slacks,omitempty"`
+	RateLimits []float64 `json:"rateLimits,omitempty"`
+}
+
+// DefaultSpace returns the stock grid: every recovery policy, static
+// and learned assertions, three slacks and three rate limits — 54
+// protected candidates plus the unprotected baseline.
+func DefaultSpace() Space {
+	return Space{
+		Policies:   []Policy{PolicyNone, PolicyRollback, PolicyFreeze, PolicySaturate},
+		Learned:    []bool{false, true},
+		Slacks:     []float64{0, 0.1, 0.25},
+		RateLimits: []float64{0, 3, 8},
+	}
+}
+
+// withDefaults fills empty axes from DefaultSpace.
+func (s Space) withDefaults() Space {
+	def := DefaultSpace()
+	if len(s.Policies) == 0 {
+		s.Policies = def.Policies
+	}
+	if len(s.Learned) == 0 {
+		s.Learned = def.Learned
+	}
+	if len(s.Slacks) == 0 {
+		s.Slacks = def.Slacks
+	}
+	if len(s.RateLimits) == 0 {
+		s.RateLimits = def.RateLimits
+	}
+	return s
+}
+
+// Validate checks every axis value.
+func (s Space) Validate() error {
+	for _, p := range s.Policies {
+		if !p.valid() {
+			return fmt.Errorf("tune: unknown policy %q (want one of %v)", p, Policies())
+		}
+	}
+	for _, sl := range s.Slacks {
+		if sl < 0 {
+			return fmt.Errorf("tune: slack must be non-negative, got %g", sl)
+		}
+	}
+	for _, r := range s.RateLimits {
+		if r < 0 {
+			return fmt.Errorf("tune: rate limit must be non-negative, got %g", r)
+		}
+	}
+	return nil
+}
+
+// Candidates enumerates the grid in a fixed order, deduplicated by
+// configuration identity. The unprotected baseline, when present, is
+// always first.
+func (s Space) Candidates() []Config {
+	var out []Config
+	seen := make(map[string]bool)
+	add := func(c Config) {
+		c = c.normalize()
+		if id := c.ID(); !seen[id] {
+			seen[id] = true
+			out = append(out, c)
+		}
+	}
+	for _, p := range s.Policies {
+		if p == PolicyNone {
+			add(Config{Policy: PolicyNone})
+		}
+	}
+	for _, p := range s.Policies {
+		if p == PolicyNone {
+			continue
+		}
+		for _, learned := range s.Learned {
+			for _, slack := range s.Slacks {
+				for _, rate := range s.RateLimits {
+					add(Config{Policy: p, Learned: learned, Slack: slack, RateLimit: rate})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sortResults orders results deterministically: best severe rate
+// first, then value-failure rate, false positives, overhead, and
+// finally identity as the total tie-break.
+func sortResults(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if ap, bp := a.Severe.P(), b.Severe.P(); ap != bp {
+			return ap < bp
+		}
+		if ap, bp := a.ValueFailures.P(), b.ValueFailures.P(); ap != bp {
+			return ap < bp
+		}
+		if ap, bp := a.FalsePositives.P(), b.FalsePositives.P(); ap != bp {
+			return ap < bp
+		}
+		if a.Overhead != b.Overhead {
+			return a.Overhead < b.Overhead
+		}
+		return a.Config.ID() < b.Config.ID()
+	})
+}

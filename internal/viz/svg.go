@@ -1,0 +1,161 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample of a scatter plot.
+type Point struct {
+	X, Y  float64
+	Label string // shown as a hover tooltip
+	Front bool   // highlighted and joined by the front polyline
+}
+
+// Scatter renders an SVG scatter plot, used by guardtune to draw the
+// Pareto front of protection designs over the cost/coverage plane.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels (default 640)
+	Height int // pixels (default 440)
+}
+
+const (
+	svgMarginLeft   = 64
+	svgMarginRight  = 16
+	svgMarginTop    = 36
+	svgMarginBottom = 48
+	svgTicks        = 5
+)
+
+var svgEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;",
+)
+
+// Render draws the points as an SVG document. Non-finite coordinates
+// are skipped; an empty plot renders a "no data" placeholder; a
+// degenerate range (single point, or all points sharing a coordinate)
+// is padded so nothing divides by zero.
+func (s Scatter) Render(points []Point) string {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 440
+	}
+
+	finite := make([]Point, 0, len(points))
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			continue
+		}
+		finite = append(finite, p)
+		xlo, xhi = math.Min(xlo, p.X), math.Max(xhi, p.X)
+		ylo, yhi = math.Min(ylo, p.Y), math.Max(yhi, p.Y)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if s.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", w/2, svgEscaper.Replace(s.Title))
+	}
+	if len(finite) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#888">no data</text>`+"\n", w/2, h/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	xlo, xhi = padRange(xlo, xhi)
+	ylo, yhi = padRange(ylo, yhi)
+
+	plotW := float64(w - svgMarginLeft - svgMarginRight)
+	plotH := float64(h - svgMarginTop - svgMarginBottom)
+	px := func(x float64) float64 {
+		return float64(svgMarginLeft) + (x-xlo)/(xhi-xlo)*plotW
+	}
+	py := func(y float64) float64 {
+		return float64(svgMarginTop) + (yhi-y)/(yhi-ylo)*plotH
+	}
+
+	// Axes and ticks.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		svgMarginLeft, svgMarginTop, plotW, plotH)
+	for i := 0; i <= svgTicks; i++ {
+		f := float64(i) / svgTicks
+		xv, yv := xlo+f*(xhi-xlo), ylo+f*(yhi-ylo)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			px(xv), float64(svgMarginTop)+plotH, px(xv), float64(svgMarginTop)+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px(xv), float64(svgMarginTop)+plotH+18, svgEscaper.Replace(fmt.Sprintf("%.3g", xv)))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			float64(svgMarginLeft)-4, py(yv), float64(svgMarginLeft), py(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			float64(svgMarginLeft)-8, py(yv)+4, svgEscaper.Replace(fmt.Sprintf("%.3g", yv)))
+	}
+	if s.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(svgMarginLeft)+plotW/2, h-8, svgEscaper.Replace(s.XLabel))
+	}
+	if s.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			float64(svgMarginTop)+plotH/2, float64(svgMarginTop)+plotH/2, svgEscaper.Replace(s.YLabel))
+	}
+
+	// The front polyline joins highlighted points in x order, tracing
+	// the trade-off curve.
+	var front []Point
+	for _, p := range finite {
+		if p.Front {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].X != front[j].X {
+			return front[i].X < front[j].X
+		}
+		return front[i].Y < front[j].Y
+	})
+	if len(front) > 1 {
+		coords := make([]string, len(front))
+		for i, p := range front {
+			coords[i] = fmt.Sprintf("%.1f,%.1f", px(p.X), py(p.Y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#c0392b" stroke-dasharray="4 3"/>`+"\n",
+			strings.Join(coords, " "))
+	}
+
+	for _, p := range finite {
+		fill, r := "#2d6cdf", 4.0
+		if p.Front {
+			fill, r = "#c0392b", 5.0
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.0f" fill="%s" fill-opacity="0.85">`, px(p.X), py(p.Y), r, fill)
+		if p.Label != "" {
+			fmt.Fprintf(&b, `<title>%s</title>`, svgEscaper.Replace(p.Label))
+		}
+		b.WriteString("</circle>\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// padRange widens a degenerate [lo, hi] so scaling never divides by
+// zero: a single point sits centered in a unit (or ±10 %) window.
+func padRange(lo, hi float64) (float64, float64) {
+	if lo != hi {
+		return lo, hi
+	}
+	pad := math.Abs(lo) * 0.1
+	if pad == 0 {
+		pad = 1
+	}
+	return lo - pad, hi + pad
+}

@@ -59,3 +59,65 @@ func TestRenderDefaultMark(t *testing.T) {
 		t.Error("default mark not used in legend")
 	}
 }
+
+func TestRenderSingleSample(t *testing.T) {
+	out := Chart{Title: "one"}.Render(Series{Name: "s", Values: []float64{7}})
+	if !strings.Contains(out, "*") || strings.Contains(out, "NaN") {
+		t.Errorf("single-sample chart malformed:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	for _, pts := range [][]Point{nil, {}, {{X: math.NaN(), Y: 1}}} {
+		out := Scatter{Title: "empty"}.Render(pts)
+		if !strings.Contains(out, "no data") {
+			t.Errorf("empty scatter (%v) missing placeholder:\n%s", pts, out)
+		}
+		if !strings.Contains(out, "</svg>") {
+			t.Error("not a closed SVG document")
+		}
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	out := Scatter{}.Render([]Point{{X: 0, Y: 0, Label: "only"}})
+	if !strings.Contains(out, "<circle") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("degenerate range leaked %s into the SVG:\n%s", bad, out)
+		}
+	}
+}
+
+func TestScatterSkipsNonFinite(t *testing.T) {
+	out := Scatter{}.Render([]Point{
+		{X: 1, Y: 1},
+		{X: math.Inf(1), Y: 2},
+		{X: 2, Y: math.NaN()},
+	})
+	if got := strings.Count(out, "<circle"); got != 1 {
+		t.Errorf("drew %d points, want 1 (non-finite skipped)", got)
+	}
+}
+
+func TestScatterFrontPolylineAndLabels(t *testing.T) {
+	out := Scatter{Title: "front", XLabel: "overhead", YLabel: "severe"}.Render([]Point{
+		{X: 0.2, Y: 0.08, Label: "a<b>", Front: true},
+		{X: 0.5, Y: 0.02, Label: "c", Front: true},
+		{X: 0.9, Y: 0.05, Label: "dominated"},
+	})
+	for _, want := range []string{"<polyline", "overhead", "severe", "a&lt;b&gt;", "front"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q", want)
+		}
+	}
+}
+
+func TestScatterSingleFrontPointNoPolyline(t *testing.T) {
+	out := Scatter{}.Render([]Point{{X: 1, Y: 2, Front: true}, {X: 3, Y: 4}})
+	if strings.Contains(out, "<polyline") {
+		t.Error("polyline drawn for a single front point")
+	}
+}
