@@ -1,0 +1,325 @@
+// Command faulttrace is the fault-forensics front end: it captures
+// per-experiment propagation traces, inspects and diffs them, and
+// renders propagation timelines.
+//
+// Usage:
+//
+//	faulttrace capture -variant alg1 -fault line0.data0:28:300 -o f7.trace
+//	    capture the trace of one explicitly specified fault
+//
+//	faulttrace capture -variant alg1 -seed 2001 -exp 17 -n 9290 -o e17.trace
+//	    replay experiment 17 of the campaign (variant, seed, n) and
+//	    capture its trace — deterministic, byte for byte
+//
+//	faulttrace show f7.trace
+//	    print a trace's header, causal chain, and event iterations
+//
+//	faulttrace diff -fault line0.data0:28:300 -a alg1 -b alg2
+//	    capture the same fault under two variants and compare their
+//	    causal chains (the paper's Algorithm I vs II argument)
+//
+//	faulttrace diff a.trace b.trace
+//	    compare two previously captured traces
+//
+//	faulttrace svg f7.trace -o f7.svg
+//	    render a trace's propagation timeline as SVG
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/trace"
+	"ctrlguard/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "capture":
+		err = runCapture(ctx, os.Args[2:])
+	case "show":
+		err = runShow(os.Args[2:])
+	case "diff":
+		err = runDiff(ctx, os.Args[2:])
+	case "svg":
+		err = runSVG(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faulttrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  faulttrace capture -variant V (-fault element:bit:iteration | -exp N -seed S -n COUNT) [-o FILE]
+  faulttrace show FILE
+  faulttrace diff (-fault element:bit:iteration [-a V1] [-b V2] | FILE1 FILE2)
+  faulttrace svg FILE [-o FILE]`)
+}
+
+// parseFault parses the element:bit:iteration shorthand shared with
+// the goofi CLI (e.g. line0.data0:28:300) and resolves it against the
+// variant's reference run.
+func parseFault(v workload.Variant, spec string) (workload.Injection, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return workload.Injection{}, fmt.Errorf("bad fault %q, want element:bit:iteration", spec)
+	}
+	bit, err := strconv.Atoi(parts[1])
+	if err != nil || bit < 0 {
+		return workload.Injection{}, fmt.Errorf("bad bit %q", parts[1])
+	}
+	iter, err := strconv.Atoi(parts[2])
+	if err != nil || iter < 0 {
+		return workload.Injection{}, fmt.Errorf("bad iteration %q", parts[2])
+	}
+	region := cpu.RegionCache
+	if !strings.HasPrefix(parts[0], "line") {
+		region = cpu.RegionRegisters
+	}
+	golden := workload.Run(workload.Program(v), workload.SpecFor(v))
+	if golden.Detected() {
+		return workload.Injection{}, fmt.Errorf("reference execution trapped: %v", golden.Trap)
+	}
+	if iter >= len(golden.IterationStarts) {
+		return workload.Injection{}, fmt.Errorf("iteration %d beyond the run (%d)", iter, len(golden.IterationStarts))
+	}
+	return workload.Injection{
+		// +1 skips the landing pad so the flip lands inside the
+		// iteration's first instructions, before the state is loaded.
+		At:  golden.IterationStarts[iter] + 1,
+		Bit: cpu.StateBit{Region: region, Element: parts[0], Bit: uint(bit)},
+	}, nil
+}
+
+// captureOne captures a trace either for an explicit fault or by
+// replaying a campaign experiment.
+func captureOne(ctx context.Context, v workload.Variant, fault string, exp int, seed uint64, n int) (*trace.Trace, error) {
+	if fault != "" {
+		inj, err := parseFault(v, fault)
+		if err != nil {
+			return nil, err
+		}
+		return trace.Capture(ctx, v, workload.SpecFor(v), inj, classify.Config{})
+	}
+	if exp < 0 {
+		return nil, fmt.Errorf("need -fault or -exp")
+	}
+	return goofi.TraceExperiment(ctx, goofi.Config{
+		Variant: v, Experiments: n, Seed: seed,
+	}, exp)
+}
+
+func resolveVariant(alg int, name string) (workload.Variant, error) {
+	return goofi.ResolveVariant(alg, name)
+}
+
+func runCapture(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	variant := fs.String("variant", "", "workload variant (default alg1)")
+	fault := fs.String("fault", "", "explicit fault: element:bit:iteration")
+	exp := fs.Int("exp", -1, "campaign experiment index to replay")
+	seed := fs.Uint64("seed", 2001, "campaign seed (with -exp)")
+	n := fs.Int("n", 0, "campaign experiment count (with -exp; 0 = unbounded)")
+	out := fs.String("o", "", "write the encoded trace to this file (default stdout summary only)")
+	fs.Parse(args)
+
+	v, err := resolveVariant(0, *variant)
+	if err != nil {
+		return err
+	}
+	tr, err := captureOne(ctx, v, *fault, *exp, *seed, *n)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, trace.Encode(tr), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d iterations)\n", *out, len(tr.Iterations))
+	}
+	printTrace(tr)
+	return nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if tr != nil && err != nil {
+		// A truncated trace is still evidence; show what survived.
+		fmt.Fprintf(os.Stderr, "faulttrace: warning: %v\n", err)
+		return tr, nil
+	}
+	return tr, err
+}
+
+func runShow(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("show needs exactly one trace file")
+	}
+	tr, err := loadTrace(args[0])
+	if err != nil {
+		return err
+	}
+	printTrace(tr)
+	return nil
+}
+
+// printTrace renders the header, the causal chain, and the snapshots
+// around the trace's events.
+func printTrace(tr *trace.Trace) {
+	h := tr.Header
+	fmt.Printf("variant    %s\n", h.Variant)
+	if h.Experiment >= 0 {
+		fmt.Printf("experiment %d (seed %d)\n", h.Experiment, h.Seed)
+	}
+	fmt.Printf("fault      %s (iteration %d)\n", h.Injection, h.InjectionIteration)
+	fmt.Printf("outcome    %s", h.Outcome)
+	if h.Mechanism != "" {
+		fmt.Printf(" (%s)", h.Mechanism)
+	}
+	fmt.Println()
+	fmt.Println()
+	fmt.Print(trace.Analyze(tr, 0))
+
+	fmt.Println()
+	fmt.Println("  k     |Δx|        |Δout|      regs  cache  div   events")
+	shown := 0
+	for _, it := range tr.Iterations {
+		interesting := it.Events != 0 || it.StateError() > 0 || it.Deviation() > 0
+		if !interesting && shown > 0 {
+			continue
+		}
+		if shown >= 12 {
+			fmt.Println("  ... (use svg for the full timeline)")
+			break
+		}
+		fmt.Printf("  %-5d %-11.3g %-11.3g %-5d %-6d %-5d %s\n",
+			it.K, it.StateError(), it.Deviation(),
+			popcount(it.RegsTouched), popcount(it.CacheTouched),
+			it.RegDivergent+it.CacheDivergent, eventNames(it.Events))
+		shown++
+	}
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func eventNames(e uint8) string {
+	var names []string
+	if e&trace.EventInjected != 0 {
+		names = append(names, "injected")
+	}
+	if e&trace.EventStateAssertFailed != 0 {
+		names = append(names, "assert-x")
+	}
+	if e&trace.EventOutputAssertFailed != 0 {
+		names = append(names, "assert-u")
+	}
+	if e&trace.EventTrapped != 0 {
+		names = append(names, "trapped")
+	}
+	return strings.Join(names, ",")
+}
+
+func runDiff(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fault := fs.String("fault", "", "fault to capture under both variants: element:bit:iteration")
+	va := fs.String("a", "alg1", "first variant (with -fault)")
+	vb := fs.String("b", "alg2", "second variant (with -fault)")
+	fs.Parse(args)
+
+	var ta, tb *trace.Trace
+	var labelA, labelB string
+	switch {
+	case *fault != "":
+		a, err := resolveVariant(0, *va)
+		if err != nil {
+			return err
+		}
+		b, err := resolveVariant(0, *vb)
+		if err != nil {
+			return err
+		}
+		if ta, err = captureOne(ctx, a, *fault, -1, 0, 0); err != nil {
+			return err
+		}
+		if tb, err = captureOne(ctx, b, *fault, -1, 0, 0); err != nil {
+			return err
+		}
+		labelA, labelB = string(a), string(b)
+	case fs.NArg() == 2:
+		var err error
+		if ta, err = loadTrace(fs.Arg(0)); err != nil {
+			return err
+		}
+		if tb, err = loadTrace(fs.Arg(1)); err != nil {
+			return err
+		}
+		labelA, labelB = fs.Arg(0), fs.Arg(1)
+	default:
+		return fmt.Errorf("diff needs -fault or two trace files")
+	}
+
+	fmt.Print(trace.Diff(labelA, trace.Analyze(ta, 0), labelB, trace.Analyze(tb, 0)))
+	return nil
+}
+
+func runSVG(args []string) error {
+	fs := flag.NewFlagSet("svg", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("svg needs a trace file")
+	}
+	file := fs.Arg(0)
+	if fs.NArg() > 1 {
+		// Allow "svg FILE -o OUT": pick up flags after the file too.
+		fs.Parse(fs.Args()[1:])
+	}
+	tr, err := loadTrace(file)
+	if err != nil {
+		return err
+	}
+	svg := trace.TimelineSVG(tr, nil)
+	if *out == "" {
+		fmt.Print(svg)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

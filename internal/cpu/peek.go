@@ -1,0 +1,54 @@
+package cpu
+
+// Non-destructive state inspection for observers. The detail-mode
+// tracer reads the controller's state variable every instruction; going
+// through Cache.ReadWord would fill lines and write back victims,
+// perturbing the very propagation being observed. These helpers look
+// but never touch.
+
+// CacheTotalWords is the number of data words across all cache lines,
+// the length of a SnapshotWords buffer.
+const CacheTotalWords = CacheLines * cacheWords
+
+// PeekWord returns the cached copy of the aligned data word at addr
+// when its line is resident, without updating hit/miss counters or
+// line state. The second result reports residency.
+func (c *Cache) PeekWord(addr uint32) (uint32, bool) {
+	line := &c.lines[cacheIndex(addr)]
+	if !line.valid || line.tag != cacheTag(addr) {
+		return 0, false
+	}
+	return line.data[addr>>2&(cacheWords-1)], true
+}
+
+// SnapshotWords copies the data words of every cache line into dst
+// (line-major, CacheTotalWords words), growing dst as needed, and
+// returns the filled slice. Observers diff consecutive snapshots to
+// learn which words an iteration touched.
+func (c *Cache) SnapshotWords(dst []uint32) []uint32 {
+	dst = dst[:0]
+	for i := range c.lines {
+		dst = append(dst, c.lines[i].data[:]...)
+	}
+	return dst
+}
+
+// PeekWord returns the effective value of the aligned word at addr —
+// the cached copy when the line holding addr is resident, the backing
+// store otherwise — without disturbing the machine state. It is meant
+// for run observers; it performs none of the EDM address checks.
+func (c *CPU) PeekWord(addr uint32) uint32 {
+	if SegmentOf(addr) == SegData {
+		if v, ok := c.Cache.PeekWord(addr); ok {
+			return v
+		}
+	}
+	return c.Mem.ReadWord(addr)
+}
+
+// PeekDoubleBits returns the IEEE-754 bit pattern of the double stored
+// at addr (high word first, low word at addr+4), read effectively like
+// PeekWord.
+func (c *CPU) PeekDoubleBits(addr uint32) uint64 {
+	return uint64(c.PeekWord(addr))<<32 | uint64(c.PeekWord(addr+4))
+}

@@ -1,0 +1,58 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeekWordPrefersResidentLine(t *testing.T) {
+	mem := NewMemory()
+	cache := NewCache()
+	c := &CPU{Mem: mem, Cache: cache}
+
+	addr := DataBase + 16
+	mem.WriteWord(addr, 0x1111)
+	if got := c.PeekWord(addr); got != 0x1111 {
+		t.Fatalf("PeekWord (uncached) = %#x, want 0x1111", got)
+	}
+
+	// Pull the line in and diverge the cached copy from memory.
+	if trap := cache.WriteWord(addr, 0x2222, mem); trap != nil {
+		t.Fatal(trap)
+	}
+	if got := c.PeekWord(addr); got != 0x2222 {
+		t.Fatalf("PeekWord (cached) = %#x, want the cached copy 0x2222", got)
+	}
+	if mem.ReadWord(addr) == 0x2222 {
+		t.Fatal("write-back cache should not have updated memory yet")
+	}
+
+	// Peeking must not have changed residency or counters.
+	hits, misses := cache.Hits, cache.Misses
+	c.PeekWord(addr)
+	c.PeekWord(addr + 64) // different tag, same index: a miss if it touched state
+	if cache.Hits != hits || cache.Misses != misses {
+		t.Fatalf("PeekWord moved hit/miss counters: %d/%d -> %d/%d",
+			hits, misses, cache.Hits, cache.Misses)
+	}
+}
+
+func TestPeekDoubleBits(t *testing.T) {
+	mem := NewMemory()
+	c := &CPU{Mem: mem, Cache: NewCache()}
+	bits := math.Float64bits(7.25)
+	addr := DataBase + 8
+	mem.WriteWord(addr, uint32(bits>>32))
+	mem.WriteWord(addr+4, uint32(bits))
+	if got := c.PeekDoubleBits(addr); got != bits {
+		t.Fatalf("PeekDoubleBits = %#x, want %#x", got, bits)
+	}
+}
+
+func TestSnapshotWordsLength(t *testing.T) {
+	cache := NewCache()
+	words := cache.SnapshotWords(nil)
+	if len(words) != CacheTotalWords {
+		t.Fatalf("SnapshotWords length = %d, want %d", len(words), CacheTotalWords)
+	}
+}

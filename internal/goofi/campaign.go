@@ -14,6 +14,7 @@ import (
 	"ctrlguard/internal/classify"
 	"ctrlguard/internal/cpu"
 	"ctrlguard/internal/inject"
+	"ctrlguard/internal/trace"
 	"ctrlguard/internal/workload"
 )
 
@@ -49,6 +50,12 @@ type Config struct {
 	// record. Calls are serialised (never concurrent) but their order
 	// follows worker completion, not experiment ID.
 	OnRecord func(Record)
+
+	// Trace, if non-nil, re-runs selected experiments in detail mode
+	// after classification and hands their propagation traces to
+	// Trace.OnTrace. Opt-in: tracing is far slower than the campaign
+	// itself (see TraceConfig).
+	Trace *TraceConfig
 }
 
 // Record is the logged result of a single fault-injection experiment —
@@ -138,6 +145,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					continue // drain without running
 				}
 				rec := runExperiment(prog, cfg, golden, i, injections[i])
+				var tr *trace.Trace
+				if cfg.Trace != nil && cfg.Trace.OnTrace != nil && cfg.Trace.shouldTrace(rec) {
+					// Capture errors mean cancellation; the partial
+					// campaign result already reflects that.
+					if t, err := trace.Capture(ctx, cfg.Variant, cfg.Spec, injections[i], cfg.Classify); err == nil {
+						t.Header.Experiment = i
+						t.Header.Seed = cfg.Seed
+						tr = t
+					}
+				}
 				mu.Lock()
 				records[i] = rec
 				completed[i] = true
@@ -147,6 +164,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				if cfg.OnRecord != nil {
 					cfg.OnRecord(rec)
+				}
+				if tr != nil {
+					cfg.Trace.OnTrace(rec, tr)
 				}
 				mu.Unlock()
 			}

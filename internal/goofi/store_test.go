@@ -3,6 +3,7 @@ package goofi
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -60,6 +61,33 @@ func TestReadRecordsEmpty(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("got %d records from empty input", len(got))
+	}
+}
+
+// A zero-byte JSONL file — a campaign that crashed before its first
+// record, or a store file created but never written — is an empty
+// database, not a truncated one: no records, and in particular no
+// *TruncatedError.
+func TestReadRecordsZeroByteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadRecords(f)
+	var trunc *TruncatedError
+	if errors.As(err, &trunc) {
+		t.Fatalf("zero-byte file reported as truncated: %v", err)
+	}
+	if err != nil {
+		t.Fatalf("zero-byte file: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records from a zero-byte file", len(got))
 	}
 }
 

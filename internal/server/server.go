@@ -10,6 +10,10 @@
 //	DELETE /api/v1/campaigns/{id}        cancel a campaign
 //	GET    /api/v1/campaigns/{id}/events live progress (NDJSON or SSE)
 //	GET    /api/v1/campaigns/{id}/report query the stored records
+//	GET    /api/v1/campaigns/{id}/experiments/{n}/trace
+//	                                     replay experiment n in detail
+//	                                     mode and serve its propagation
+//	                                     trace (json, bin, svg, text)
 //	POST   /api/v1/tune                  submit a design-space tuning job
 //	GET    /api/v1/tune/{id}/result      a finished tune job's outcome
 //	GET    /api/v1/variants              available workload variants
@@ -86,6 +90,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/experiments/{n}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /api/v1/tune", s.handleSubmitTune)
 	s.mux.HandleFunc("GET /api/v1/tune/{id}/result", s.handleTuneResult)
 	s.mux.HandleFunc("GET /api/v1/variants", s.handleVariants)

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/trace"
+)
+
+// traceResponse mirrors the JSON envelope of the trace endpoint.
+type traceResponse struct {
+	Record goofi.Record `json:"record"`
+	Trace  trace.Trace  `json:"trace"`
+	Chain  trace.Chain  `json:"chain"`
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	v := submit(t, ts, `{"alg": 1, "n": 4, "seed": 2001}`)
+	waitForTerminal(t, ts, v.ID, 30*time.Second)
+
+	base := ts.URL + "/api/v1/campaigns/" + v.ID + "/experiments/2/trace"
+
+	var tr traceResponse
+	if code := getJSON(t, base, &tr); code != http.StatusOK {
+		t.Fatalf("trace returned %d", code)
+	}
+	if tr.Record.ID != 2 {
+		t.Errorf("record ID = %d, want 2", tr.Record.ID)
+	}
+	h := tr.Trace.Header
+	if h.Experiment != 2 || h.Seed != 2001 {
+		t.Errorf("trace header experiment/seed = %d/%d, want 2/2001", h.Experiment, h.Seed)
+	}
+	if h.Outcome != tr.Record.Outcome {
+		t.Errorf("trace outcome %q != record outcome %q", h.Outcome, tr.Record.Outcome)
+	}
+	if len(tr.Chain.Links) == 0 || tr.Chain.Links[0].Kind != "injected" {
+		t.Errorf("chain does not start at the injection: %+v", tr.Chain.Links)
+	}
+
+	// The binary format must decode to the same experiment.
+	resp, err := http.Get(base + "?format=bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("bin Content-Type = %q", ct)
+	}
+	decoded, err := trace.Decode(raw)
+	if err != nil {
+		t.Fatalf("decode served trace: %v", err)
+	}
+	if decoded.Header != h {
+		t.Errorf("binary trace header differs from JSON: %+v vs %+v", decoded.Header, h)
+	}
+
+	resp, err = http.Get(base + "?format=svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(svg), "<svg") {
+		t.Errorf("svg format did not render SVG: %.80s", svg)
+	}
+
+	resp, err = http.Get(base + "?format=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format returned %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTraceLookupFailures(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	// Unknown campaign.
+	if code := getJSON(t, ts.URL+"/api/v1/campaigns/c999999/experiments/0/trace", nil); code != http.StatusNotFound {
+		t.Errorf("unknown campaign: %d, want 404", code)
+	}
+
+	v := submit(t, ts, `{"alg": 1, "n": 3, "seed": 9}`)
+	waitForTerminal(t, ts, v.ID, 30*time.Second)
+	base := ts.URL + "/api/v1/campaigns/" + v.ID + "/experiments/"
+
+	// Out-of-range and malformed experiment indexes.
+	for _, n := range []string{"7", "-1", "two"} {
+		if code := getJSON(t, base+n+"/trace", nil); code != http.StatusNotFound {
+			t.Errorf("experiment %q: %d, want 404", n, code)
+		}
+	}
+}
+
+func TestTraceSequentialCampaignConflict(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	// A precision-driven campaign re-seeds per batch, so its
+	// experiments cannot be replayed by (seed, index); queued or not,
+	// the endpoint must refuse rather than serve a wrong replay.
+	v := submit(t, ts, `{"alg": 1, "seed": 3, "precision": 0.4, "maxExperiments": 100}`)
+	code := getJSON(t, ts.URL+"/api/v1/campaigns/"+v.ID+"/experiments/0/trace", nil)
+	if code != http.StatusConflict {
+		t.Errorf("sequential campaign trace: %d, want 409", code)
+	}
+}
+
+// TestTraceClientCancelMidTrace drops the connection while the replay
+// is running; the handler must notice the dead context and bail out
+// without wedging the server.
+func TestTraceClientCancelMidTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	v := submit(t, ts, `{"alg": 1, "n": 2, "seed": 2001}`)
+	waitForTerminal(t, ts, v.ID, 30*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/api/v1/campaigns/"+v.ID+"/experiments/0/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		// The trace finished inside the grace window — fine, but then
+		// it must have succeeded.
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("fast trace returned %d", resp.StatusCode)
+		}
+	}
+
+	// The server must still answer afterwards.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("server unresponsive after cancelled trace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after cancelled trace: %d", resp.StatusCode)
+	}
+	var view View
+	if code := getJSON(t, ts.URL+"/api/v1/campaigns/"+v.ID, &view); code != http.StatusOK || view.State != StateDone {
+		t.Errorf("campaign state after cancelled trace: %d %s", code, view.State)
+	}
+}
+
+func TestTraceOnTuneJobConflict(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	spec := `{
+		"space": {"policies": ["none", "rollback"], "learned": [false], "slacks": [0], "rateLimits": [0]},
+		"seed": 17, "initialExperiments": 40, "rounds": 1
+	}`
+	resp, err := http.Post(ts.URL+"/api/v1/tune", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tune submit returned %d: %s", resp.StatusCode, body)
+	}
+	var view View
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	code := getJSON(t, ts.URL+"/api/v1/campaigns/"+view.ID+"/experiments/0/trace", nil)
+	if code != http.StatusConflict {
+		t.Errorf("trace on tune job: %d, want 409", code)
+	}
+}

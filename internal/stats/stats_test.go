@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -26,6 +27,33 @@ func TestProportionPointEstimate(t *testing.T) {
 				t.Errorf("P() = %v, want %v", got, tt.want)
 			}
 		})
+	}
+}
+
+// TestProportionJSONRoundTrip pins the wire shape: a Proportion
+// encodes as {"count": c, "n": n} and decodes back to the same value,
+// so reports and the server API can carry it without a custom codec.
+func TestProportionJSONRoundTrip(t *testing.T) {
+	for _, want := range []Proportion{{}, {Count: 60, N: 9290}, {Count: 9290, N: 9290}} {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("Marshal(%+v): %v", want, err)
+		}
+		var got Proportion
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", data, err)
+		}
+		if got != want {
+			t.Errorf("round trip %s = %+v, want %+v", data, got, want)
+		}
+	}
+	// The documented field names, decoded from hand-written JSON.
+	var p Proportion
+	if err := json.Unmarshal([]byte(`{"count": 5, "n": 1000}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count != 5 || p.N != 1000 {
+		t.Errorf(`decode {"count":5,"n":1000} = %+v`, p)
 	}
 }
 

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ctrlguard/internal/classify"
+)
+
+// Link is one step of a causal chain, anchored to the control
+// iteration where it first happened.
+type Link struct {
+	// Kind is one of "injected", "arch-divergence", "state-corruption",
+	// "output-deviation", "assert-state", "assert-output", "trapped",
+	// "recovered" or "end".
+	Kind string `json:"kind"`
+
+	// K is the control iteration the link anchors to.
+	K int `json:"k"`
+
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail"`
+}
+
+func (l Link) String() string {
+	if l.Detail == "" {
+		return fmt.Sprintf("%-16s k=%d", l.Kind, l.K)
+	}
+	return fmt.Sprintf("%-16s k=%d  %s", l.Kind, l.K, l.Detail)
+}
+
+// Chain is the reduced causal account of one trace: fault site → first
+// architectural deviation → state corruption → output deviation →
+// detection/recovery/end, with latencies in control iterations.
+type Chain struct {
+	Outcome   string `json:"outcome"`
+	Mechanism string `json:"mechanism,omitempty"`
+
+	// InjectionIteration is where the chain starts.
+	InjectionIteration int `json:"injectionIteration"`
+
+	// ArchDivergenceIteration is the first iteration with any
+	// instruction-level register/cache divergence from the reference
+	// run (-1: the fault never surfaced architecturally).
+	ArchDivergenceIteration int `json:"archDivergenceIteration"`
+
+	// FirstStateCorruption / LastStateCorruption bracket the iterations
+	// whose controller state erred beyond the threshold (-1: none).
+	// CorruptIterations counts them; MaxStateError is the worst |Δx|.
+	FirstStateCorruption int     `json:"firstStateCorruption"`
+	LastStateCorruption  int     `json:"lastStateCorruption"`
+	CorruptIterations    int     `json:"corruptIterations"`
+	MaxStateError        float64 `json:"maxStateError"`
+
+	// FirstOutputDeviation is the first iteration whose delivered
+	// output deviated beyond the threshold (-1: none); StrongIterations
+	// counts them; MaxDeviation is the worst deviation.
+	FirstOutputDeviation int     `json:"firstOutputDeviation"`
+	StrongIterations     int     `json:"strongIterations"`
+	MaxDeviation         float64 `json:"maxDeviation"`
+
+	// DetectionIteration is when an executable assertion or an EDM
+	// first saw the error (-1: never); DetectionLatency is its distance
+	// from the injection in iterations (-1 when undetected).
+	DetectionIteration int `json:"detectionIteration"`
+	DetectionLatency   int `json:"detectionLatency"`
+
+	// RecoveryIteration is the last iteration a recovery block ran
+	// (-1: never); RecoveryLatency is its distance from the injection.
+	RecoveryIteration int `json:"recoveryIteration"`
+	RecoveryLatency   int `json:"recoveryLatency"`
+
+	// CleanTail reports that after the chain's last corrective event
+	// (recovery, or the injection itself) neither state corruption nor
+	// strong output deviation occurred again — the chain genuinely
+	// ends there instead of trailing corruption to the end of the run.
+	CleanTail bool `json:"cleanTail"`
+
+	// Links is the chain in causal order.
+	Links []Link `json:"links"`
+}
+
+// Analyze reduces t to its causal chain. threshold is the strong-
+// deviation bound in output units; <= 0 means the paper's 0.1°.
+func Analyze(t *Trace, threshold float64) *Chain {
+	if threshold <= 0 {
+		threshold = classify.DefaultConfig().Threshold
+	}
+	h := t.Header
+	c := &Chain{
+		Outcome:                 h.Outcome,
+		Mechanism:               h.Mechanism,
+		InjectionIteration:      h.InjectionIteration,
+		ArchDivergenceIteration: -1,
+		FirstStateCorruption:    -1,
+		LastStateCorruption:     -1,
+		FirstOutputDeviation:    -1,
+		DetectionIteration:      -1,
+		DetectionLatency:        -1,
+		RecoveryIteration:       -1,
+		RecoveryLatency:         -1,
+	}
+
+	for _, it := range t.Iterations {
+		if c.ArchDivergenceIteration < 0 && it.RegDivergent+it.CacheDivergent > 0 {
+			c.ArchDivergenceIteration = it.K
+		}
+		if h.HasState && it.StateError() > threshold {
+			if c.FirstStateCorruption < 0 {
+				c.FirstStateCorruption = it.K
+			}
+			c.LastStateCorruption = it.K
+			c.CorruptIterations++
+			if it.StateError() > c.MaxStateError {
+				c.MaxStateError = it.StateError()
+			}
+		}
+		if it.Events&EventTrapped == 0 && it.Deviation() > threshold {
+			if c.FirstOutputDeviation < 0 {
+				c.FirstOutputDeviation = it.K
+			}
+			c.StrongIterations++
+			if it.Deviation() > c.MaxDeviation {
+				c.MaxDeviation = it.Deviation()
+			}
+		}
+		if it.Recovered() {
+			if c.DetectionIteration < 0 {
+				c.DetectionIteration = it.K
+			}
+			c.RecoveryIteration = it.K
+		}
+	}
+	if h.TrapIteration >= 0 && (c.DetectionIteration < 0 || h.TrapIteration < c.DetectionIteration) {
+		c.DetectionIteration = h.TrapIteration
+	}
+	if c.DetectionIteration >= 0 {
+		c.DetectionLatency = c.DetectionIteration - h.InjectionIteration
+	}
+	if c.RecoveryIteration >= 0 {
+		c.RecoveryLatency = c.RecoveryIteration - h.InjectionIteration
+	}
+
+	// The tail is clean when nothing bad happens after the last
+	// corrective event.
+	after := h.InjectionIteration
+	if c.RecoveryIteration > after {
+		after = c.RecoveryIteration
+	}
+	c.CleanTail = c.LastStateCorruption <= after && lastStrong(t, threshold) <= after
+
+	c.Links = buildLinks(t, c)
+	return c
+}
+
+// lastStrong returns the last iteration with a strong output
+// deviation, or -1.
+func lastStrong(t *Trace, threshold float64) int {
+	last := -1
+	for _, it := range t.Iterations {
+		if it.Events&EventTrapped == 0 && it.Deviation() > threshold {
+			last = it.K
+		}
+	}
+	return last
+}
+
+func buildLinks(t *Trace, c *Chain) []Link {
+	h := t.Header
+	links := []Link{{Kind: "injected", K: h.InjectionIteration,
+		Detail: h.Injection.String()}}
+	if c.ArchDivergenceIteration >= 0 {
+		d := ""
+		if h.FirstArchDivergence >= 0 {
+			d = fmt.Sprintf("first at instruction %d", h.FirstArchDivergence)
+		}
+		links = append(links, Link{Kind: "arch-divergence",
+			K: c.ArchDivergenceIteration, Detail: d})
+	}
+	if c.FirstStateCorruption >= 0 {
+		links = append(links, Link{Kind: "state-corruption", K: c.FirstStateCorruption,
+			Detail: fmt.Sprintf("through k=%d (%d iterations, max |Δx| %.3g)",
+				c.LastStateCorruption, c.CorruptIterations, c.MaxStateError)})
+	}
+	if c.FirstOutputDeviation >= 0 {
+		links = append(links, Link{Kind: "output-deviation", K: c.FirstOutputDeviation,
+			Detail: fmt.Sprintf("%d strong iterations, max %.3g", c.StrongIterations, c.MaxDeviation)})
+	}
+	for _, it := range t.Iterations {
+		if it.Events&EventStateAssertFailed != 0 {
+			links = append(links, Link{Kind: "assert-state", K: it.K,
+				Detail: "state assertion failed; recovery block ran"})
+			break
+		}
+	}
+	for _, it := range t.Iterations {
+		if it.Events&EventOutputAssertFailed != 0 {
+			links = append(links, Link{Kind: "assert-output", K: it.K,
+				Detail: "output assertion failed; recovery block ran"})
+			break
+		}
+	}
+	if h.TrapIteration >= 0 {
+		links = append(links, Link{Kind: "trapped", K: h.TrapIteration,
+			Detail: "EDM " + h.Mechanism})
+		return links
+	}
+	last := h.InjectionIteration
+	if n := len(t.Iterations); n > 0 {
+		last = t.Iterations[n-1].K
+	}
+	if c.RecoveryIteration >= 0 && c.CleanTail {
+		links = append(links, Link{Kind: "recovered", K: c.RecoveryIteration,
+			Detail: fmt.Sprintf("chain ends here; %d iterations after injection", c.RecoveryLatency)})
+		return links
+	}
+	links = append(links, Link{Kind: "end", K: last, Detail: "outcome " + c.Outcome})
+	return links
+}
+
+// String renders the chain one link per line.
+func (c *Chain) String() string {
+	var b strings.Builder
+	for _, l := range c.Links {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	return b.String()
+}
+
+// Diff renders two chains for the same fault side by side — typically
+// Algorithm I against Algorithm II — followed by a comparative verdict
+// on how far the error propagated under each.
+func Diff(labelA string, a *Chain, labelB string, b *Chain) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "--- %s (outcome %s)\n%s", labelA, a.Outcome, a)
+	fmt.Fprintf(&s, "--- %s (outcome %s)\n%s", labelB, b.Outcome, b)
+	fmt.Fprintf(&s, "--- verdict\n%s: %s\n%s: %s\n",
+		labelA, propagationSummary(a), labelB, propagationSummary(b))
+	return s.String()
+}
+
+func propagationSummary(c *Chain) string {
+	switch {
+	case c.RecoveryIteration >= 0 && c.CleanTail:
+		return fmt.Sprintf("error contained; chain ends at recovery in iteration %d (latency %d)",
+			c.RecoveryIteration, c.RecoveryLatency)
+	case c.CorruptIterations > 0:
+		return fmt.Sprintf("state corruption propagated across %d iterations (k=%d..%d, max |Δx| %.3g)",
+			c.CorruptIterations, c.FirstStateCorruption, c.LastStateCorruption, c.MaxStateError)
+	case c.StrongIterations > 0:
+		return fmt.Sprintf("output deviated strongly for %d iterations (max %.3g)",
+			c.StrongIterations, c.MaxDeviation)
+	case c.DetectionIteration >= 0:
+		return fmt.Sprintf("detected in iteration %d (latency %d) before any strong deviation",
+			c.DetectionIteration, c.DetectionLatency)
+	default:
+		return "no strong deviation observed"
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Stream layout (FormatVersion 1):
+//
+//	magic "CGTR" | version byte | uvarint header length | header JSON |
+//	frames...
+//
+// Each frame is one Iteration: a uvarint payload length followed by
+// the payload — the iteration index as a uvarint delta from the
+// previous frame, the five state doubles as uvarint-encoded XOR deltas
+// of their IEEE bit patterns against the previous frame (consecutive
+// snapshots share sign and exponent, so the XOR is small), the four
+// touch/divergence words as uvarints, and the event byte. The format
+// is append-only and length-prefixed, so a file cut short at any byte
+// still yields every complete frame, mirroring goofi.ReadRecords.
+
+var magic = [4]byte{'C', 'G', 'T', 'R'}
+
+var errShortFrame = errors.New("frame payload cut short")
+
+// TruncatedError reports a trace stream that ended mid-frame (a
+// crashed or still-running writer). The preceding complete frames are
+// returned alongside it.
+type TruncatedError struct {
+	// Frames is the number of complete iteration frames decoded.
+	Frames int
+	Err    error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("trace stream truncated after %d frames: %v", e.Frames, e.Err)
+}
+
+func (e *TruncatedError) Unwrap() error { return e.Err }
+
+// Encode serialises t into the compact stream format. Encoding is
+// deterministic: equal traces yield identical bytes.
+func Encode(t *Trace) []byte {
+	buf := append([]byte{}, magic[:]...)
+	buf = append(buf, FormatVersion)
+	hdr, err := json.Marshal(t.Header)
+	if err != nil {
+		// Header holds only strings, ints and bools.
+		panic(err)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+
+	var prev Iteration
+	frame := make([]byte, 0, 64)
+	for _, it := range t.Iterations {
+		frame = frame[:0]
+		frame = binary.AppendUvarint(frame, uint64(it.K-prev.K))
+		frame = appendFloatDelta(frame, it.X, prev.X)
+		frame = appendFloatDelta(frame, it.XGolden, prev.XGolden)
+		frame = appendFloatDelta(frame, it.Backup, prev.Backup)
+		frame = appendFloatDelta(frame, it.Output, prev.Output)
+		frame = appendFloatDelta(frame, it.GoldenOutput, prev.GoldenOutput)
+		frame = binary.AppendUvarint(frame, uint64(it.RegsTouched))
+		frame = binary.AppendUvarint(frame, uint64(it.CacheTouched))
+		frame = binary.AppendUvarint(frame, uint64(it.RegDivergent))
+		frame = binary.AppendUvarint(frame, uint64(it.CacheDivergent))
+		frame = append(frame, it.Events)
+		buf = binary.AppendUvarint(buf, uint64(len(frame)))
+		buf = append(buf, frame...)
+		prev = it
+	}
+	return buf
+}
+
+func appendFloatDelta(b []byte, v, prev float64) []byte {
+	return binary.AppendUvarint(b, math.Float64bits(v)^math.Float64bits(prev))
+}
+
+// Decode parses a trace stream. When the stream is cut short the
+// complete frames decoded so far are returned together with a
+// *TruncatedError; a stream that is not a trace at all (bad magic,
+// unknown version, corrupt header) returns a nil trace.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < len(magic) || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, errors.New("trace: not a trace stream (bad magic)")
+	}
+	if len(data) < len(magic)+1 {
+		return nil, &TruncatedError{Err: errors.New("version byte missing")}
+	}
+	if v := data[len(magic)]; v != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", v)
+	}
+	rest := data[len(magic)+1:]
+
+	hlen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < hlen {
+		return nil, &TruncatedError{Err: errors.New("header cut short")}
+	}
+	t := &Trace{}
+	if err := json.Unmarshal(rest[n:n+int(hlen)], &t.Header); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	rest = rest[n+int(hlen):]
+
+	var prev Iteration
+	for len(rest) > 0 {
+		flen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < flen {
+			return t, &TruncatedError{Frames: len(t.Iterations),
+				Err: fmt.Errorf("frame %d cut short", len(t.Iterations))}
+		}
+		it, err := decodeFrame(rest[n:n+int(flen)], prev)
+		if err != nil {
+			return t, &TruncatedError{Frames: len(t.Iterations), Err: err}
+		}
+		rest = rest[n+int(flen):]
+		t.Iterations = append(t.Iterations, it)
+		prev = it
+	}
+	return t, nil
+}
+
+// Read decodes a trace stream from r (see Decode).
+func Read(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return Decode(data)
+}
+
+// frameReader cursors through one frame payload, latching the first
+// decoding error.
+type frameReader struct {
+	b   []byte
+	err error
+}
+
+func (r *frameReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = errShortFrame
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *frameReader) byte() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.err = errShortFrame
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *frameReader) floatDelta(prev float64) float64 {
+	return math.Float64frombits(math.Float64bits(prev) ^ r.uvarint())
+}
+
+func decodeFrame(b []byte, prev Iteration) (Iteration, error) {
+	r := frameReader{b: b}
+	var it Iteration
+	it.K = prev.K + int(r.uvarint())
+	it.X = r.floatDelta(prev.X)
+	it.XGolden = r.floatDelta(prev.XGolden)
+	it.Backup = r.floatDelta(prev.Backup)
+	it.Output = r.floatDelta(prev.Output)
+	it.GoldenOutput = r.floatDelta(prev.GoldenOutput)
+	it.RegsTouched = uint32(r.uvarint())
+	it.CacheTouched = uint32(r.uvarint())
+	it.RegDivergent = uint32(r.uvarint())
+	it.CacheDivergent = uint32(r.uvarint())
+	it.Events = r.byte()
+	if r.err != nil {
+		return Iteration{}, r.err
+	}
+	return it, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// A flipped exponent bit can turn a stored controller value into ±Inf
+// or NaN (a value in [1,2) has exponent 0x3ff; flipping bit 62 makes it
+// 0x7ff). encoding/json refuses to marshal those, so Iteration encodes
+// its floats through jsonFloat, which renders non-finite values as the
+// quoted strings "NaN", "+Inf" and "-Inf" and accepts them back.
+
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) {
+		return []byte(`"NaN"`), nil
+	}
+	if math.IsInf(v, 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	if math.IsInf(v, -1) {
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"NaN"`:
+		*f = jsonFloat(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("trace: bad float %q: %w", b, err)
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// iterationJSON is the wire shape of Iteration.
+type iterationJSON struct {
+	K              int       `json:"k"`
+	X              jsonFloat `json:"x"`
+	XGolden        jsonFloat `json:"xGolden"`
+	Backup         jsonFloat `json:"backup"`
+	Output         jsonFloat `json:"output"`
+	GoldenOutput   jsonFloat `json:"goldenOutput"`
+	RegsTouched    uint32    `json:"regsTouched"`
+	CacheTouched   uint32    `json:"cacheTouched"`
+	RegDivergent   uint32    `json:"regDivergent"`
+	CacheDivergent uint32    `json:"cacheDivergent"`
+	Events         uint8     `json:"events"`
+}
+
+// MarshalJSON implements json.Marshaler (see jsonFloat).
+func (it Iteration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(iterationJSON{
+		K:              it.K,
+		X:              jsonFloat(it.X),
+		XGolden:        jsonFloat(it.XGolden),
+		Backup:         jsonFloat(it.Backup),
+		Output:         jsonFloat(it.Output),
+		GoldenOutput:   jsonFloat(it.GoldenOutput),
+		RegsTouched:    it.RegsTouched,
+		CacheTouched:   it.CacheTouched,
+		RegDivergent:   it.RegDivergent,
+		CacheDivergent: it.CacheDivergent,
+		Events:         it.Events,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (it *Iteration) UnmarshalJSON(b []byte) error {
+	var j iterationJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*it = Iteration{
+		K:              j.K,
+		X:              float64(j.X),
+		XGolden:        float64(j.XGolden),
+		Backup:         float64(j.Backup),
+		Output:         float64(j.Output),
+		GoldenOutput:   float64(j.GoldenOutput),
+		RegsTouched:    j.RegsTouched,
+		CacheTouched:   j.CacheTouched,
+		RegDivergent:   j.RegDivergent,
+		CacheDivergent: j.CacheDivergent,
+		Events:         j.Events,
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"ctrlguard/internal/viz"
+)
+
+// TimelineSVG renders t's propagation timeline: the state error and
+// output deviation per iteration (each normalised to its own peak, so
+// a million-degree runaway and a tenth-of-a-degree wobble both show
+// their shape), with the causal chain's links as event marks.
+func TimelineSVG(t *Trace, c *Chain) string {
+	if c == nil {
+		c = Analyze(t, 0)
+	}
+	n := len(t.Iterations)
+	stateErr := make([]float64, n)
+	outDev := make([]float64, n)
+	diverging := make([]float64, n)
+	for i, it := range t.Iterations {
+		stateErr[i] = it.StateError()
+		if it.Events&EventTrapped != 0 {
+			outDev[i] = math.NaN()
+		} else {
+			outDev[i] = it.Deviation()
+		}
+		diverging[i] = float64(it.RegDivergent + it.CacheDivergent)
+	}
+
+	series := []viz.TimelineSeries{
+		{Name: peakName("|Δoutput|", outDev), Color: "#c0392b", Values: outDev},
+		{Name: peakName("divergent instructions", diverging), Color: "#999999", Values: diverging},
+	}
+	if t.Header.HasState {
+		series = append([]viz.TimelineSeries{
+			{Name: peakName("|Δx| state error", stateErr), Color: "#2d6cdf", Values: stateErr},
+		}, series...)
+	}
+
+	var marks []viz.TimelineMark
+	for _, l := range c.Links {
+		color := "#555"
+		switch l.Kind {
+		case "injected":
+			color = "#8e44ad"
+		case "assert-state", "assert-output", "recovered":
+			color = "#1e8449"
+		case "trapped":
+			color = "#b03a2e"
+		case "end":
+			continue
+		}
+		marks = append(marks, viz.TimelineMark{K: l.K, Label: l.Kind, Color: color})
+	}
+
+	tl := viz.Timeline{
+		Title: fmt.Sprintf("%s: %s → %s", t.Header.Variant,
+			t.Header.Injection.String(), t.Header.Outcome),
+		XLabel:    "control iteration",
+		StartK:    startK(t),
+		Normalize: true,
+	}
+	return tl.Render(series, marks)
+}
+
+func startK(t *Trace) int {
+	if len(t.Iterations) > 0 {
+		return t.Iterations[0].K
+	}
+	return t.Header.InjectionIteration
+}
+
+// peakName annotates a legend entry with the series' peak, which the
+// normalised axis no longer shows.
+func peakName(name string, vals []float64) string {
+	peak := 0.0
+	for _, v := range vals {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) > peak {
+			peak = math.Abs(v)
+		}
+	}
+	return fmt.Sprintf("%s (peak %.3g)", name, peak)
+}

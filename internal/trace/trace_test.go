@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/classify"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/workload"
+)
+
+// fig7Injection returns the paper's Figure 7 fault for a variant: bit
+// 28 of the cached state variable's high word, flipped early in
+// control iteration 300.
+func fig7Injection(t *testing.T, v workload.Variant) workload.Injection {
+	t.Helper()
+	golden := workload.Run(workload.Program(v), workload.PaperRunSpec())
+	if golden.Detected() {
+		t.Fatalf("golden run trapped: %v", golden.Trap)
+	}
+	return workload.Injection{
+		At:  golden.IterationStarts[300] + 1,
+		Bit: cpu.StateBit{Region: cpu.RegionCache, Element: "line0.data0", Bit: 28},
+	}
+}
+
+func captureFig7(t *testing.T, v workload.Variant) *Trace {
+	t.Helper()
+	tr, err := Capture(context.Background(), v, workload.PaperRunSpec(),
+		fig7Injection(t, v), classify.Config{})
+	if err != nil {
+		t.Fatalf("Capture(%s): %v", v, err)
+	}
+	return tr
+}
+
+// TestSevereFaultAlg1VsAlg2 is the subsystem's acceptance test: the
+// same cached-state fault propagates for the rest of the run under
+// Algorithm I but is cut short by best effort recovery under
+// Algorithm II.
+func TestSevereFaultAlg1VsAlg2(t *testing.T) {
+	tr1 := captureFig7(t, workload.AlgorithmI)
+	tr2 := captureFig7(t, workload.AlgorithmII)
+
+	if tr1.Header.InjectionIteration != 300 {
+		t.Errorf("alg1 injection iteration = %d, want 300", tr1.Header.InjectionIteration)
+	}
+	if tr1.Header.Outcome != "uwr-permanent" {
+		t.Errorf("alg1 outcome = %q, want uwr-permanent", tr1.Header.Outcome)
+	}
+	if tr1.Header.FirstArchDivergence < 0 {
+		t.Error("alg1 trace records no architectural divergence")
+	}
+	if !tr1.Header.HasState || tr1.Header.HasBackup {
+		t.Errorf("alg1 HasState/HasBackup = %v/%v, want true/false",
+			tr1.Header.HasState, tr1.Header.HasBackup)
+	}
+	if !tr2.Header.HasBackup {
+		t.Error("alg2 trace should locate the xold backup")
+	}
+
+	c1 := Analyze(tr1, 0)
+	c2 := Analyze(tr2, 0)
+
+	if c1.CorruptIterations < 2 {
+		t.Errorf("alg1 chain: state corruption across %d iterations, want >= 2", c1.CorruptIterations)
+	}
+	if c1.RecoveryIteration >= 0 {
+		t.Errorf("alg1 chain reports recovery at %d; alg1 has no recovery blocks", c1.RecoveryIteration)
+	}
+	if last := c1.Links[len(c1.Links)-1]; last.Kind != "end" {
+		t.Errorf("alg1 chain ends with %q, want \"end\"", last.Kind)
+	}
+
+	if c2.RecoveryIteration < 0 {
+		t.Fatal("alg2 chain records no recovery")
+	}
+	if !c2.CleanTail {
+		t.Errorf("alg2 chain tail not clean: last corruption k=%d, recovery k=%d",
+			c2.LastStateCorruption, c2.RecoveryIteration)
+	}
+	if last := c2.Links[len(c2.Links)-1]; last.Kind != "recovered" {
+		t.Errorf("alg2 chain ends with %q, want \"recovered\"", last.Kind)
+	}
+	if c2.RecoveryLatency < 0 || c2.RecoveryLatency > 1 {
+		t.Errorf("alg2 recovery latency = %d iterations, want 0 or 1", c2.RecoveryLatency)
+	}
+	if c2.DetectionIteration < 0 {
+		t.Error("alg2 chain records no detection")
+	}
+	// The injected iteration must carry the injection event and show
+	// the fault site's cache word as touched.
+	first := tr2.Find(300)
+	if first == nil {
+		t.Fatal("alg2 trace has no snapshot for iteration 300")
+	}
+	if first.Events&EventInjected == 0 {
+		t.Error("iteration 300 lacks EventInjected")
+	}
+	if first.CacheTouched&1 == 0 {
+		t.Error("iteration 300 does not mark line0 word0 (the fault site) as touched")
+	}
+}
+
+// TestCaptureDeterministic is the replay guarantee: capturing the same
+// fault twice yields byte-identical encoded traces.
+func TestCaptureDeterministic(t *testing.T) {
+	inj := fig7Injection(t, workload.AlgorithmII)
+	a, err := Capture(context.Background(), workload.AlgorithmII, workload.PaperRunSpec(), inj, classify.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Capture(context.Background(), workload.AlgorithmII, workload.PaperRunSpec(), inj, classify.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Encode(a), Encode(b)) {
+		t.Error("two captures of the same fault encode differently")
+	}
+}
+
+func TestCaptureCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Capture(ctx, workload.AlgorithmI, workload.PaperRunSpec(),
+		workload.Injection{At: 10, Bit: cpu.StateBit{Region: cpu.RegionRegisters, Element: "r5", Bit: 3}},
+		classify.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Capture with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: Header{
+			Variant:             "alg2",
+			Experiment:          17,
+			Seed:                99,
+			Injection:           Injection{Region: "cache", Element: "line0.data0", Bit: 28, At: 12345},
+			InjectionIteration:  300,
+			Iterations:          650,
+			Outcome:             "uwr-transient",
+			FirstArchDivergence: 12345,
+			TrapIteration:       -1,
+			HasState:            true,
+			HasBackup:           true,
+		},
+		Iterations: []Iteration{
+			{K: 300, X: 10.5, XGolden: 10.5, Backup: 10.4, Output: 1.25, GoldenOutput: 1.25,
+				RegsTouched: 0xfffe, CacheTouched: 0x3, Events: EventInjected},
+			{K: 301, X: 74.2, XGolden: 10.6, Backup: 10.5, Output: 3.5, GoldenOutput: 1.26,
+				RegsTouched: 0xfffe, CacheTouched: 0x3, RegDivergent: 41, CacheDivergent: 180,
+				Events: EventStateAssertFailed},
+			{K: 302, X: 10.6, XGolden: 10.7, Backup: 10.6, Output: 1.3, GoldenOutput: 1.27,
+				RegsTouched: 0xfffe, CacheTouched: 0x3, RegDivergent: 2, CacheDivergent: 2},
+		},
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	got, err := Read(bytes.NewReader(Encode(want)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Header != want.Header {
+		t.Errorf("header round-trip mismatch:\n got %+v\nwant %+v", got.Header, want.Header)
+	}
+	if len(got.Iterations) != len(want.Iterations) {
+		t.Fatalf("iterations = %d, want %d", len(got.Iterations), len(want.Iterations))
+	}
+	for i := range want.Iterations {
+		if got.Iterations[i] != want.Iterations[i] {
+			t.Errorf("iteration %d mismatch:\n got %+v\nwant %+v", i, got.Iterations[i], want.Iterations[i])
+		}
+	}
+}
+
+// TestDecodeTruncated cuts an encoded trace at every possible byte
+// boundary: no prefix may panic, and any cut after the header must
+// return the complete frames before the cut with a *TruncatedError.
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(sampleTrace())
+	whole, err := Decode(full)
+	if err != nil {
+		t.Fatalf("Decode(full): %v", err)
+	}
+	for i := 0; i < len(full); i++ {
+		tr, err := Decode(full[:i])
+		if err != nil {
+			var te *TruncatedError
+			if !errors.As(err, &te) {
+				continue // pre-header cuts (magic/version) are plain errors
+			}
+		} else if len(tr.Iterations) == len(whole.Iterations) {
+			// A cut landing exactly on a frame boundary is a valid
+			// shorter stream — but never a longer one.
+			t.Fatalf("Decode(%d of %d bytes) returned the full trace", i, len(full))
+		}
+		if tr == nil {
+			continue // header itself was cut
+		}
+		if len(tr.Iterations) > len(whole.Iterations) {
+			t.Fatalf("cut at %d: %d frames, more than the full %d", i, len(tr.Iterations), len(whole.Iterations))
+		}
+		for j := range tr.Iterations {
+			if tr.Iterations[j] != whole.Iterations[j] {
+				t.Fatalf("cut at %d: frame %d differs from the full decode", i, j)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsForeignData(t *testing.T) {
+	if _, err := Decode([]byte("{\"not\":\"a trace\"}")); err == nil {
+		t.Error("Decode accepted JSON junk")
+	}
+	bad := Encode(sampleTrace())
+	bad[4] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode accepted an unknown format version")
+	}
+}
+
+// TestIterationJSONNonFinite: a flipped exponent bit can make the
+// recorded state ±Inf or NaN; the JSON form must survive that.
+func TestIterationJSONNonFinite(t *testing.T) {
+	in := Iteration{K: 5, X: math.Inf(1), XGolden: 10.5, Backup: math.NaN(),
+		Output: math.Inf(-1), GoldenOutput: 1.5}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var out Iteration
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !math.IsInf(out.X, 1) || !math.IsNaN(out.Backup) || !math.IsInf(out.Output, -1) {
+		t.Errorf("non-finite values lost: %+v", out)
+	}
+	if out.XGolden != 10.5 || out.GoldenOutput != 1.5 {
+		t.Errorf("finite values corrupted: %+v", out)
+	}
+}
+
+func TestAnalyzeTrapped(t *testing.T) {
+	tr := sampleTrace()
+	tr.Header.Outcome = "detected"
+	tr.Header.Mechanism = "watchdog"
+	tr.Header.TrapIteration = 302
+	c := Analyze(tr, 0)
+	if c.DetectionIteration != 301 {
+		// The assertion at 301 saw the error before the trap.
+		t.Errorf("DetectionIteration = %d, want 301", c.DetectionIteration)
+	}
+	if last := c.Links[len(c.Links)-1]; last.Kind != "trapped" {
+		t.Errorf("chain ends with %q, want \"trapped\"", last.Kind)
+	}
+}
+
+func TestTimelineSVG(t *testing.T) {
+	svg := TimelineSVG(sampleTrace(), nil)
+	for _, want := range []string{"<svg", "alg2", "injected", "assert-state", "state error", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("timeline SVG missing %q", want)
+		}
+	}
+}

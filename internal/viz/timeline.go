@@ -1,0 +1,184 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TimelineSeries is one per-iteration quantity drawn on a timeline.
+// Values[i] belongs to iteration Timeline.StartK+i; non-finite values
+// break the polyline (a gap).
+type TimelineSeries struct {
+	Name   string
+	Color  string
+	Values []float64
+}
+
+// TimelineMark is a labelled event anchored to one iteration, drawn as
+// a vertical line.
+type TimelineMark struct {
+	K     int
+	Label string
+	Color string
+}
+
+// Timeline renders per-iteration series with event marks — the
+// propagation timeline of a traced fault-injection experiment.
+type Timeline struct {
+	Title  string
+	XLabel string
+	Width  int // pixels (default 720)
+	Height int // pixels (default 360)
+
+	// StartK is the iteration of every series' first value.
+	StartK int
+
+	// Normalize scales each series to its own maximum, so quantities
+	// of very different magnitude (a degrees-scale state error against
+	// an instruction count) share one 0..1 axis.
+	Normalize bool
+}
+
+// Render draws the series and marks as an SVG document. An empty
+// timeline renders a "no data" placeholder.
+func (tl Timeline) Render(series []TimelineSeries, marks []TimelineMark) string {
+	w, h := tl.Width, tl.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 360
+	}
+
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if tl.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", w/2, svgEscaper.Replace(tl.Title))
+	}
+	if maxLen == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#888">no data</text>`+"\n", w/2, h/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	drawn := make([]TimelineSeries, len(series))
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for i, s := range series {
+		vals := append([]float64(nil), s.Values...)
+		if tl.Normalize {
+			peak := 0.0
+			for _, v := range vals {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) > peak {
+					peak = math.Abs(v)
+				}
+			}
+			if peak > 0 {
+				for j := range vals {
+					vals[j] /= peak
+				}
+			}
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			ylo, yhi = math.Min(ylo, v), math.Max(yhi, v)
+		}
+		drawn[i] = TimelineSeries{Name: s.Name, Color: s.Color, Values: vals}
+	}
+	if ylo > yhi { // every value was non-finite
+		ylo, yhi = 0, 1
+	}
+	ylo = math.Min(ylo, 0)
+	ylo, yhi = padRange(ylo, yhi)
+	xlo, xhi := float64(tl.StartK), float64(tl.StartK+maxLen-1)
+	xlo, xhi = padRange(xlo, xhi)
+
+	plotW := float64(w - svgMarginLeft - svgMarginRight)
+	plotH := float64(h - svgMarginTop - svgMarginBottom)
+	px := func(x float64) float64 {
+		return float64(svgMarginLeft) + (x-xlo)/(xhi-xlo)*plotW
+	}
+	py := func(y float64) float64 {
+		return float64(svgMarginTop) + (yhi-y)/(yhi-ylo)*plotH
+	}
+
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		svgMarginLeft, svgMarginTop, plotW, plotH)
+	for i := 0; i <= svgTicks; i++ {
+		f := float64(i) / svgTicks
+		xv, yv := xlo+f*(xhi-xlo), ylo+f*(yhi-ylo)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			px(xv), float64(svgMarginTop)+plotH, px(xv), float64(svgMarginTop)+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px(xv), float64(svgMarginTop)+plotH+18, svgEscaper.Replace(fmt.Sprintf("%.4g", xv)))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+			float64(svgMarginLeft)-4, py(yv), float64(svgMarginLeft), py(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			float64(svgMarginLeft)-8, py(yv)+4, svgEscaper.Replace(fmt.Sprintf("%.3g", yv)))
+	}
+	if tl.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(svgMarginLeft)+plotW/2, h-8, svgEscaper.Replace(tl.XLabel))
+	}
+
+	// Event marks: vertical lines with staggered labels so neighbours
+	// stay readable.
+	for i, m := range marks {
+		mk := float64(m.K)
+		if mk < xlo || mk > xhi {
+			continue
+		}
+		color := m.Color
+		if color == "" {
+			color = "#555"
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="%s" stroke-dasharray="3 3"/>`+"\n",
+			px(mk), svgMarginTop, px(mk), float64(svgMarginTop)+plotH, color)
+		if m.Label != "" {
+			y := svgMarginTop + 12 + (i%3)*13
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="%s">%s</text>`+"\n",
+				px(mk)+4, y, color, svgEscaper.Replace(m.Label))
+		}
+	}
+
+	for si, s := range drawn {
+		color := s.Color
+		if color == "" {
+			color = "#2d6cdf"
+		}
+		var seg []string
+		flushSeg := func() {
+			if len(seg) > 1 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(seg, " "), color)
+			}
+			seg = seg[:0]
+		}
+		for j, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				flushSeg()
+				continue
+			}
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", px(float64(tl.StartK+j)), py(v)))
+		}
+		flushSeg()
+		if s.Name != "" {
+			lx, ly := w-svgMarginRight-170, svgMarginTop+14+si*16
+			fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+				lx, ly-4, lx+18, ly-4, color)
+			fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+24, ly, svgEscaper.Replace(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimelineContainsSeriesAndMarks(t *testing.T) {
+	out := Timeline{Title: "propagation", XLabel: "iteration", StartK: 300}.Render(
+		[]TimelineSeries{
+			{Name: "state error", Color: "#2d6cdf", Values: []float64{0, 60, 1, 0.5}},
+			{Name: "deviation", Values: []float64{0, 3, 0.2, 0}},
+		},
+		[]TimelineMark{{K: 300, Label: "injected"}, {K: 301, Label: "recovered", Color: "#1e8449"}},
+	)
+	for _, want := range []string{"propagation", "iteration", "state error", "deviation",
+		"injected", "recovered", "<svg", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	out := Timeline{Title: "empty"}.Render(nil, nil)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty timeline output: %q", out)
+	}
+}
+
+func TestTimelineNonFiniteGaps(t *testing.T) {
+	out := Timeline{}.Render([]TimelineSeries{
+		{Name: "s", Values: []float64{1, math.NaN(), math.Inf(1), 2, 3}},
+	}, nil)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("non-finite values leaked into the SVG:\n%s", out)
+	}
+	if !strings.Contains(out, "<polyline") {
+		t.Error("finite samples not drawn")
+	}
+}
+
+func TestTimelineNormalize(t *testing.T) {
+	out := Timeline{Normalize: true}.Render([]TimelineSeries{
+		{Name: "big", Values: []float64{0, 1e6}},
+		{Name: "small", Values: []float64{0, 1e-3}},
+	}, nil)
+	// With per-series normalisation both peaks sit at the same top-of-
+	// axis value, so the axis labels stay in [0, 1].
+	if strings.Contains(out, "1e+06") && !strings.Contains(out, ">1<") {
+		t.Errorf("normalised axis still shows raw magnitudes:\n%s", out)
+	}
+}
+
+func TestTimelineMarkOutsideRangeSkipped(t *testing.T) {
+	out := Timeline{StartK: 100}.Render(
+		[]TimelineSeries{{Name: "s", Values: []float64{1, 2, 3}}},
+		[]TimelineMark{{K: 999, Label: "far-away"}},
+	)
+	if strings.Contains(out, "far-away") {
+		t.Error("mark outside the x range was drawn")
+	}
+}

@@ -59,6 +59,12 @@ type RunSpec struct {
 	// machine — GOOFI's detail mode, used for error-propagation
 	// analysis. It slows the run down considerably.
 	Observer func(iteration int, instr uint64, vm *cpu.CPU)
+
+	// Abort, if non-nil, is polled at every iteration boundary; when it
+	// returns true the run stops before the next iteration and the
+	// Outcome is returned with Aborted set. Used to cancel detail-mode
+	// traces, which are far slower than ordinary runs.
+	Abort func() bool
 }
 
 // PaperRunSpec returns the paper's experiment parameters: 650 control
@@ -101,6 +107,10 @@ type Outcome struct {
 	// of each iteration, letting callers target an injection at a
 	// precise point of a chosen control iteration.
 	IterationStarts []uint64
+
+	// Aborted reports that RunSpec.Abort stopped the run early; the
+	// outcome then covers only the completed iterations.
+	Aborted bool
 }
 
 // Detected reports whether the run was terminated by an EDM.
@@ -224,6 +234,12 @@ func Run(prog *cpu.Program, spec RunSpec) *Outcome {
 	}
 	injected := false
 	for k := 0; k < spec.Iterations; k++ {
+		if spec.Abort != nil && spec.Abort() {
+			out.Aborted = true
+			out.Instructions = vm.InstrCount()
+			out.finish(env)
+			return out
+		}
 		out.IterationStarts = append(out.IterationStarts, vm.InstrCount())
 		copy(port.in, env.Inputs(k))
 		port.syncSeen = false
