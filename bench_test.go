@@ -199,19 +199,70 @@ func BenchmarkFig10AssertionMiss(b *testing.B) {
 	figScenario(b, workload.AlgorithmII, 390, 20, classify.SemiPermanent)
 }
 
+// --- Campaign fast path: checkpointed warm start vs full replay ---
+
+// The warm/full pair measures the same campaign with the checkpoint
+// fast path on and off; their ratio is the speedup the CI bench gate
+// asserts on (cmd/benchgate -speedup). One op = one whole campaign, so
+// run these with -benchtime=1x.
+const fastPathExperiments = 300
+
+func benchWholeCampaign(b *testing.B, disableWarmStart bool) {
+	var res *goofi.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = goofi.Run(goofi.Config{
+			Variant:          workload.AlgorithmI,
+			Experiments:      fastPathExperiments,
+			Seed:             2001,
+			DisableWarmStart: disableWarmStart,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(fastPathExperiments*b.N)/b.Elapsed().Seconds(), "experiments/s")
+	if ws := res.WarmStart; ws != nil {
+		b.ReportMetric(float64(ws.Resumed), "resumed")
+		b.ReportMetric(float64(ws.EarlyExits), "early_exits")
+		b.ReportMetric(float64(ws.Checkpoints), "checkpoints")
+	}
+}
+
+func BenchmarkCampaignWarmStart(b *testing.B) {
+	benchWholeCampaign(b, false)
+}
+
+func BenchmarkCampaignFullReplay(b *testing.B) {
+	benchWholeCampaign(b, true)
+}
+
 // --- Tables 2, 3, 4: the fault-injection campaigns ---
 
+// skipHeavyCampaigns keeps the CI bench job (-short -benchtime=1x)
+// under its time budget: the table/ablation benchmarks share a cached
+// seven-variant campaign fixture that alone takes minutes to build.
+func skipHeavyCampaigns(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping campaign-fixture benchmark in -short mode")
+	}
+}
+
 func BenchmarkTable2AlgorithmI(b *testing.B) {
+	skipHeavyCampaigns(b)
 	benchExperiments(b, workload.AlgorithmI)
 	reportCampaign(b, campaignFor(b, workload.AlgorithmI))
 }
 
 func BenchmarkTable3AlgorithmII(b *testing.B) {
+	skipHeavyCampaigns(b)
 	benchExperiments(b, workload.AlgorithmII)
 	reportCampaign(b, campaignFor(b, workload.AlgorithmII))
 }
 
 func BenchmarkTable4Comparison(b *testing.B) {
+	skipHeavyCampaigns(b)
 	r1 := campaignFor(b, workload.AlgorithmI)
 	r2 := campaignFor(b, workload.AlgorithmII)
 	a1, a2 := goofi.Analyze(r1.Records), goofi.Analyze(r2.Records)
@@ -236,6 +287,7 @@ func BenchmarkTable4Comparison(b *testing.B) {
 // the cache, the severe-failure mass moves from the cache region to the
 // register region.
 func BenchmarkAblationRegState(b *testing.B) {
+	skipHeavyCampaigns(b)
 	benchExperiments(b, workload.AlgorithmIRegState)
 	a := goofi.Analyze(campaignFor(b, workload.AlgorithmIRegState).Records)
 	b.ReportMetric(goofi.SevereProportion(a.Cache).P()*100, "cache_severe_pct")
@@ -246,6 +298,7 @@ func BenchmarkAblationRegState(b *testing.B) {
 // it poisons the recovery point, so severe failures stay near the
 // Algorithm I level instead of dropping.
 func BenchmarkAblationBackupFirst(b *testing.B) {
+	skipHeavyCampaigns(b)
 	benchExperiments(b, workload.AlgorithmIIBackupFirst)
 	reportCampaign(b, campaignFor(b, workload.AlgorithmIIBackupFirst))
 }
@@ -254,6 +307,7 @@ func BenchmarkAblationBackupFirst(b *testing.B) {
 // recoveries into detections — strong failure semantics at the price of
 // availability (the controller stops).
 func BenchmarkAblationFailStop(b *testing.B) {
+	skipHeavyCampaigns(b)
 	benchExperiments(b, workload.AlgorithmIIFailStop)
 	res := campaignFor(b, workload.AlgorithmIIFailStop)
 	a := goofi.Analyze(res.Records)
@@ -272,6 +326,7 @@ func BenchmarkAblationFailStop(b *testing.B) {
 // generalised §4.3 scheme. The reported metrics compare the severe
 // share of value failures with and without the protection.
 func BenchmarkFutureWorkMIMO(b *testing.B) {
+	skipHeavyCampaigns(b)
 	benchExperiments(b, workload.MIMOAlgorithmI)
 	a1 := goofi.Analyze(campaignFor(b, workload.MIMOAlgorithmI).Records)
 	a2 := goofi.Analyze(campaignFor(b, workload.MIMOAlgorithmII).Records)
@@ -347,6 +402,9 @@ func BenchmarkAblationGuardPolicies(b *testing.B) {
 // search spends its time on. The experiments/s metric is the budget
 // planner for guardtune: evaluations × experiments ÷ rate ≈ wall time.
 func BenchmarkTuneEvaluate(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping evaluator benchmark in -short mode")
+	}
 	const experiments = 200
 	ev := tune.NewEvaluator(17)
 	cand := tune.Config{Policy: tune.PolicyRollback, RateLimit: 8}

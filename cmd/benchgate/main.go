@@ -1,0 +1,154 @@
+// Command benchgate is the CI benchmark-regression gate. It compares
+// two `go test -bench` output files (base branch vs PR), fails when a
+// gated benchmark regresses beyond the budget, optionally asserts a
+// minimum speedup between two benchmarks of the PR run, and writes a
+// machine-readable JSON report.
+//
+// Usage:
+//
+//	go test -run '^$' -short -bench . -benchtime=1x -count=5 . > pr.txt
+//	go run ./cmd/benchgate -base base.txt -pr pr.txt \
+//	    -gate '^BenchmarkCampaign|^BenchmarkTraceReplay' \
+//	    -max-regression 0.20 \
+//	    -speedup 'BenchmarkCampaignFullReplay/BenchmarkCampaignWarmStart=2.0' \
+//	    -json BENCH_pr.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"ctrlguard/internal/benchcmp"
+)
+
+type report struct {
+	MaxRegression float64               `json:"maxRegression"`
+	Gate          string                `json:"gate"`
+	Comparisons   []benchcmp.Comparison `json:"comparisons"`
+	Regressions   []benchcmp.Comparison `json:"regressions,omitempty"`
+	Speedups      []speedupResult       `json:"speedups,omitempty"`
+	Pass          bool                  `json:"pass"`
+}
+
+type speedupResult struct {
+	Spec  string  `json:"spec"`
+	Ratio float64 `json:"ratio"`
+	Pass  bool    `json:"pass"`
+}
+
+func main() {
+	var (
+		baseFile      = flag.String("base", "", "bench output of the base branch (optional; no regression gate without it)")
+		prFile        = flag.String("pr", "", "bench output of the PR branch (required)")
+		gateExpr      = flag.String("gate", `^BenchmarkCampaign|^BenchmarkTraceReplay`, "regexp selecting benchmarks the regression gate applies to")
+		maxRegression = flag.Float64("max-regression", 0.20, "fail when a gated benchmark is more than this fraction slower than base")
+		speedupSpec   = flag.String("speedup", "", "assert a minimum ratio within the PR run, e.g. BenchmarkSlow/BenchmarkFast=2.0")
+		jsonOut       = flag.String("json", "", "write a JSON report to this file")
+	)
+	flag.Parse()
+
+	if *prFile == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -pr is required")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*gateExpr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	pr, err := parseFile(*prFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	base := benchcmp.Set{}
+	if *baseFile != "" {
+		if base, err = parseFile(*baseFile); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	rep := report{
+		MaxRegression: *maxRegression,
+		Gate:          *gateExpr,
+		Comparisons:   benchcmp.Compare(base, pr, gate),
+		Pass:          true,
+	}
+	rep.Regressions = benchcmp.Regressions(rep.Comparisons, *maxRegression)
+	if len(rep.Regressions) > 0 {
+		rep.Pass = false
+	}
+
+	fmt.Printf("%-50s %15s %15s %8s\n", "benchmark", "base ns/op", "pr ns/op", "ratio")
+	for _, c := range rep.Comparisons {
+		mark := " "
+		if c.Gated {
+			mark = "*"
+		}
+		ratio := "new"
+		if c.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", c.Ratio)
+		}
+		fmt.Printf("%-50s %15.0f %15.0f %8s %s\n", c.Name, c.Base, c.PR, ratio, mark)
+	}
+	fmt.Printf("(* = gated at +%.0f%%)\n", *maxRegression*100)
+
+	for _, c := range rep.Regressions {
+		fmt.Printf("FAIL: %s regressed %.1f%% (base %.0f ns/op, pr %.0f ns/op)\n",
+			c.Name, (c.Ratio-1)*100, c.Base, c.PR)
+	}
+
+	if *speedupSpec != "" {
+		spec, err := benchcmp.ParseSpeedup(*speedupSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		ratio, err := benchcmp.CheckSpeedup(pr, spec)
+		sr := speedupResult{Spec: *speedupSpec, Ratio: ratio, Pass: err == nil}
+		rep.Speedups = append(rep.Speedups, sr)
+		if err != nil {
+			rep.Pass = false
+			fmt.Printf("FAIL: %v\n", err)
+		} else {
+			fmt.Printf("speedup %s: measured %.2fx\n", *speedupSpec, ratio)
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if !rep.Pass {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+func parseFile(path string) (benchcmp.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := benchcmp.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return set, nil
+}

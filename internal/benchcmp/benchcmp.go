@@ -1,0 +1,187 @@
+// Package benchcmp parses `go test -bench` output and compares two
+// runs, the engine behind cmd/benchgate (the CI benchmark-regression
+// gate). It is deliberately dependency-free: CI compares base and PR
+// with nothing but the repository itself.
+package benchcmp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Set maps a benchmark name (GOMAXPROCS suffix stripped) to its ns/op
+// samples, one per -count repetition.
+type Set map[string][]float64
+
+// Parse reads `go test -bench` text output. Lines that are not
+// benchmark result lines (headers, PASS, metrics-only noise) are
+// ignored; malformed benchmark lines are an error so silent garbage
+// cannot pass a gate.
+func Parse(r io.Reader) (Set, error) {
+	set := make(Set)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, value, "ns/op", then optional extra
+		// metric pairs.
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("benchcmp: malformed benchmark line %q", line)
+		}
+		nsIdx := -1
+		for i := 3; i < len(fields); i += 2 {
+			if fields[i] == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 0 {
+			return nil, fmt.Errorf("benchcmp: no ns/op value in line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op value in line %q: %v", line, err)
+		}
+		name := stripProcs(fields[0])
+		set[name] = append(set[name], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// stripProcs removes the -GOMAXPROCS suffix go test appends to the
+// last path segment of a benchmark name (Benchmark/sub-8 → Benchmark/sub).
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 || i < strings.LastIndex(name, "/") {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Median returns the median of the samples; benchmarking noise is
+// one-sided (interruptions only slow a run down), so the median is the
+// robust location estimate benchstat also uses.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Comparison is one benchmark present in both runs.
+type Comparison struct {
+	Name  string  `json:"name"`
+	Base  float64 `json:"baseNsPerOp"`
+	PR    float64 `json:"prNsPerOp"`
+	Ratio float64 `json:"ratio"` // PR / base; > 1 means slower
+	Gated bool    `json:"gated"`
+}
+
+// Compare pairs the two runs by benchmark name (medians over samples)
+// and reports every benchmark of the PR run, sorted by name.
+// Benchmarks missing from base (newly added) have Base 0 and Ratio 0.
+func Compare(base, pr Set, gate *regexp.Regexp) []Comparison {
+	names := make([]string, 0, len(pr))
+	for name := range pr {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Comparison, 0, len(names))
+	for _, name := range names {
+		c := Comparison{
+			Name:  name,
+			PR:    Median(pr[name]),
+			Gated: gate != nil && gate.MatchString(name),
+		}
+		if bs, ok := base[name]; ok {
+			c.Base = Median(bs)
+			if c.Base > 0 {
+				c.Ratio = c.PR / c.Base
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Regressions filters the gated comparisons whose slowdown exceeds
+// maxRegression (0.20 = fail when more than 20 % slower than base).
+func Regressions(comparisons []Comparison, maxRegression float64) []Comparison {
+	var bad []Comparison
+	for _, c := range comparisons {
+		if c.Gated && c.Base > 0 && c.Ratio > 1+maxRegression {
+			bad = append(bad, c)
+		}
+	}
+	return bad
+}
+
+// SpeedupSpec is an asserted ratio between two benchmarks of the same
+// run: Median(Slow) / Median(Fast) must be at least Min.
+type SpeedupSpec struct {
+	Slow string
+	Fast string
+	Min  float64
+}
+
+// ParseSpeedup parses "SlowBench/FastBench=2.0".
+func ParseSpeedup(s string) (SpeedupSpec, error) {
+	eq := strings.LastIndex(s, "=")
+	if eq < 0 {
+		return SpeedupSpec{}, fmt.Errorf("benchcmp: speedup spec %q: want Slow/Fast=min", s)
+	}
+	min, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || min <= 0 {
+		return SpeedupSpec{}, fmt.Errorf("benchcmp: speedup spec %q: bad minimum ratio", s)
+	}
+	pair := strings.SplitN(s[:eq], "/", 2)
+	if len(pair) != 2 || pair[0] == "" || pair[1] == "" {
+		return SpeedupSpec{}, fmt.Errorf("benchcmp: speedup spec %q: want Slow/Fast=min", s)
+	}
+	return SpeedupSpec{Slow: pair[0], Fast: pair[1], Min: min}, nil
+}
+
+// CheckSpeedup evaluates the spec against one run and returns the
+// measured ratio. The error reports a missing benchmark or a ratio
+// below the minimum.
+func CheckSpeedup(set Set, spec SpeedupSpec) (float64, error) {
+	slow, ok := set[spec.Slow]
+	if !ok {
+		return 0, fmt.Errorf("benchcmp: benchmark %s not found in run", spec.Slow)
+	}
+	fast, ok := set[spec.Fast]
+	if !ok {
+		return 0, fmt.Errorf("benchcmp: benchmark %s not found in run", spec.Fast)
+	}
+	fm := Median(fast)
+	if fm <= 0 {
+		return 0, fmt.Errorf("benchcmp: benchmark %s has no valid timing", spec.Fast)
+	}
+	ratio := Median(slow) / fm
+	if ratio < spec.Min {
+		return ratio, fmt.Errorf("benchcmp: %s is only %.2fx faster than %s, want >= %.2fx",
+			spec.Fast, ratio, spec.Slow, spec.Min)
+	}
+	return ratio, nil
+}

@@ -1,0 +1,156 @@
+package benchcmp
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: ctrlguard
+cpu: some CPU
+BenchmarkCampaignWarmStart-8    	       1	 936033987 ns/op	       320.5 experiments/s	        75.00 early_exits	       237.0 checkpoints	       300.0 resumed
+BenchmarkCampaignWarmStart-8    	       1	 940000000 ns/op	       319.0 experiments/s
+BenchmarkCampaignWarmStart-8    	       1	 930000000 ns/op	       322.0 experiments/s
+BenchmarkCampaignFullReplay-8   	       1	2470951688 ns/op	       121.4 experiments/s
+BenchmarkCampaignFullReplay-8   	       1	2500000000 ns/op	       120.0 experiments/s
+BenchmarkCampaignFullReplay-8   	       1	2450000000 ns/op	       122.0 experiments/s
+BenchmarkTraceReplay-8          	       1	 278000000 ns/op
+BenchmarkAblationGuardPolicies/rollback-8	       1	 100000 ns/op
+PASS
+ok  	ctrlguard	12.3s
+`
+
+func TestParse(t *testing.T) {
+	set, err := Parse(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(set["BenchmarkCampaignWarmStart"]); got != 3 {
+		t.Fatalf("warm-start samples = %d, want 3", got)
+	}
+	if got := len(set["BenchmarkCampaignFullReplay"]); got != 3 {
+		t.Fatalf("full-replay samples = %d, want 3", got)
+	}
+	if got := len(set["BenchmarkTraceReplay"]); got != 1 {
+		t.Fatalf("trace-replay samples = %d, want 1", got)
+	}
+	// The -8 procs suffix must come off the last path segment only.
+	if _, ok := set["BenchmarkAblationGuardPolicies/rollback"]; !ok {
+		t.Fatalf("sub-benchmark name not normalised; have %v", keys(set))
+	}
+	if m := Median(set["BenchmarkCampaignWarmStart"]); m != 936033987 {
+		t.Fatalf("warm-start median = %v, want 936033987", m)
+	}
+}
+
+func keys(s Set) []string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 1 notanumber ns/op\n")); err == nil {
+		t.Fatal("malformed ns/op value accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 1\n")); err == nil {
+		t.Fatal("truncated benchmark line accepted")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo-16":         "BenchmarkFoo",
+		"BenchmarkFoo":            "BenchmarkFoo",
+		"BenchmarkFoo/sub-case-8": "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/sub-case":   "BenchmarkFoo/sub-case",
+		"BenchmarkFoo-bar/sub":    "BenchmarkFoo-bar/sub",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("empty median = %v, want 0", m)
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	base := Set{
+		"BenchmarkCampaignWarmStart": {100, 100, 100},
+		"BenchmarkTraceReplay":       {50, 50, 50},
+		"BenchmarkMicroThing":        {10, 10, 10},
+	}
+	pr := Set{
+		"BenchmarkCampaignWarmStart": {130, 130, 130}, // 30 % slower, gated
+		"BenchmarkTraceReplay":       {55, 55, 55},    // 10 % slower, gated, within budget
+		"BenchmarkMicroThing":        {40, 40, 40},    // 4x slower but ungated
+		"BenchmarkNewOne":            {5},             // missing from base
+	}
+	gate := regexp.MustCompile(`^BenchmarkCampaign|^BenchmarkTraceReplay`)
+	cmp := Compare(base, pr, gate)
+	if len(cmp) != 4 {
+		t.Fatalf("got %d comparisons, want 4", len(cmp))
+	}
+	bad := Regressions(cmp, 0.20)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkCampaignWarmStart" {
+		t.Fatalf("regressions = %+v, want just BenchmarkCampaignWarmStart", bad)
+	}
+	if bad[0].Ratio != 1.3 {
+		t.Fatalf("regression ratio = %v, want 1.3", bad[0].Ratio)
+	}
+	// Tightening the budget catches the second gated benchmark too.
+	if bad := Regressions(cmp, 0.05); len(bad) != 2 {
+		t.Fatalf("regressions at 5%% budget = %+v, want 2", bad)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	spec, err := ParseSpeedup("BenchmarkCampaignFullReplay/BenchmarkCampaignWarmStart=2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Slow != "BenchmarkCampaignFullReplay" || spec.Fast != "BenchmarkCampaignWarmStart" || spec.Min != 2.0 {
+		t.Fatalf("spec = %+v", spec)
+	}
+
+	set, err := Parse(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := CheckSpeedup(set, spec)
+	if err != nil {
+		t.Fatalf("speedup check failed at ratio %.2f: %v", ratio, err)
+	}
+	if ratio < 2.0 {
+		t.Fatalf("ratio = %v, want >= 2", ratio)
+	}
+
+	if _, err := CheckSpeedup(set, SpeedupSpec{Slow: "BenchmarkCampaignFullReplay", Fast: "BenchmarkCampaignWarmStart", Min: 100}); err == nil {
+		t.Fatal("unattainable speedup accepted")
+	}
+	if _, err := CheckSpeedup(set, SpeedupSpec{Slow: "BenchmarkMissing", Fast: "BenchmarkCampaignWarmStart", Min: 1}); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+
+	for _, bad := range []string{"", "NoEquals", "A/B=x", "A/B=-1", "OnlyOne=2.0", "/B=2.0", "A/=2.0"} {
+		if _, err := ParseSpeedup(bad); err == nil {
+			t.Errorf("ParseSpeedup(%q) accepted", bad)
+		}
+	}
+}

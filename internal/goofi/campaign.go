@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"ctrlguard/internal/classify"
@@ -56,6 +57,22 @@ type Config struct {
 	// Trace.OnTrace. Opt-in: tracing is far slower than the campaign
 	// itself (see TraceConfig).
 	Trace *TraceConfig
+
+	// DisableWarmStart forces every experiment to replay from
+	// iteration 0 instead of resuming from a cached checkpoint at its
+	// injection iteration. The fast path produces byte-identical
+	// records (guaranteed by tests), so this exists for benchmarking
+	// and belt-and-braces validation, not correctness.
+	DisableWarmStart bool
+
+	// CheckpointCap bounds the per-campaign checkpoint cache
+	// (0 = DefaultCheckpointCap).
+	CheckpointCap int
+
+	// warm carries the fast-path state across the batches of a
+	// sequential campaign, so later batches skip the golden run and
+	// reuse cached checkpoints.
+	warm *warmState
 }
 
 // Record is the logged result of a single fault-injection experiment —
@@ -79,6 +96,10 @@ type Result struct {
 	Config  Config
 	Golden  *workload.Outcome
 	Records []Record
+
+	// WarmStart reports the checkpoint fast path's work avoidance;
+	// nil when the fast path was disabled.
+	WarmStart *WarmStartStats
 }
 
 // Run executes a campaign: golden run, then Experiments independent
@@ -107,9 +128,26 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	prog := workload.Program(cfg.Variant)
 
-	golden := workload.Run(prog, cfg.Spec)
-	if golden.Detected() {
-		return nil, fmt.Errorf("goofi: reference execution trapped: %v", golden.Trap)
+	// The warm-start fast path records state digests during the golden
+	// run so injected runs can detect re-convergence, and shares
+	// pre-injection checkpoints across the worker pool. Detail-mode
+	// observers must see every instruction of every run, so they force
+	// full replays.
+	warm := cfg.warm
+	useWarm := !cfg.DisableWarmStart && cfg.Spec.Observer == nil
+	var golden *workload.Outcome
+	if warm != nil {
+		golden = warm.golden
+	} else {
+		goldenSpec := cfg.Spec
+		goldenSpec.RecordStateHashes = useWarm
+		golden = workload.Run(prog, goldenSpec)
+		if golden.Detected() {
+			return nil, fmt.Errorf("goofi: reference execution trapped: %v", golden.Trap)
+		}
+		if useWarm {
+			warm = newWarmState(prog, cfg.Spec, golden, cfg.CheckpointCap)
+		}
 	}
 
 	// Set-up phase: pre-draw every experiment's fault so the campaign
@@ -118,6 +156,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	injections := make([]workload.Injection, cfg.Experiments)
 	for i := range injections {
 		injections[i] = sampler.Next()
+	}
+
+	// Feed experiments in injection order so the checkpoint capture
+	// cursor walks forward monotonically. Records still land at their
+	// experiment ID, so results are unaffected.
+	order := make([]int, cfg.Experiments)
+	for i := range order {
+		order[i] = i
+	}
+	if warm != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return injections[order[a]].At < injections[order[b]].At
+		})
 	}
 
 	workers := cfg.Workers
@@ -144,7 +195,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if ctx.Err() != nil {
 					continue // drain without running
 				}
-				rec := runExperiment(prog, cfg, golden, i, injections[i])
+				rec := runExperiment(prog, cfg, golden, warm, i, injections[i])
 				var tr *trace.Trace
 				if cfg.Trace != nil && cfg.Trace.OnTrace != nil && cfg.Trace.shouldTrace(rec) {
 					// Capture errors mean cancellation; the partial
@@ -173,7 +224,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}()
 	}
 feed:
-	for i := 0; i < cfg.Experiments; i++ {
+	for _, i := range order {
 		select {
 		case next <- i:
 		case <-ctx.Done():
@@ -183,6 +234,11 @@ feed:
 	close(next)
 	wg.Wait()
 
+	res := &Result{Config: cfg, Golden: golden, Records: records}
+	if warm != nil {
+		res.Config.warm = warm
+		res.WarmStart = warm.stats()
+	}
 	if err := ctx.Err(); err != nil {
 		partial := make([]Record, 0, done)
 		for i, ok := range completed {
@@ -190,16 +246,24 @@ feed:
 				partial = append(partial, records[i])
 			}
 		}
-		return &Result{Config: cfg, Golden: golden, Records: partial}, err
+		res.Records = partial
+		return res, err
 	}
-	return &Result{Config: cfg, Golden: golden, Records: records}, nil
+	return res, nil
 }
 
 // runExperiment performs one fault injection and classifies it.
-func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, id int, inj workload.Injection) Record {
+func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm *warmState, id int, inj workload.Injection) Record {
 	spec := cfg.Spec
 	spec.Injection = &inj
+	if warm != nil {
+		spec.Golden = warm.golden
+		spec.From = warm.checkpointFor(inj.At)
+	}
 	out := workload.Run(prog, spec)
+	if warm != nil {
+		warm.noteRun(spec.From, out)
+	}
 
 	rec := Record{
 		ID:      id,

@@ -47,6 +47,11 @@ type PrecisionResult struct {
 	Batches     int
 	Converged   bool // target reached before MaxExperiments
 	Experiments int
+
+	// WarmStart reports the checkpoint fast path's work avoidance,
+	// cumulative over every batch (the batches share one golden run
+	// and checkpoint cache); nil when the fast path was disabled.
+	WarmStart *WarmStartStats
 }
 
 // RunUntilPrecision runs batches of experiments, extending the seed per
@@ -81,6 +86,10 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 
 	res := &PrecisionResult{}
 	counter := stats.NewCounter()
+	// Every batch runs the same variant and spec, so the golden run
+	// and the checkpoint cache carry over from batch to batch: only
+	// the first batch pays for the reference execution.
+	var warm *warmState
 	for res.Experiments < cfg.MaxExperiments {
 		batch := cfg.Campaign
 		batch.Experiments = cfg.BatchSize
@@ -90,8 +99,15 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 		// A distinct seed per batch keeps samples independent while
 		// staying reproducible.
 		batch.Seed = cfg.Campaign.Seed + uint64(res.Batches)*1_000_003
+		batch.warm = warm
 
 		out, err := RunContext(ctx, batch)
+		if out != nil {
+			warm = out.Config.warm
+			if out.WarmStart != nil {
+				res.WarmStart = out.WarmStart
+			}
+		}
 		if out != nil && len(out.Records) > 0 {
 			res.Records = append(res.Records, out.Records...)
 			res.Batches++

@@ -36,6 +36,11 @@ type CampaignSpec struct {
 	// MaxExperiments bounds a precision-driven campaign's total effort
 	// (0 = the sequential campaign's default).
 	MaxExperiments int `json:"maxExperiments,omitempty"`
+
+	// DisableWarmStart turns off the checkpoint fast path, replaying
+	// every experiment from iteration 0. Results are byte-identical
+	// either way; the knob exists for benchmarking and validation.
+	DisableWarmStart bool `json:"disableWarmStart,omitempty"`
 }
 
 // Sequential reports whether the spec asks for a precision-driven
@@ -61,10 +66,11 @@ func (s CampaignSpec) Resolve() (Config, error) {
 		return Config{}, fmt.Errorf("goofi: maxExperiments must be non-negative, got %d", s.MaxExperiments)
 	}
 	return Config{
-		Variant:     v,
-		Experiments: s.Experiments,
-		Seed:        s.Seed,
-		Workers:     s.Workers,
+		Variant:          v,
+		Experiments:      s.Experiments,
+		Seed:             s.Seed,
+		Workers:          s.Workers,
+		DisableWarmStart: s.DisableWarmStart,
 	}, nil
 }
 

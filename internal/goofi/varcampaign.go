@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ctrlguard/internal/classify"
 	"ctrlguard/internal/control"
@@ -46,6 +47,14 @@ type VarConfig struct {
 
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+
+	// DisableWarmStart forces every experiment to replay the
+	// pre-injection iterations instead of resuming from a controller
+	// clone captured during the golden run. Results are byte-identical
+	// either way. Warm start also disables itself when the controller
+	// does not support cloning (no CloneStateful method, or a guard
+	// with an uncloneable assertion).
+	DisableWarmStart bool
 }
 
 func (cfg *VarConfig) fill() error {
@@ -78,9 +87,18 @@ func (cfg *VarConfig) fill() error {
 // corruptAt < 0 disables injection.
 func runVarLoop(ctrl control.Stateful, cfg *VarConfig, corruptAt int, flip inject.VarFlip) []float64 {
 	eng := plant.NewEngine(*cfg.Engine)
+	return varLoopFrom(ctrl, eng, eng.Speed(), 0, nil, cfg, corruptAt, flip)
+}
+
+// varLoopFrom is the loop body shared by full runs and checkpoint
+// resumes: iterations [0, startK) are taken from the golden prefix
+// (identical by determinism — the injection has not happened yet),
+// iterations [startK, Iterations) are executed.
+func varLoopFrom(ctrl control.Stateful, eng *plant.Engine, y float64, startK int,
+	prefix []float64, cfg *VarConfig, corruptAt int, flip inject.VarFlip) []float64 {
 	out := make([]float64, 0, cfg.Iterations)
-	y := eng.Speed()
-	for k := 0; k < cfg.Iterations; k++ {
+	out = append(out, prefix[:startK]...)
+	for k := startK; k < cfg.Iterations; k++ {
 		if k == corruptAt {
 			flip.Apply(ctrl)
 		}
@@ -90,6 +108,56 @@ func runVarLoop(ctrl control.Stateful, cfg *VarConfig, corruptAt int, flip injec
 		out = append(out, u)
 	}
 	return out
+}
+
+// varCheckpoint freezes a variable-level run at the top of one control
+// iteration: the controller clone, the plant clone and the last
+// measurement. Checkpoints are immutable; every resume re-clones.
+type varCheckpoint struct {
+	ctrl control.Stateful
+	eng  *plant.Engine
+	y    float64
+}
+
+// cloneVarController clones a controller through the CloneStateful()
+// any convention (see package control; core.GuardedController also
+// implements it).
+func cloneVarController(c control.Stateful) (control.Stateful, bool) {
+	cl, ok := c.(interface{ CloneStateful() any })
+	if !ok {
+		return nil, false
+	}
+	v := cl.CloneStateful()
+	if v == nil {
+		return nil, false
+	}
+	s, ok := v.(control.Stateful)
+	return s, ok
+}
+
+// runVarGolden drives ctrl fault-free like runVarLoop while capturing a
+// checkpoint at each requested iteration. When the controller (or the
+// guard state it carries) cannot be cloned, the checkpoint map comes
+// back nil and the campaign runs every experiment in full.
+func runVarGolden(ctrl control.Stateful, cfg *VarConfig, want map[int]bool) ([]float64, map[int]*varCheckpoint) {
+	eng := plant.NewEngine(*cfg.Engine)
+	out := make([]float64, 0, cfg.Iterations)
+	ckpts := make(map[int]*varCheckpoint, len(want))
+	y := eng.Speed()
+	for k := 0; k < cfg.Iterations; k++ {
+		if ckpts != nil && want[k] {
+			if cc, ok := cloneVarController(ctrl); ok {
+				ckpts[k] = &varCheckpoint{ctrl: cc, eng: eng.Clone(), y: y}
+			} else {
+				ckpts = nil
+			}
+		}
+		t := float64(k) * cfg.Engine.T
+		u := ctrl.Update([]float64{cfg.Reference(t), y})[0]
+		y = eng.Step(u)
+		out = append(out, u)
+	}
+	return out, ckpts
 }
 
 // RunVariable executes a variable-level campaign and returns records in
@@ -127,6 +195,29 @@ type varCampaign struct {
 	exps        []varExperiment
 	records     []Record
 	completed   []bool
+
+	// ckpts holds the warm-start checkpoints keyed by injection
+	// iteration, captured during the golden run; nil when warm start
+	// is off or the controller is not cloneable.
+	ckpts       map[int]*varCheckpoint
+	resumed     atomic.Int64
+	fullReplays atomic.Int64
+}
+
+// runOne executes one experiment, resuming from the checkpoint at its
+// injection iteration when one exists.
+func (c *varCampaign) runOne(e varExperiment) ([]float64, control.Stateful) {
+	if ck := c.ckpts[e.iteration]; ck != nil {
+		if ctrl, ok := cloneVarController(ck.ctrl); ok {
+			c.resumed.Add(1)
+			out := varLoopFrom(ctrl, ck.eng.Clone(), ck.y, e.iteration,
+				c.golden, &c.cfg, e.iteration, e.flip)
+			return out, ctrl
+		}
+	}
+	c.fullReplays.Add(1)
+	ctrl := c.cfg.New()
+	return runVarLoop(ctrl, &c.cfg, e.iteration, e.flip), ctrl
 }
 
 // RunVariableBatch evaluates several variable-level campaigns over one
@@ -172,13 +263,24 @@ func RunVariableBatch(ctx context.Context, cfgs []VarConfig) ([]*Result, error) 
 			records:   make([]Record, cfg.Experiments),
 			completed: make([]bool, cfg.Experiments),
 		}
-		c.golden = runVarLoop(goldenCtrl, &c.cfg, -1, inject.VarFlip{})
-		c.goldenFinal = goldenCtrl.State()
+		// Pre-draw the faults before the golden run so the golden pass
+		// knows which iterations to checkpoint. Injections at
+		// iteration 0 have no prefix to skip and stay full replays.
 		sampler := inject.NewVarSampler(cfg.Seed, stateDim, cfg.Iterations)
+		want := make(map[int]bool)
 		for i := range c.exps {
 			it, flip := sampler.Next()
 			c.exps[i] = varExperiment{iteration: it, flip: flip}
+			if it > 0 && !cfg.DisableWarmStart {
+				want[it] = true
+			}
 		}
+		if cfg.DisableWarmStart {
+			c.golden = runVarLoop(goldenCtrl, &c.cfg, -1, inject.VarFlip{})
+		} else {
+			c.golden, c.ckpts = runVarGolden(goldenCtrl, &c.cfg, want)
+		}
+		c.goldenFinal = goldenCtrl.State()
 		totalExps += cfg.Experiments
 		camps[ci] = c
 	}
@@ -202,8 +304,7 @@ func RunVariableBatch(ctx context.Context, cfgs []VarConfig) ([]*Result, error) 
 				}
 				c := camps[tk.camp]
 				e := c.exps[tk.exp]
-				ctrl := c.cfg.New()
-				outputs := runVarLoop(ctrl, &c.cfg, e.iteration, e.flip)
+				outputs, ctrl := c.runOne(e)
 				stateDiffers := !float64SlicesEqual(ctrl.State(), c.goldenFinal)
 				verdict := classify.Run(c.golden, outputs, stateDiffers, c.cfg.Classify)
 				c.records[tk.exp] = Record{
@@ -238,6 +339,14 @@ feed:
 	results := make([]*Result, len(camps))
 	err := ctx.Err()
 	for ci, c := range camps {
+		res := &Result{Records: c.records}
+		if c.ckpts != nil {
+			res.WarmStart = &WarmStartStats{
+				Resumed:     int(c.resumed.Load()),
+				FullReplays: int(c.fullReplays.Load()),
+				Checkpoints: len(c.ckpts),
+			}
+		}
 		if err != nil {
 			partial := make([]Record, 0, len(c.records))
 			for i, ok := range c.completed {
@@ -245,10 +354,9 @@ feed:
 					partial = append(partial, c.records[i])
 				}
 			}
-			results[ci] = &Result{Records: partial}
-			continue
+			res.Records = partial
 		}
-		results[ci] = &Result{Records: c.records}
+		results[ci] = res
 	}
 	return results, err
 }

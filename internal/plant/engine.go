@@ -94,6 +94,14 @@ func (e *Engine) Speed() float64 {
 	return e.omega
 }
 
+// Clone returns an independent engine frozen at the current state, for
+// checkpoint/resume of closed-loop runs. The load profile is shared
+// (profiles are pure functions of time).
+func (e *Engine) Clone() *Engine {
+	cp := *e
+	return &cp
+}
+
 // Time returns the current simulation time in seconds.
 func (e *Engine) Time() float64 {
 	return float64(e.k) * e.cfg.T

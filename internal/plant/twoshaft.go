@@ -77,6 +77,13 @@ func (p *TwoShaft) Speeds() (n1, n2 float64) {
 	return p.n1, p.n2
 }
 
+// Clone returns an independent plant frozen at the current state, for
+// checkpoint/resume of closed-loop runs.
+func (p *TwoShaft) Clone() *TwoShaft {
+	cp := *p
+	return &cp
+}
+
 // Reset restores the initial state.
 func (p *TwoShaft) Reset() {
 	p.n1, p.n2 = p.cfg.Init1, p.cfg.Init2

@@ -1,0 +1,51 @@
+package tune
+
+import (
+	"testing"
+
+	"ctrlguard/internal/control"
+)
+
+// TestCampaignControllersAreCloneable guards the tuner's free ride on
+// the warm-started variable campaigns: every controller shape the
+// evaluator hands to goofi.RunVariableBatch — bare PI, and guards over
+// static or learned assertions with and without rate limits — must
+// support CloneStateful, or the campaigns silently fall back to full
+// replay and Phase B loses its speedup.
+func TestCampaignControllersAreCloneable(t *testing.T) {
+	e := NewEvaluator(99)
+	if err := e.prepare(); err != nil {
+		t.Fatal(err)
+	}
+	configs := []Config{
+		{Policy: PolicyNone},
+		{Policy: PolicyRollback, Slack: 0.1},
+		{Policy: PolicyRollback, Slack: 0.1, RateLimit: 8},
+		{Policy: PolicyFreeze, Learned: true, Slack: 0.2},
+		{Policy: PolicySaturate, Learned: true, Slack: 0.2, RateLimit: 5},
+	}
+	for _, c := range configs {
+		factory, err := e.campaignFactory(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID(), err)
+		}
+		ctrl := factory()
+		cl, ok := ctrl.(interface{ CloneStateful() any })
+		if !ok {
+			t.Errorf("%s: controller has no CloneStateful method", c.ID())
+			continue
+		}
+		clone, ok := cl.CloneStateful().(control.Stateful)
+		if !ok || clone == nil {
+			t.Errorf("%s: controller declined to clone", c.ID())
+			continue
+		}
+		// The clone must be independent: writes do not reach the
+		// original.
+		orig := ctrl.State()[0]
+		clone.SetState([]float64{orig + 1e6})
+		if ctrl.State()[0] != orig {
+			t.Errorf("%s: clone shares state with the original", c.ID())
+		}
+	}
+}

@@ -71,6 +71,15 @@ func (e *engineEnv) Deliver(_ int, u []float64) {
 	e.speeds = append(e.speeds, e.y)
 }
 
+// CloneEnv implements CloneableEnv: an independent engine environment
+// frozen mid-run, including the accumulated speed trace.
+func (e *engineEnv) CloneEnv() Environment {
+	cp := *e
+	cp.eng = e.eng.Clone()
+	cp.speeds = append([]float64(nil), e.speeds...)
+	return &cp
+}
+
 // twoShaftEnv is the MIMO workload's environment: the two-spool plant
 // with per-shaft reference profiles.
 type twoShaftEnv struct {
@@ -97,4 +106,11 @@ func (e *twoShaftEnv) Inputs(k int) []float64 {
 
 func (e *twoShaftEnv) Deliver(_ int, u []float64) {
 	e.n1, e.n2 = e.shafts.Step(u[0], u[1])
+}
+
+// CloneEnv implements CloneableEnv.
+func (e *twoShaftEnv) CloneEnv() Environment {
+	cp := *e
+	cp.shafts = e.shafts.Clone()
+	return &cp
 }

@@ -65,6 +65,31 @@ type RunSpec struct {
 	// Outcome is returned with Aborted set. Used to cancel detail-mode
 	// traces, which are far slower than ordinary runs.
 	Abort func() bool
+
+	// From, if non-nil, resumes the run from a checkpoint instead of
+	// executing the pre-checkpoint iterations. It is purely an
+	// optimisation hint: the outcome is byte-identical to a full run,
+	// and the checkpoint is silently ignored whenever it cannot
+	// guarantee that (injection before the checkpoint, an Observer
+	// that must see every instruction, RecordStateHashes, a mismatched
+	// port layout).
+	From *Checkpoint
+
+	// Golden, if non-nil, is the fault-free outcome of the same spec,
+	// recorded with RecordStateHashes. After the injection the run
+	// then watches for re-convergence: once the machine state digest
+	// matches the golden run at an iteration boundary and every output
+	// so far is bit-identical, the remainder must equal the golden
+	// remainder and is spliced in instead of re-executed. Like From,
+	// this never changes the outcome — only how much of it is
+	// recomputed.
+	Golden *Outcome
+
+	// RecordStateHashes captures the 128-bit machine-state digest at
+	// every iteration boundary into Outcome.StateHashes, making the
+	// outcome usable as a Golden reference. It costs one digest of the
+	// full state per iteration.
+	RecordStateHashes bool
 }
 
 // PaperRunSpec returns the paper's experiment parameters: 650 control
@@ -111,6 +136,16 @@ type Outcome struct {
 	// Aborted reports that RunSpec.Abort stopped the run early; the
 	// outcome then covers only the completed iterations.
 	Aborted bool
+
+	// StateHashes holds the machine-state digest at the start of each
+	// iteration; populated only when RunSpec.RecordStateHashes is set.
+	StateHashes []cpu.Digest
+
+	// ReconvergedAt is the iteration at which the run was found
+	// bit-identical to RunSpec.Golden and its remainder spliced in, or
+	// 0 when the run executed to its end (re-convergence is never
+	// checked before iteration 1).
+	ReconvergedAt int
 }
 
 // Detected reports whether the run was terminated by an EDM.
@@ -204,8 +239,40 @@ func (p *ioPort) outputs() []float64 {
 
 // Run executes prog against its environment for spec.Iterations control
 // iterations, optionally injecting one bit-flip, and returns the
-// observable outcome. Runs are fully deterministic.
+// observable outcome. Runs are fully deterministic: the From and
+// Golden fast paths never change the outcome, only how much of it is
+// re-executed.
 func Run(prog *cpu.Program, spec RunSpec) *Outcome {
+	out, _ := run(prog, spec, -1)
+	return out
+}
+
+// goldenUsable reports whether golden can serve as the re-convergence
+// reference for a run of spec: a complete fault-free outcome of the
+// same shape, with a digest recorded at every iteration boundary.
+func goldenUsable(golden *Outcome, spec RunSpec, ports PortLayout) bool {
+	if golden == nil || golden.Trap != nil || golden.Aborted {
+		return false
+	}
+	if len(golden.StateHashes) != spec.Iterations ||
+		len(golden.IterationStarts) != spec.Iterations ||
+		len(golden.MultiOutputs) != ports.Outputs {
+		return false
+	}
+	for _, trace := range golden.MultiOutputs {
+		if len(trace) != spec.Iterations {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the engine behind Run and CaptureCheckpoint. When captureAt
+// is non-negative the run stops at that iteration boundary and returns
+// the frozen state (nil when the boundary is unreachable or the
+// environment cannot be cloned); the partial outcome is returned
+// alongside for diagnostics.
+func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint) {
 	budget := spec.CycleBudget
 	if budget <= 0 {
 		budget = DefaultCycleBudget
@@ -218,27 +285,118 @@ func Run(prog *cpu.Program, spec RunSpec) *Outcome {
 	if ports == (PortLayout{}) {
 		ports = sisoPorts
 	}
-	var env Environment
-	if spec.NewEnv != nil {
-		env = spec.NewEnv(spec)
-	} else {
-		env = newEngineEnv(spec)
+
+	// The checkpoint is only a shortcut when it provably cannot change
+	// the outcome; otherwise fall back to full replay.
+	from := spec.From
+	if from != nil {
+		usable := from.iteration > 0 &&
+			from.iteration < spec.Iterations &&
+			len(from.outHi) == ports.Outputs &&
+			spec.Observer == nil &&
+			!spec.RecordStateHashes &&
+			(spec.Injection == nil || spec.Injection.At >= from.vm.InstrCount)
+		if !usable {
+			from = nil
+		}
 	}
 
 	port := newIOPort(ports, idle)
-	vm := cpu.New(prog, port)
-
 	out := &Outcome{MultiOutputs: make([][]float64, ports.Outputs)}
-	for j := range out.MultiOutputs {
-		out.MultiOutputs[j] = make([]float64, 0, spec.Iterations)
+	var env Environment
+	var vm *cpu.CPU
+	startK := 0
+	if from != nil {
+		copy(port.outHi, from.outHi)
+		copy(port.outLo, from.outLo)
+		vm = cpu.NewFromSnapshot(from.vm, port)
+		env = from.env.CloneEnv()
+		startK = from.iteration
+		for j := range out.MultiOutputs {
+			out.MultiOutputs[j] = append(make([]float64, 0, spec.Iterations), from.outputs[j]...)
+		}
+		out.IterationStarts = append(make([]uint64, 0, spec.Iterations), from.starts...)
+	} else {
+		if spec.NewEnv != nil {
+			env = spec.NewEnv(spec)
+		} else {
+			env = newEngineEnv(spec)
+		}
+		vm = cpu.New(prog, port)
+		for j := range out.MultiOutputs {
+			out.MultiOutputs[j] = make([]float64, 0, spec.Iterations)
+		}
 	}
+
+	golden := spec.Golden
+	if spec.Injection == nil || spec.Observer != nil || !goldenUsable(golden, spec, ports) {
+		golden = nil
+	}
+	// diverged latches once any output differs from the golden trace:
+	// the environment has then left the golden trajectory and splicing
+	// the golden remainder would be wrong.
+	diverged := false
+	// nextCheck/gap implement exponential backoff between digest
+	// comparisons, so a latently corrupted run that never re-converges
+	// pays O(log iterations) digests, not one per iteration.
+	nextCheck := 0
+	gap := 1
+
 	injected := false
-	for k := 0; k < spec.Iterations; k++ {
+	for k := startK; k < spec.Iterations; k++ {
 		if spec.Abort != nil && spec.Abort() {
 			out.Aborted = true
 			out.Instructions = vm.InstrCount()
 			out.finish(env)
-			return out
+			return out, nil
+		}
+		if spec.RecordStateHashes {
+			out.StateHashes = append(out.StateHashes, vm.StateDigest())
+		}
+		if k == captureAt {
+			ce, ok := env.(CloneableEnv)
+			if !ok {
+				return out, nil
+			}
+			clone, ok := ce.CloneEnv().(CloneableEnv)
+			if !ok {
+				return out, nil
+			}
+			ck := &Checkpoint{
+				iteration: k,
+				vm:        vm.Snapshot(),
+				env:       clone,
+				outHi:     append([]uint32(nil), port.outHi...),
+				outLo:     append([]uint32(nil), port.outLo...),
+				outputs:   make([][]float64, len(out.MultiOutputs)),
+				starts:    append([]uint64(nil), out.IterationStarts...),
+			}
+			for j := range ck.outputs {
+				ck.outputs[j] = append([]float64(nil), out.MultiOutputs[j]...)
+			}
+			return out, ck
+		}
+		if golden != nil && injected && !diverged && k >= nextCheck {
+			if vm.InstrCount() == golden.IterationStarts[k] &&
+				vm.StateDigest() == golden.StateHashes[k] {
+				// The machine state and the whole output history match
+				// the fault-free run, so the remainder is bit-identical
+				// to it: splice it in instead of re-executing.
+				for j := range out.MultiOutputs {
+					out.MultiOutputs[j] = append(out.MultiOutputs[j], golden.MultiOutputs[j][k:]...)
+				}
+				out.IterationStarts = append(out.IterationStarts, golden.IterationStarts[k:]...)
+				out.FinalState = golden.FinalState
+				out.Instructions = golden.Instructions
+				out.ReconvergedAt = k
+				out.finish(env)
+				if len(golden.Speeds) > k && len(out.Speeds) == k {
+					out.Speeds = append(out.Speeds, golden.Speeds[k:]...)
+				}
+				return out, nil
+			}
+			gap *= 2
+			nextCheck = k + gap
 		}
 		out.IterationStarts = append(out.IterationStarts, vm.InstrCount())
 		copy(port.in, env.Inputs(k))
@@ -255,6 +413,8 @@ func Run(prog *cpu.Program, spec RunSpec) *Outcome {
 					panic(err)
 				}
 				injected = true
+				nextCheck = k + 1
+				gap = 1
 			}
 			if spec.Observer != nil {
 				spec.Observer(k, vm.InstrCount(), vm)
@@ -264,7 +424,7 @@ func Run(prog *cpu.Program, spec RunSpec) *Outcome {
 				out.TrapIteration = k
 				out.Instructions = vm.InstrCount()
 				out.finish(env)
-				return out
+				return out, nil
 			}
 			cycles++
 			if cycles > budget {
@@ -273,20 +433,24 @@ func Run(prog *cpu.Program, spec RunSpec) *Outcome {
 				out.TrapIteration = k
 				out.Instructions = vm.InstrCount()
 				out.finish(env)
-				return out
+				return out, nil
 			}
 		}
 
 		u := port.outputs()
 		for j, v := range u {
 			out.MultiOutputs[j] = append(out.MultiOutputs[j], v)
+			if golden != nil && !diverged &&
+				math.Float64bits(v) != math.Float64bits(golden.MultiOutputs[j][k]) {
+				diverged = true
+			}
 		}
 		env.Deliver(k, u)
 	}
 	out.FinalState = vm.FinalState()
 	out.Instructions = vm.InstrCount()
 	out.finish(env)
-	return out
+	return out, nil
 }
 
 // finish wires the convenience views of the outcome.
