@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ctrlguardd -addr :8077 -data ./results/campaigns
+//	ctrlguardd -addr :8077 -data ./results/campaigns -journal ./results/journal
 //
 // Then, for example:
 //
@@ -15,8 +15,16 @@
 //	curl -X DELETE localhost:8077/api/v1/campaigns/c000001
 //	curl localhost:8077/metrics
 //
-// SIGINT/SIGTERM shuts down gracefully: running campaigns stop at the
-// next experiment boundary and their partial records are persisted.
+// With -journal set, every job transition is written through an
+// fsync'd write-ahead journal and each finished experiment is appended
+// to the campaign's record file as it happens. SIGINT/SIGTERM shuts
+// down gracefully: running campaigns stop at the next experiment
+// boundary and are journaled as interrupted; the next start replays
+// the journal and resumes them from their persisted records, skipping
+// every experiment that already completed. A hard crash (SIGKILL,
+// power loss) loses at most the unsynced tail of the running
+// campaign's records — the restart re-runs just those experiments.
+// -no-resume parks interrupted campaigns instead of re-running them.
 package main
 
 import (
@@ -33,10 +41,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8077", "listen address")
-		workers = flag.Int("workers", 1, "campaigns executed concurrently (each parallelises its own experiments)")
-		queue   = flag.Int("queue", 16, "max campaigns waiting in the queue")
-		data    = flag.String("data", "", "directory for per-campaign JSONL record files (empty = in-memory only)")
+		addr     = flag.String("addr", ":8077", "listen address")
+		workers  = flag.Int("workers", 1, "campaigns executed concurrently (each parallelises its own experiments)")
+		queue    = flag.Int("queue", 16, "max campaigns waiting in the queue")
+		data     = flag.String("data", "", "directory for per-campaign JSONL record files (empty = in-memory only)")
+		jdir     = flag.String("journal", "", "directory for the crash-recovery job journal (empty = no journal, no resume)")
+		noResume = flag.Bool("no-resume", false, "replay the journal but do not re-run interrupted campaigns")
 	)
 	flag.Parse()
 
@@ -50,12 +60,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Addr:       *addr,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		DataDir:    *data,
+		JournalDir: *jdir,
+		NoResume:   *noResume,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctrlguardd:", err)
+		os.Exit(1)
+	}
 	if err := srv.ListenAndServe(ctx); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "ctrlguardd:", err)
 		os.Exit(1)

@@ -1,0 +1,55 @@
+// Package fsatomic provides crash-safe file replacement: write to a
+// temporary file in the target directory, fsync it, then rename it over
+// the destination and fsync the directory. A reader therefore always
+// sees either the old complete file or the new complete file — never a
+// torn intermediate — no matter where a crash or power loss lands.
+//
+// This is the classic write-temp/fsync/rename discipline every durable
+// store uses; the campaign record files and the job journal's
+// compaction both go through it so a kill -9 can never leave a
+// half-written result behind.
+package fsatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// On any error the destination is left untouched and the temporary file
+// is removed.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsatomic: temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fsatomic: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("fsatomic: rename %s -> %s: %w", tmpName, path, err)
+	}
+	// Persist the rename itself. Directory fsync is advisory on some
+	// filesystems; failure to open the directory is not fatal.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first\n" {
+		t.Fatalf("content = %q", b)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second\n" {
+		t.Fatalf("content after replace = %q", b)
+	}
+}
+
+// TestWriteFileFailureLeavesOldContent is the chaos case: the write
+// callback fails partway (a short write followed by an error, like a
+// full disk or injected store fault). The destination must keep its
+// previous complete content and no temp litter may remain.
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	if err := os.WriteFile(path, []byte("intact\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected short write")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half a rec") // short write lands in the temp file only
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "intact\n" {
+		t.Fatalf("destination corrupted: %q", b)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileCreatesMissingTarget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

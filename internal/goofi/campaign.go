@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"ctrlguard/internal/classify"
 	"ctrlguard/internal/cpu"
@@ -58,6 +59,41 @@ type Config struct {
 	// itself (see TraceConfig).
 	Trace *TraceConfig
 
+	// Resume holds records persisted by an earlier, interrupted run of
+	// the same campaign. Experiments whose deterministic injection
+	// matches a resumed record are not re-executed: the record is
+	// reused verbatim, so a restarted campaign converges on the same
+	// result as an uninterrupted one while only paying for the missing
+	// experiments. Records that do not match (different seed or spec)
+	// and abandoned records are ignored and re-run.
+	Resume []Record
+
+	// OnResume, if non-nil, is called once, before execution starts,
+	// with the records reused from Resume (in experiment-ID order).
+	// OnRecord is NOT called for reused records.
+	OnResume func([]Record)
+
+	// ExperimentRetries bounds how many times a panicking or
+	// deadline-expired experiment is re-attempted before being recorded
+	// as OutcomeAbandoned (0 = DefaultExperimentRetries, negative = no
+	// retries).
+	ExperimentRetries int
+
+	// ExperimentTimeout is the per-attempt wall-clock deadline (0 =
+	// none). A hung experiment is abandoned at the deadline instead of
+	// wedging its worker.
+	ExperimentTimeout time.Duration
+
+	// RetryBackoff is the sleep before the first retry, doubled per
+	// attempt (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+
+	// Chaos, if non-nil, is invoked at the start of every experiment
+	// attempt. TEST-ONLY: the chaos harness uses it to crash (panic) or
+	// hang (sleep) workers mid-campaign and prove fault isolation;
+	// production configs leave it nil.
+	Chaos func(id, attempt int)
+
 	// DisableWarmStart forces every experiment to replay from
 	// iteration 0 instead of resuming from a cached checkpoint at its
 	// injection iteration. The fast path produces byte-identical
@@ -100,6 +136,12 @@ type Result struct {
 	// WarmStart reports the checkpoint fast path's work avoidance;
 	// nil when the fast path was disabled.
 	WarmStart *WarmStartStats
+
+	// Faults reports the campaign engine's own fault handling: retries,
+	// recovered panics, deadline expiries, abandoned experiments, and
+	// records reused from a resumed run. All zero for a healthy,
+	// fresh campaign.
+	Faults FaultStats
 }
 
 // Run executes a campaign: golden run, then Experiments independent
@@ -182,10 +224,44 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	records := make([]Record, cfg.Experiments)
 	completed := make([]bool, cfg.Experiments)
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		done int
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		done   int
+		faults FaultStats
 	)
+
+	// Best-effort recovery for the campaign itself: records persisted
+	// by an earlier interrupted run stand in for their experiments, so
+	// a restart only pays for the work that was lost.
+	if len(cfg.Resume) > 0 {
+		byID := make(map[int]Record, len(cfg.Resume))
+		for _, rec := range cfg.Resume {
+			if rec.ID >= 0 && rec.ID < cfg.Experiments {
+				byID[rec.ID] = rec // later lines are newer re-runs
+			}
+		}
+		var reused []Record
+		for i := range injections {
+			rec, ok := byID[i]
+			if !ok || !resumable(rec, string(cfg.Variant), injections[i]) {
+				continue
+			}
+			records[i] = rec
+			completed[i] = true
+			done++
+			reused = append(reused, rec)
+		}
+		faults.Resumed = len(reused)
+		if len(reused) > 0 {
+			if cfg.Progress != nil {
+				cfg.Progress(done, cfg.Experiments)
+			}
+			if cfg.OnResume != nil {
+				cfg.OnResume(reused)
+			}
+		}
+	}
+
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -195,7 +271,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if ctx.Err() != nil {
 					continue // drain without running
 				}
-				rec := runExperiment(prog, cfg, golden, warm, i, injections[i])
+				rec, fs := runExperimentIsolated(prog, cfg, golden, warm, i, injections[i])
 				var tr *trace.Trace
 				if cfg.Trace != nil && cfg.Trace.OnTrace != nil && cfg.Trace.shouldTrace(rec) {
 					// Capture errors mean cancellation; the partial
@@ -210,6 +286,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				records[i] = rec
 				completed[i] = true
 				done++
+				faults.add(fs)
 				if cfg.Progress != nil {
 					cfg.Progress(done, cfg.Experiments)
 				}
@@ -225,6 +302,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 feed:
 	for _, i := range order {
+		if completed[i] {
+			continue // reused from a resumed run
+		}
 		select {
 		case next <- i:
 		case <-ctx.Done():
@@ -234,7 +314,7 @@ feed:
 	close(next)
 	wg.Wait()
 
-	res := &Result{Config: cfg, Golden: golden, Records: records}
+	res := &Result{Config: cfg, Golden: golden, Records: records, Faults: faults}
 	if warm != nil {
 		res.Config.warm = warm
 		res.WarmStart = warm.stats()
@@ -252,15 +332,21 @@ feed:
 	return res, nil
 }
 
-// runExperiment performs one fault injection and classifies it.
-func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm *warmState, id int, inj workload.Injection) Record {
+// runExperiment performs one fault injection and classifies it. A
+// non-zero deadline bounds the run's wall-clock time; an expired run
+// returns errExperimentDeadline instead of a (meaningless) record.
+func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm *warmState, id int, inj workload.Injection, deadline time.Time) (Record, error) {
 	spec := cfg.Spec
 	spec.Injection = &inj
+	spec.Deadline = deadline
 	if warm != nil {
 		spec.Golden = warm.golden
 		spec.From = warm.checkpointFor(inj.At)
 	}
 	out := workload.Run(prog, spec)
+	if out.Aborted {
+		return Record{}, errExperimentDeadline
+	}
 	if warm != nil {
 		warm.noteRun(spec.From, out)
 	}
@@ -285,5 +371,5 @@ func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm
 	rec.FirstDev = verdict.FirstDeviation
 	rec.StrongIts = verdict.StrongIterations
 	rec.MaxDev = verdict.MaxDeviation
-	return rec
+	return rec, nil
 }

@@ -52,6 +52,10 @@ type PrecisionResult struct {
 	// cumulative over every batch (the batches share one golden run
 	// and checkpoint cache); nil when the fast path was disabled.
 	WarmStart *WarmStartStats
+
+	// Faults accumulates worker fault isolation's interventions over
+	// every batch (see Result.Faults).
+	Faults FaultStats
 }
 
 // RunUntilPrecision runs batches of experiments, extending the seed per
@@ -107,6 +111,7 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 			if out.WarmStart != nil {
 				res.WarmStart = out.WarmStart
 			}
+			res.Faults.add(out.Faults)
 		}
 		if out != nil && len(out.Records) > 0 {
 			res.Records = append(res.Records, out.Records...)

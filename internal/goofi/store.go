@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+
+	"ctrlguard/internal/fsatomic"
 )
 
 // The original GOOFI logged every experiment to a SQL database; this
@@ -79,17 +82,13 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
-// SaveRecords writes records to path, creating or truncating it.
+// SaveRecords writes records to path via write-temp/fsync/rename, so a
+// crash mid-save can never leave a torn record file: readers see either
+// the previous complete file or the new one.
 func SaveRecords(path string, recs []Record) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("goofi: create %s: %w", path, err)
-	}
-	if err := WriteRecords(f, recs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		return WriteRecords(w, recs)
+	})
 }
 
 // LoadRecords reads records from path.
@@ -100,4 +99,117 @@ func LoadRecords(path string) ([]Record, error) {
 	}
 	defer f.Close()
 	return ReadRecords(f)
+}
+
+// appenderSyncEvery is how many appended records may ride in the OS
+// page cache before the appender fsyncs — the trade between fsync cost
+// and how many experiments a crash can force a resume to re-run.
+const appenderSyncEvery = 64
+
+// RecordAppender persists records incrementally, one JSON line per
+// completed experiment, so a crash mid-campaign leaves a salvageable
+// partial record file instead of nothing. Opening an existing file —
+// the resume path — salvages its intact records and truncates a
+// crash-torn final line, so appends always continue a well-formed
+// stream. Appends are flushed per record and fsync'd every
+// appenderSyncEvery records and on Close.
+type RecordAppender struct {
+	f       *os.File
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	unsynct int
+}
+
+// OpenRecordAppender opens path for incremental record persistence and
+// returns the appender together with the records salvaged from an
+// earlier, possibly crash-interrupted run (nil for a fresh file). A
+// torn final line is dropped and truncated away; corruption elsewhere
+// is a hard error.
+func OpenRecordAppender(path string) (*RecordAppender, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("goofi: open %s: %w", path, err)
+	}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("goofi: read %s: %w", path, err)
+	}
+	recs, err := ReadRecords(bytes.NewReader(b))
+	good := int64(len(b))
+	if err != nil {
+		var trunc *TruncatedError
+		if !errors.As(err, &trunc) {
+			f.Close()
+			return nil, nil, err
+		}
+		good = tornOffset(b)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("goofi: repair %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("goofi: seek %s: %w", path, err)
+	}
+	a := &RecordAppender{f: f, bw: bufio.NewWriter(f)}
+	a.enc = json.NewEncoder(a.bw)
+	return a, recs, nil
+}
+
+// tornOffset returns the byte offset at which a stream's final,
+// unparsable line begins — the truncation point that removes exactly
+// the torn tail (including any trailing blank lines after it).
+func tornOffset(b []byte) int64 {
+	end := len(b)
+	for end > 0 {
+		nl := bytes.LastIndexByte(b[:end], '\n')
+		if len(bytes.TrimSpace(b[nl+1:end])) > 0 {
+			return int64(nl + 1)
+		}
+		if nl < 0 {
+			break
+		}
+		end = nl
+	}
+	return 0
+}
+
+// Append writes one record and flushes it to the OS; every
+// appenderSyncEvery records the file is also fsync'd.
+func (a *RecordAppender) Append(rec Record) error {
+	if err := a.enc.Encode(&rec); err != nil {
+		return fmt.Errorf("goofi: append record: %w", err)
+	}
+	if err := a.bw.Flush(); err != nil {
+		return fmt.Errorf("goofi: flush record: %w", err)
+	}
+	a.unsynct++
+	if a.unsynct >= appenderSyncEvery {
+		a.unsynct = 0
+		if err := a.f.Sync(); err != nil {
+			return fmt.Errorf("goofi: fsync records: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the file.
+func (a *RecordAppender) Close() error {
+	if a.f == nil {
+		return nil
+	}
+	var first error
+	if err := a.bw.Flush(); err != nil {
+		first = err
+	}
+	if err := a.f.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := a.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	a.f = nil
+	return first
 }

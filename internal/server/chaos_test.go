@@ -1,0 +1,321 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ctrlguard/internal/goofi"
+)
+
+// The chaos suite turns the paper's discipline on the harness itself:
+// kill the campaign engine mid-run, sever its record file mid-write,
+// crash its workers mid-experiment — and demand the same answer an
+// undisturbed run produces. These tests exercise the full server stack
+// (HTTP submit, journal write-through, incremental persistence,
+// restart recovery) and are also run under -race in CI.
+
+const chaosSpec = `{"variant":"alg1","n":150,"seed":77,"workers":2}`
+
+// slowHook stretches every experiment by a few milliseconds so a test
+// can reliably interrupt a campaign mid-flight. The delay rides the
+// goofi chaos hook but injects no faults, so records are unchanged.
+func slowHook(d time.Duration) func(*goofi.Config) {
+	return func(cfg *goofi.Config) {
+		cfg.Chaos = func(id, attempt int) { time.Sleep(d) }
+	}
+}
+
+// waitForProgress polls until the campaign has completed at least min
+// experiments (and is still running), so a kill lands mid-campaign.
+func waitForProgress(t *testing.T, ts *httptest.Server, id string, min int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var v View
+		getJSON(t, ts.URL+"/api/v1/campaigns/"+id, &v)
+		if v.State.Terminal() {
+			t.Fatalf("campaign %s finished (%s) before it could be interrupted", id, v.State)
+		}
+		if v.Done >= min {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached %d done", id, min)
+}
+
+// metricsMap fetches /metrics and flattens the numeric fields.
+func metricsMap(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// cleanRecordFile runs the chaos spec to completion on an undisturbed
+// server and returns the bytes of its persisted record file — the
+// ground truth every recovery scenario must reproduce exactly.
+func cleanRecordFile(t *testing.T) []byte {
+	t.Helper()
+	dataDir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, DataDir: dataDir})
+	v := submit(t, ts, chaosSpec)
+	waitForState(t, ts, v.ID, StateDone, 2*time.Minute)
+	b, err := os.ReadFile(filepath.Join(dataDir, v.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestChaosCrashRestartResume is the headline recovery scenario:
+// SIGKILL (simulated) lands mid-campaign, the server restarts on the
+// same journal and data directory, re-enqueues the interrupted
+// campaign, resumes it from the salvaged records, and the final record
+// file is byte-identical to an uninterrupted run's.
+func TestChaosCrashRestartResume(t *testing.T) {
+	want := cleanRecordFile(t)
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+	before := func() map[string]float64 {
+		_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+		return metricsMap(t, ts)
+	}()
+
+	s1, ts1 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+		ConfigHook: slowHook(3 * time.Millisecond),
+	})
+	v := submit(t, ts1, chaosSpec)
+	waitForProgress(t, ts1, v.ID, 25)
+	s1.mgr.kill() // the process vanishes: no terminal journaling, no final rewrite
+
+	// The incremental record file survives with a partial prefix.
+	partial, err := goofi.LoadRecords(filepath.Join(dataDir, v.ID+".jsonl"))
+	var trunc *goofi.TruncatedError
+	if err != nil && !errors.As(err, &trunc) {
+		t.Fatalf("post-crash record file unreadable: %v", err)
+	}
+	if len(partial) == 0 || len(partial) >= 150 {
+		t.Fatalf("post-crash file has %d records, want a strict partial prefix", len(partial))
+	}
+
+	// Restart on the same state. The journal replay must re-enqueue the
+	// campaign and resume it to completion.
+	_, ts2 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+	})
+	var restored View
+	if code := getJSON(t, ts2.URL+"/api/v1/campaigns/"+v.ID, &restored); code != http.StatusOK {
+		t.Fatalf("restarted server lost campaign %s (status %d)", v.ID, code)
+	}
+	if !restored.Resumed {
+		t.Errorf("restored campaign not flagged resumed: %+v", restored)
+	}
+	waitForState(t, ts2, v.ID, StateDone, 2*time.Minute)
+
+	var final View
+	getJSON(t, ts2.URL+"/api/v1/campaigns/"+v.ID, &final)
+	if final.Done != 150 || final.Records != 150 {
+		t.Errorf("resumed campaign finished %d done / %d records, want 150", final.Done, final.Records)
+	}
+	if final.Faults.Resumed == 0 {
+		t.Errorf("resumed campaign reports zero reused experiments: %+v", final.Faults)
+	}
+	got, err := os.ReadFile(filepath.Join(dataDir, v.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("final record file differs from an uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	after := metricsMap(t, ts2)
+	if after["campaigns_resumed"] <= before["campaigns_resumed"] {
+		t.Errorf("campaigns_resumed did not advance: %v -> %v",
+			before["campaigns_resumed"], after["campaigns_resumed"])
+	}
+	if after["experiments_resumed"] <= before["experiments_resumed"] {
+		t.Errorf("experiments_resumed did not advance: %v -> %v",
+			before["experiments_resumed"], after["experiments_resumed"])
+	}
+}
+
+// TestChaosGracefulShutdownInterrupts is the SIGTERM path: a graceful
+// Close marks the running campaign interrupted (not failed, not
+// cancelled) so the journal keeps it alive, and a restart finishes it.
+func TestChaosGracefulShutdownInterrupts(t *testing.T) {
+	want := cleanRecordFile(t)
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+
+	s1, ts1 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+		ConfigHook: slowHook(3 * time.Millisecond),
+	})
+	v := submit(t, ts1, chaosSpec)
+	waitForProgress(t, ts1, v.ID, 10)
+	s1.Close() // graceful: campaign journaled as interrupted
+
+	c, err := s1.mgr.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Snapshot().State; st != StateInterrupted {
+		t.Fatalf("after graceful shutdown campaign is %s, want %s", st, StateInterrupted)
+	}
+
+	_, ts2 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+	})
+	waitForState(t, ts2, v.ID, StateDone, 2*time.Minute)
+	got, err := os.ReadFile(filepath.Join(dataDir, v.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("record file after interrupt+resume differs from clean run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestChaosNoResumeParksInterrupted: with NoResume, a restart replays
+// the journal (the job stays visible) but parks the interrupted
+// campaign instead of re-running it.
+func TestChaosNoResumeParksInterrupted(t *testing.T) {
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+	s1, ts1 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+		ConfigHook: slowHook(3 * time.Millisecond),
+	})
+	v := submit(t, ts1, chaosSpec)
+	waitForProgress(t, ts1, v.ID, 10)
+	s1.mgr.kill()
+
+	_, ts2 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir, NoResume: true,
+	})
+	var parked View
+	if code := getJSON(t, ts2.URL+"/api/v1/campaigns/"+v.ID, &parked); code != http.StatusOK {
+		t.Fatalf("no-resume server lost campaign %s (status %d)", v.ID, code)
+	}
+	if parked.State != StateInterrupted {
+		t.Errorf("no-resume restart left campaign %s, want %s", parked.State, StateInterrupted)
+	}
+}
+
+// TestChaosResumeDropsTornTail drives the TruncatedError path through
+// the whole server: the crash leaves half a JSON line at the end of the
+// record file, and recovery must drop exactly that torn tail, re-run
+// the lost experiment, and still converge to the clean result.
+func TestChaosResumeDropsTornTail(t *testing.T) {
+	want := cleanRecordFile(t)
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+
+	s1, ts1 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+		ConfigHook: slowHook(3 * time.Millisecond),
+	})
+	v := submit(t, ts1, chaosSpec)
+	waitForProgress(t, ts1, v.ID, 25)
+	s1.mgr.kill()
+
+	// The crash tore the final record in half.
+	path := filepath.Join(dataDir, v.ID+".jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, `{"id":9999,"variant":"alg1","reg`)
+	f.Close()
+
+	_, ts2 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
+	})
+	waitForState(t, ts2, v.ID, StateDone, 2*time.Minute)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("record file after torn-tail recovery differs from clean run (%d vs %d bytes)", len(got), len(want))
+	}
+	recs, err := goofi.LoadRecords(path)
+	if err != nil {
+		t.Fatalf("final record file not well-formed: %v", err)
+	}
+	if len(recs) != 150 {
+		t.Fatalf("%d records after recovery, want 150", len(recs))
+	}
+}
+
+// TestChaosWorkerFaultMetrics proves worker isolation end-to-end: every
+// experiment's first attempt panics and one experiment panics forever,
+// yet the campaign still finishes Done (never Failed), the abandoned
+// experiment is a distinct outcome, and the retry/panic/abandon
+// counters surface both on the campaign view and on /metrics.
+func TestChaosWorkerFaultMetrics(t *testing.T) {
+	const n, victim = 40, 13
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2,
+		ConfigHook: func(cfg *goofi.Config) {
+			cfg.RetryBackoff = time.Millisecond
+			cfg.Chaos = func(id, attempt int) {
+				if id == victim || attempt == 0 {
+					panic("chaos: worker crash")
+				}
+			}
+		},
+	})
+	before := metricsMap(t, ts)
+
+	v := submit(t, ts, fmt.Sprintf(`{"variant":"alg1","n":%d,"seed":9,"workers":2}`, n))
+	waitForTerminal(t, ts, v.ID, 2*time.Minute)
+
+	var final View
+	getJSON(t, ts.URL+"/api/v1/campaigns/"+v.ID, &final)
+	if final.State != StateDone {
+		t.Fatalf("campaign under worker chaos ended %s (%s), want %s", final.State, final.Error, StateDone)
+	}
+	// Everyone retries once; the victim burns its full retry budget.
+	wantRetried := (n - 1) + goofi.DefaultExperimentRetries
+	wantPanicked := (n - 1) + goofi.DefaultExperimentRetries + 1
+	if final.Faults.Retried != wantRetried || final.Faults.Panicked != wantPanicked || final.Faults.Abandoned != 1 {
+		t.Errorf("faults = %+v, want %d retried, %d panicked, 1 abandoned",
+			final.Faults, wantRetried, wantPanicked)
+	}
+	if final.Outcomes[goofi.OutcomeAbandoned] != 1 {
+		t.Errorf("outcomes = %v, want exactly 1 %q", final.Outcomes, goofi.OutcomeAbandoned)
+	}
+	if final.Done != n {
+		t.Errorf("done = %d, want %d", final.Done, n)
+	}
+
+	after := metricsMap(t, ts)
+	for metric, delta := range map[string]float64{
+		"experiments_retried":   float64(wantRetried),
+		"experiments_panicked":  float64(wantPanicked),
+		"experiments_abandoned": 1,
+	} {
+		if got := after[metric] - before[metric]; got < delta {
+			t.Errorf("%s advanced by %v, want at least %v", metric, got, delta)
+		}
+	}
+}

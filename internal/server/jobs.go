@@ -2,13 +2,18 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/journal"
 	"ctrlguard/internal/tune"
 )
 
@@ -27,6 +32,14 @@ const (
 // bounded job queue feeding a pool of campaign runners, each campaign
 // executing through goofi.RunContext with live progress fan-out and
 // JSONL persistence.
+//
+// The manager practices the paper's best-effort recovery on itself:
+// every job lifecycle transition is written through an fsync'd journal
+// before the server acknowledges it, each completed experiment is
+// appended to the campaign's record file as it happens, and a restarted
+// manager replays the journal, re-enqueues every interrupted campaign,
+// and resumes it from its persisted records — so a crash costs the tail
+// of the running campaign, never the queue.
 
 // State is a campaign's lifecycle stage.
 type State string
@@ -37,11 +50,17 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+
+	// StateInterrupted marks a campaign stopped by a shutdown rather
+	// than by its user: a graceful SIGTERM journals running and queued
+	// jobs as interrupted, and the next start re-enqueues and resumes
+	// them. It is terminal for this process's lifetime only.
+	StateInterrupted State = "interrupted"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final (for this process).
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateInterrupted
 }
 
 // Event is one progress update on a campaign's event stream.
@@ -63,20 +82,23 @@ type Campaign struct {
 	TuneSpec *tune.Spec // set when Kind == KindTune
 	Created  time.Time
 
-	mu       sync.Mutex
-	state    State
-	outcome  *tune.Outcome // tune jobs: the finished search
-	started  time.Time
-	finished time.Time
-	done     int
-	total    int
-	outcomes map[string]int
-	errMsg   string
-	records  []goofi.Record
-	dataPath string
-	cancel   context.CancelFunc
-	subs     map[chan Event]struct{}
-	doneCh   chan struct{} // closed on reaching a terminal state
+	mu         sync.Mutex
+	state      State
+	outcome    *tune.Outcome // tune jobs: the finished search
+	started    time.Time
+	finished   time.Time
+	done       int
+	total      int
+	outcomes   map[string]int
+	errMsg     string
+	records    []goofi.Record
+	dataPath   string
+	resumed    bool // re-enqueued by journal recovery after a restart
+	userCancel bool // cancelled via the API, as opposed to a shutdown
+	faults     goofi.FaultStats
+	cancel     context.CancelFunc
+	subs       map[chan Event]struct{}
+	doneCh     chan struct{} // closed on reaching a terminal state
 }
 
 // View is the JSON representation of a campaign's current state.
@@ -94,6 +116,8 @@ type View struct {
 	Outcomes    map[string]int     `json:"outcomes,omitempty"`
 	Records     int                `json:"records"`
 	RecordsPath string             `json:"recordsPath,omitempty"`
+	Resumed     bool               `json:"resumed,omitempty"`
+	Faults      goofi.FaultStats   `json:"faults,omitempty"`
 	Error       string             `json:"error,omitempty"`
 }
 
@@ -113,6 +137,8 @@ func (c *Campaign) Snapshot() View {
 		Outcomes:    copyCounts(c.outcomes),
 		Records:     len(c.records),
 		RecordsPath: c.dataPath,
+		Resumed:     c.resumed,
+		Faults:      c.faults,
 		Error:       c.errMsg,
 	}
 	if !c.started.IsZero() {
@@ -126,10 +152,19 @@ func (c *Campaign) Snapshot() View {
 	return v
 }
 
-// Records returns the campaign's completed experiment records.
+// Records returns the campaign's completed experiment records. For a
+// job restored from the journal after a restart, the records are loaded
+// lazily from its persisted JSONL file (tolerating a crash-torn tail).
 func (c *Campaign) Records() []goofi.Record {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.records == nil && c.dataPath != "" && c.Kind == KindCampaign {
+		recs, err := goofi.LoadRecords(c.dataPath)
+		var trunc *goofi.TruncatedError
+		if err == nil || errors.As(err, &trunc) {
+			c.records = recs
+		}
+	}
 	return append([]goofi.Record(nil), c.records...)
 }
 
@@ -196,6 +231,36 @@ var ErrQueueFull = errors.New("server: campaign queue is full")
 // ErrNotFound is returned for unknown campaign IDs.
 var ErrNotFound = errors.New("server: no such campaign")
 
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of campaigns executed concurrently (min 1).
+	Workers int
+	// QueueDepth bounds the number of campaigns waiting to run (min 1).
+	// Jobs re-enqueued by journal recovery do not count against it.
+	QueueDepth int
+	// DataDir, if set, receives each campaign's records as <id>.jsonl —
+	// appended experiment-by-experiment while the campaign runs (the
+	// crash-recovery source), atomically rewritten in experiment order
+	// when it finishes.
+	DataDir string
+	// JournalPath, if set, is the write-ahead journal of job lifecycle
+	// events. With a journal, a restarted manager re-enqueues and
+	// resumes every campaign that was queued, running, or interrupted.
+	JournalPath string
+	// NoResume replays the journal (finished jobs stay visible) but
+	// leaves interrupted jobs in StateInterrupted instead of re-running
+	// them.
+	NoResume bool
+	// Logger receives recovery and journal diagnostics (default
+	// log.Default).
+	Logger *log.Logger
+	// ConfigHook, if non-nil, is applied to every campaign's resolved
+	// goofi.Config just before execution. TEST-ONLY: the chaos harness
+	// uses it to inject worker panics, hangs, and timeouts; production
+	// configs leave it nil.
+	ConfigHook func(*goofi.Config)
+}
+
 // Manager owns the campaign queue and worker pool.
 type Manager struct {
 	queue   chan *Campaign
@@ -203,6 +268,11 @@ type Manager struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 	dataDir string
+	jnl     *journal.Journal
+	logger  *log.Logger
+	hook    func(*goofi.Config)
+	closing atomic.Bool // graceful shutdown: running jobs -> interrupted
+	killed  atomic.Bool // test-only crash: suppress journal/terminal writes
 
 	mu     sync.Mutex
 	jobs   map[string]*Campaign
@@ -210,46 +280,188 @@ type Manager struct {
 	nextID int
 }
 
-// NewManager starts a manager with the given number of concurrent
-// campaign runners (min 1), a bounded queue of queueDepth (min 1), and
-// an optional dataDir to which each finished campaign's records are
-// persisted as <id>.jsonl.
-func NewManager(workers, queueDepth int, dataDir string) *Manager {
-	if workers <= 0 {
-		workers = 1
+// NewManager starts a manager. When a journal is configured, the prior
+// process's jobs are replayed before the worker pool starts: finished
+// jobs become visible in their terminal states, and queued, running, or
+// interrupted jobs are re-enqueued (unless NoResume) to resume from
+// their persisted records.
+func NewManager(opts Options) (*Manager, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
 	}
-	if queueDepth <= 0 {
-		queueDepth = 1
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 1
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		queue:   make(chan *Campaign, queueDepth),
 		baseCtx: ctx,
 		stop:    cancel,
-		dataDir: dataDir,
+		dataDir: opts.DataDir,
+		logger:  opts.Logger,
+		hook:    opts.ConfigHook,
 		jobs:    make(map[string]*Campaign),
 	}
-	metricsInit(workers)
-	for i := 0; i < workers; i++ {
+	var pending []*Campaign
+	if opts.JournalPath != "" {
+		jnl, entries, err := journal.Open(opts.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.jnl = jnl
+		pending = m.restoreJobs(entries, !opts.NoResume)
+	}
+	// Recovered jobs ride along in the queue without eating into the
+	// configured depth for new submissions.
+	m.queue = make(chan *Campaign, opts.QueueDepth+len(pending))
+	metricsInit(opts.Workers)
+	for _, c := range pending {
+		m.queue <- c
+		m.appendJournal(journal.Entry{Job: c.ID, Type: journal.EventResumed, State: string(StateQueued)})
+		metrics.CampaignsQueued.Add(1)
+		metrics.CampaignsResumed.Add(1)
+		m.logger.Printf("campaign %s resumed from journal (%s, %d/%d done before restart)",
+			c.ID, c.Kind, c.done, c.total)
+	}
+	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.runner()
 	}
-	return m
+	return m, nil
 }
 
-// Close cancels running campaigns, stops the runners, and waits for
-// them to exit. Queued campaigns are marked cancelled.
+// restoreJobs folds replayed journal entries into the job table and
+// returns the campaigns to re-enqueue. Also compacts a journal that has
+// grown well past its folded size.
+func (m *Manager) restoreJobs(entries []journal.Entry, resume bool) []*Campaign {
+	statuses := journal.Reduce(entries)
+	if len(entries) > 2*len(statuses)+64 {
+		if err := m.jnl.Compact(statuses); err != nil {
+			m.logger.Printf("journal compaction failed (continuing): %v", err)
+		}
+	}
+	var pending []*Campaign
+	for _, s := range statuses {
+		c := &Campaign{
+			ID:       s.Job,
+			Kind:     Kind(s.Kind),
+			Created:  s.Submitted,
+			total:    s.Total,
+			done:     s.Done,
+			outcomes: map[string]int{},
+			subs:     make(map[chan Event]struct{}),
+			doneCh:   make(chan struct{}),
+		}
+		for k, v := range s.Outcomes {
+			c.outcomes[k] = v
+		}
+		if len(s.Spec) > 0 {
+			if err := json.Unmarshal(s.Spec, &c.Spec); err != nil {
+				m.logger.Printf("journal: job %s has an unreadable spec, dropping: %v", s.Job, err)
+				continue
+			}
+		}
+		if len(s.TuneSpec) > 0 {
+			c.TuneSpec = new(tune.Spec)
+			if err := json.Unmarshal(s.TuneSpec, c.TuneSpec); err != nil {
+				m.logger.Printf("journal: job %s has an unreadable tune spec, dropping: %v", s.Job, err)
+				continue
+			}
+		}
+		if m.dataDir != "" {
+			path := filepath.Join(m.dataDir, c.ID+".jsonl")
+			if _, err := os.Stat(path); err == nil {
+				c.dataPath = path
+			}
+		}
+		var num int
+		if _, err := fmt.Sscanf(c.ID, "c%d", &num); err == nil && num > m.nextID {
+			m.nextID = num
+		}
+
+		live := !s.Terminal || s.State == string(StateInterrupted)
+		switch {
+		case live && resume:
+			c.state = StateQueued
+			c.resumed = true
+			c.errMsg = ""
+			pending = append(pending, c)
+		case live:
+			c.state = StateInterrupted
+			c.errMsg = s.Error
+			c.finished = s.Finished
+			close(c.doneCh)
+		default:
+			c.state = State(s.State)
+			c.errMsg = s.Error
+			c.finished = s.Finished
+			close(c.doneCh)
+		}
+		m.jobs[c.ID] = c
+		m.order = append(m.order, c.ID)
+	}
+	return pending
+}
+
+// appendJournal writes a journal entry, if a journal is configured.
+// Journal failures degrade durability, not availability: they are
+// logged and the campaign proceeds.
+func (m *Manager) appendJournal(e journal.Entry) {
+	if m.jnl == nil || m.killed.Load() {
+		return
+	}
+	if err := m.jnl.Append(e); err != nil {
+		m.logger.Printf("journal append failed (job %s, %s): %v", e.Job, e.Type, err)
+	}
+}
+
+// journalTerminal records a campaign's terminal state.
+func (m *Manager) journalTerminal(c *Campaign) {
+	if m.jnl == nil {
+		return
+	}
+	v := c.Snapshot()
+	m.appendJournal(journal.Entry{
+		Job: c.ID, Type: journal.EventTerminal,
+		State: string(v.State), Done: v.Done, Total: v.Total,
+		Outcomes: v.Outcomes, Error: v.Error,
+	})
+}
+
+// Close gracefully stops the manager: running campaigns are cancelled
+// at the next experiment boundary and journaled as interrupted (so a
+// journal-backed restart resumes them), queued campaigns likewise, and
+// the runners are waited for.
 func (m *Manager) Close() {
+	m.closing.Store(true)
 	m.stop()
 	// Drain jobs still sitting in the queue so runners can exit.
 	for {
 		select {
 		case c := <-m.queue:
-			c.finalize(nil, context.Canceled, "")
+			m.finalize(c, nil, goofi.FaultStats{}, context.Canceled, c.Snapshot().RecordsPath)
 		default:
 			m.wg.Wait()
+			if m.jnl != nil {
+				m.jnl.Close()
+			}
 			return
 		}
+	}
+}
+
+// kill is the chaos harness's SIGKILL: stop the runners dead without
+// journaling terminal states or rewriting record files, exactly as if
+// the process had vanished. Test-only.
+func (m *Manager) kill() {
+	m.killed.Store(true)
+	m.stop()
+	m.wg.Wait()
+	if m.jnl != nil {
+		m.jnl.Close()
 	}
 }
 
@@ -295,20 +507,33 @@ func (m *Manager) SubmitTune(spec tune.Spec) (*Campaign, error) {
 	return m.enqueue(c)
 }
 
-// enqueue assigns an ID and queues a job under the manager lock.
+// enqueue assigns an ID, queues a job under the manager lock, and
+// journals the submission.
 func (m *Manager) enqueue(c *Campaign) (*Campaign, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	c.ID = fmt.Sprintf("c%06d", m.nextID+1)
 	select {
 	case m.queue <- c:
 	default:
+		m.mu.Unlock()
 		return nil, ErrQueueFull // shed without consuming an ID
 	}
 	m.nextID++
 	m.jobs[c.ID] = c
 	m.order = append(m.order, c.ID)
+	m.mu.Unlock()
 	metrics.CampaignsQueued.Add(1)
+
+	e := journal.Entry{
+		Job: c.ID, Type: journal.EventSubmitted,
+		Kind: string(c.Kind), State: string(StateQueued), Total: c.total,
+	}
+	if c.Kind == KindTune {
+		e.TuneSpec, _ = json.Marshal(c.TuneSpec)
+	} else {
+		e.Spec, _ = json.Marshal(c.Spec)
+	}
+	m.appendJournal(e)
 	return c, nil
 }
 
@@ -342,20 +567,25 @@ func (m *Manager) Cancel(id string) (bool, error) {
 		return false, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	switch {
 	case c.state.Terminal():
+		c.mu.Unlock()
 		return false, nil
 	case c.cancel != nil: // running: stop at the next experiment boundary
+		c.userCancel = true
 		c.cancel()
+		c.mu.Unlock()
 		return true, nil
 	default: // still queued: mark dead; the runner discards it
+		c.userCancel = true
 		c.state = StateCancelled
 		c.finished = time.Now()
 		metrics.CampaignsQueued.Add(-1)
 		metrics.CampaignsCancelled.Add(1)
 		c.broadcastLocked(c.eventLocked(string(StateCancelled)))
 		close(c.doneCh)
+		c.mu.Unlock()
+		m.journalTerminal(c)
 		return true, nil
 	}
 }
@@ -373,6 +603,11 @@ func (m *Manager) runner() {
 	}
 }
 
+// journalProgressEvery throttles progress journaling: resume
+// correctness comes from the per-record JSONL appends, so the journal
+// only needs a coarse progress trail.
+const journalProgressEvery = 2 * time.Second
+
 // execute runs one campaign to completion (or cancellation).
 func (m *Manager) execute(c *Campaign) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
@@ -385,7 +620,12 @@ func (m *Manager) execute(c *Campaign) {
 	}
 	c.state = StateRunning
 	c.started = time.Now()
+	// A resumed campaign re-counts progress from its salvaged records;
+	// the journal's coarse counts are superseded.
+	c.done = 0
+	c.outcomes = make(map[string]int)
 	c.cancel = cancel
+	resumed := c.resumed
 	c.broadcastLocked(c.eventLocked("progress"))
 	c.mu.Unlock()
 	metrics.CampaignsQueued.Add(-1)
@@ -393,6 +633,7 @@ func (m *Manager) execute(c *Campaign) {
 	metrics.BusyWorkers.Add(1)
 	defer metrics.CampaignsRunning.Add(-1)
 	defer metrics.BusyWorkers.Add(-1)
+	m.appendJournal(journal.Entry{Job: c.ID, Type: journal.EventStarted, State: string(StateRunning)})
 
 	if c.Kind == KindTune {
 		m.runTune(ctx, c)
@@ -401,19 +642,70 @@ func (m *Manager) execute(c *Campaign) {
 
 	cfg, err := c.Spec.Resolve()
 	if err != nil { // validated at Submit; only a programming error lands here
-		c.finalize(nil, err, "")
+		m.finalize(c, nil, goofi.FaultStats{}, err, "")
 		return
 	}
-	cfg.OnRecord = func(rec goofi.Record) {
-		metrics.ExperimentsTotal.Add(1)
+	if m.hook != nil {
+		m.hook(&cfg)
+	}
+
+	// Incremental persistence: each record is appended to <id>.jsonl as
+	// it completes, so a crash leaves a salvageable partial file. On
+	// resume the salvaged records seed goofi's Resume path; sequential
+	// (precision-driven) campaigns restart from scratch because their
+	// per-batch experiment IDs are not stable across runs.
+	path := ""
+	var app *goofi.RecordAppender
+	if m.dataDir != "" {
+		path = filepath.Join(m.dataDir, c.ID+".jsonl")
+		if !resumed || c.Spec.Sequential() {
+			os.Remove(path) // stale file from an unjournaled earlier run
+		}
+		var salvaged []goofi.Record
+		app, salvaged, err = goofi.OpenRecordAppender(path)
+		if err != nil {
+			m.logger.Printf("campaign %s: incremental record file unavailable: %v", c.ID, err)
+			app = nil
+		} else if resumed && !c.Spec.Sequential() {
+			cfg.Resume = salvaged
+		}
+	}
+
+	var lastJournal time.Time
+	noteProgress := func(rec goofi.Record) {
 		c.mu.Lock()
 		c.done++
 		c.outcomes[rec.Outcome]++
+		done, total := c.done, c.total
+		outcomes := copyCounts(c.outcomes)
 		c.broadcastLocked(c.eventLocked("progress"))
 		c.mu.Unlock()
+		if time.Since(lastJournal) >= journalProgressEvery {
+			lastJournal = time.Now()
+			m.appendJournal(journal.Entry{Job: c.ID, Type: journal.EventProgress,
+				Done: done, Total: total, Outcomes: outcomes})
+		}
+	}
+	cfg.OnResume = func(recs []goofi.Record) {
+		metrics.ExperimentsResumed.Add(int64(len(recs)))
+		for _, rec := range recs {
+			noteProgress(rec)
+		}
+	}
+	cfg.OnRecord = func(rec goofi.Record) {
+		metrics.ExperimentsTotal.Add(1)
+		if app != nil {
+			if err := app.Append(rec); err != nil {
+				m.logger.Printf("campaign %s: record append failed: %v", c.ID, err)
+				app.Close()
+				app = nil
+			}
+		}
+		noteProgress(rec)
 	}
 
 	var recs []goofi.Record
+	var faults goofi.FaultStats
 	var runErr error
 	if c.Spec.Sequential() {
 		res, err := goofi.RunUntilPrecisionContext(ctx, goofi.PrecisionConfig{
@@ -423,27 +715,35 @@ func (m *Manager) execute(c *Campaign) {
 		})
 		if res != nil {
 			recs = res.Records
+			faults = res.Faults
 		}
 		runErr = err
 	} else {
 		res, err := goofi.RunContext(ctx, cfg)
 		if res != nil {
 			recs = res.Records
+			faults = res.Faults
 		}
 		runErr = err
 	}
 
-	path := ""
-	if m.dataDir != "" && len(recs) > 0 {
-		path = filepath.Join(m.dataDir, c.ID+".jsonl")
+	if app != nil {
+		app.Close()
+	}
+	// Final rewrite: the same records, atomically replacing the
+	// unordered incremental file with the experiment-ordered one. A
+	// chaos kill skips this, exactly like a real SIGKILL would.
+	if path != "" && len(recs) > 0 && !m.killed.Load() {
 		if err := goofi.SaveRecords(path, recs); err != nil {
 			path = ""
 			if runErr == nil {
 				runErr = err
 			}
 		}
+	} else if len(recs) == 0 {
+		path = ""
 	}
-	c.finalize(recs, runErr, path)
+	m.finalize(c, recs, faults, runErr, path)
 }
 
 // runTune executes a tuning job: the full design-space search, with
@@ -470,7 +770,7 @@ func (m *Manager) runTune(ctx context.Context, c *Campaign) {
 	c.mu.Lock()
 	c.outcome = outcome
 	c.mu.Unlock()
-	c.finalize(nil, err, path)
+	m.finalize(c, nil, goofi.FaultStats{}, err, path)
 }
 
 // Outcome returns a tune job's finished search, or nil while the
@@ -481,22 +781,30 @@ func (c *Campaign) Outcome() *tune.Outcome {
 	return c.outcome
 }
 
-// finalize records the campaign's terminal state and notifies
-// subscribers.
-func (c *Campaign) finalize(recs []goofi.Record, err error, dataPath string) {
+// finalize records the campaign's terminal state, notifies subscribers,
+// and journals the transition. A cancellation during graceful shutdown
+// lands in StateInterrupted — the journal keeps the job alive for the
+// next start — while a user cancellation is final.
+func (m *Manager) finalize(c *Campaign, recs []goofi.Record, faults goofi.FaultStats, err error, dataPath string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.state.Terminal() {
+		c.mu.Unlock()
 		return
 	}
 	wasQueued := c.state == StateQueued
 	c.records = recs
 	c.dataPath = dataPath
+	c.faults = faults
 	c.finished = time.Now()
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		c.state = StateCancelled
-		metrics.CampaignsCancelled.Add(1)
+		if m.closing.Load() && !c.userCancel {
+			c.state = StateInterrupted
+			metrics.CampaignsInterrupted.Add(1)
+		} else {
+			c.state = StateCancelled
+			metrics.CampaignsCancelled.Add(1)
+		}
 	case err != nil:
 		c.state = StateFailed
 		c.errMsg = err.Error()
@@ -510,4 +818,10 @@ func (c *Campaign) finalize(recs []goofi.Record, err error, dataPath string) {
 	}
 	c.broadcastLocked(c.eventLocked(string(c.state)))
 	close(c.doneCh)
+	c.mu.Unlock()
+
+	metrics.ExperimentsRetried.Add(int64(faults.Retried))
+	metrics.ExperimentsPanicked.Add(int64(faults.Panicked))
+	metrics.ExperimentsAbandoned.Add(int64(faults.Abandoned))
+	m.journalTerminal(c)
 }

@@ -11,14 +11,20 @@ import (
 // servers may exist in one process under test). Queued/Running/Busy
 // are gauges; the rest are monotonic counters.
 var metrics struct {
-	CampaignsQueued    expvar.Int
-	CampaignsRunning   expvar.Int
-	CampaignsDone      expvar.Int
-	CampaignsFailed    expvar.Int
-	CampaignsCancelled expvar.Int
-	ExperimentsTotal   expvar.Int
-	BusyWorkers        expvar.Int
-	TotalWorkers       expvar.Int
+	CampaignsQueued      expvar.Int
+	CampaignsRunning     expvar.Int
+	CampaignsDone        expvar.Int
+	CampaignsFailed      expvar.Int
+	CampaignsCancelled   expvar.Int
+	CampaignsInterrupted expvar.Int
+	CampaignsResumed     expvar.Int
+	ExperimentsTotal     expvar.Int
+	ExperimentsRetried   expvar.Int
+	ExperimentsPanicked  expvar.Int
+	ExperimentsAbandoned expvar.Int
+	ExperimentsResumed   expvar.Int
+	BusyWorkers          expvar.Int
+	TotalWorkers         expvar.Int
 
 	start time.Time
 	once  sync.Once
@@ -36,7 +42,13 @@ func metricsInit(workers int) {
 		m.Set("campaigns_done", &metrics.CampaignsDone)
 		m.Set("campaigns_failed", &metrics.CampaignsFailed)
 		m.Set("campaigns_cancelled", &metrics.CampaignsCancelled)
+		m.Set("campaigns_interrupted", &metrics.CampaignsInterrupted)
+		m.Set("campaigns_resumed", &metrics.CampaignsResumed)
 		m.Set("experiments_total", &metrics.ExperimentsTotal)
+		m.Set("experiments_retried", &metrics.ExperimentsRetried)
+		m.Set("experiments_panicked", &metrics.ExperimentsPanicked)
+		m.Set("experiments_abandoned", &metrics.ExperimentsAbandoned)
+		m.Set("experiments_resumed", &metrics.ExperimentsResumed)
 		m.Set("campaign_workers", &metrics.TotalWorkers)
 		m.Set("campaign_workers_busy", &metrics.BusyWorkers)
 		m.Set("experiments_per_sec", expvar.Func(func() any {

@@ -25,7 +25,11 @@ import (
 	"context"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
+
+	"ctrlguard/internal/goofi"
 )
 
 // Config configures a Server.
@@ -43,12 +47,28 @@ type Config struct {
 	QueueDepth int
 
 	// DataDir, if set, receives each campaign's records as
-	// <id>.jsonl through the goofi JSONL store.
+	// <id>.jsonl through the goofi JSONL store — appended live while
+	// the campaign runs, rewritten atomically when it finishes.
 	DataDir string
+
+	// JournalDir, if set, holds journal.wal — the fsync'd write-ahead
+	// journal of job lifecycle events. A journal-backed server replays
+	// it on start and resumes every campaign a crash or shutdown
+	// interrupted.
+	JournalDir string
+
+	// NoResume keeps journal replay (finished jobs stay listed) but
+	// leaves interrupted campaigns parked instead of re-running them.
+	NoResume bool
 
 	// Logger receives request and lifecycle logs (default
 	// log.Default).
 	Logger *log.Logger
+
+	// ConfigHook is applied to every campaign's resolved goofi.Config
+	// just before it runs. TEST-ONLY: the chaos harness injects worker
+	// panics and hangs through it; leave nil in production.
+	ConfigHook func(*goofi.Config)
 }
 
 // Server is the ctrlguardd HTTP service.
@@ -59,8 +79,10 @@ type Server struct {
 	log *log.Logger
 }
 
-// New builds a Server and starts its campaign worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its campaign worker pool. With a
+// JournalDir, the prior process's journal is replayed first and
+// interrupted campaigns are re-enqueued to resume.
+func New(cfg Config) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8077"
 	}
@@ -73,14 +95,33 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
+	journalPath := ""
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, err
+		}
+		journalPath = filepath.Join(cfg.JournalDir, "journal.wal")
+	}
+	mgr, err := NewManager(Options{
+		Workers:     cfg.Workers,
+		QueueDepth:  cfg.QueueDepth,
+		DataDir:     cfg.DataDir,
+		JournalPath: journalPath,
+		NoResume:    cfg.NoResume,
+		Logger:      cfg.Logger,
+		ConfigHook:  cfg.ConfigHook,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg: cfg,
-		mgr: NewManager(cfg.Workers, cfg.QueueDepth, cfg.DataDir),
+		mgr: mgr,
 		mux: http.NewServeMux(),
 		log: cfg.Logger,
 	}
 	s.routes()
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -104,12 +145,15 @@ func (s *Server) routes() {
 // Handler returns the service's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool, cancelling any running campaigns.
+// Close stops the worker pool gracefully: running and queued campaigns
+// are journaled as interrupted so a journal-backed restart resumes
+// them from their persisted records.
 func (s *Server) Close() { s.mgr.Close() }
 
 // ListenAndServe serves until ctx is cancelled, then shuts down
 // gracefully: in-flight requests get a drain window while running
-// campaigns are cancelled at their next experiment boundary.
+// campaigns stop at their next experiment boundary and are journaled
+// as interrupted for the next start to resume.
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	srv := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
 	errCh := make(chan error, 1)

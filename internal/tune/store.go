@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"ctrlguard/internal/fsatomic"
 )
 
 // Tuning results persist as JSON lines, one configuration per line —
@@ -49,17 +51,12 @@ func ReadResults(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
-// SaveResults writes results to path, creating or truncating it.
+// SaveResults writes results to path via write-temp/fsync/rename, so a
+// crash mid-save can never leave a torn result file behind.
 func SaveResults(path string, rs []Result) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("tune: create %s: %w", path, err)
-	}
-	if err := WriteResults(f, rs); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		return WriteResults(w, rs)
+	})
 }
 
 // LoadResults reads results from path.

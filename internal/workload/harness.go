@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"time"
 
 	"ctrlguard/internal/cpu"
 	"ctrlguard/internal/plant"
@@ -65,6 +66,14 @@ type RunSpec struct {
 	// Outcome is returned with Aborted set. Used to cancel detail-mode
 	// traces, which are far slower than ordinary runs.
 	Abort func() bool
+
+	// Deadline, if non-zero, bounds the run's wall-clock time: once it
+	// passes, the run stops at the next iteration boundary with Aborted
+	// and DeadlineExceeded set. A single wedged iteration is already
+	// bounded by the cycle-budget watchdog, so boundary checks bound the
+	// whole run. Used by the campaign engine's worker fault isolation
+	// to abandon hung experiments instead of wedging a worker.
+	Deadline time.Time
 
 	// From, if non-nil, resumes the run from a checkpoint instead of
 	// executing the pre-checkpoint iterations. It is purely an
@@ -133,9 +142,13 @@ type Outcome struct {
 	// precise point of a chosen control iteration.
 	IterationStarts []uint64
 
-	// Aborted reports that RunSpec.Abort stopped the run early; the
-	// outcome then covers only the completed iterations.
+	// Aborted reports that RunSpec.Abort or RunSpec.Deadline stopped the
+	// run early; the outcome then covers only the completed iterations.
 	Aborted bool
+
+	// DeadlineExceeded reports that the abort was RunSpec.Deadline
+	// expiring rather than the Abort callback.
+	DeadlineExceeded bool
 
 	// StateHashes holds the machine-state digest at the start of each
 	// iteration; populated only when RunSpec.RecordStateHashes is set.
@@ -346,6 +359,13 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 	for k := startK; k < spec.Iterations; k++ {
 		if spec.Abort != nil && spec.Abort() {
 			out.Aborted = true
+			out.Instructions = vm.InstrCount()
+			out.finish(env)
+			return out, nil
+		}
+		if !spec.Deadline.IsZero() && time.Now().After(spec.Deadline) {
+			out.Aborted = true
+			out.DeadlineExceeded = true
 			out.Instructions = vm.InstrCount()
 			out.finish(env)
 			return out, nil

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"testing"
+	"time"
 
 	"ctrlguard/internal/classify"
 	"ctrlguard/internal/control"
@@ -281,5 +282,33 @@ func TestOutcomeDetectedAccessor(t *testing.T) {
 	o.Trap = &cpu.TrapError{Mech: cpu.MechAddressError}
 	if !o.Detected() {
 		t.Error("outcome with trap should be detected")
+	}
+}
+
+// TestDeadlineAbortsRun checks the per-run deadline used by the
+// campaign engine's worker fault isolation: an expired deadline stops
+// the run at an iteration boundary with Aborted + DeadlineExceeded,
+// while a generous one changes nothing.
+func TestDeadlineAbortsRun(t *testing.T) {
+	prog := Program(AlgorithmI)
+
+	spec := PaperRunSpec()
+	spec.Deadline = time.Now().Add(-time.Second)
+	out := Run(prog, spec)
+	if !out.Aborted || !out.DeadlineExceeded {
+		t.Fatalf("expired deadline: Aborted=%v DeadlineExceeded=%v, want both", out.Aborted, out.DeadlineExceeded)
+	}
+	if len(out.Outputs) != 0 {
+		t.Errorf("expired deadline completed %d iterations, want 0", len(out.Outputs))
+	}
+
+	spec = PaperRunSpec()
+	spec.Deadline = time.Now().Add(time.Hour)
+	out = Run(prog, spec)
+	if out.Aborted || out.DeadlineExceeded {
+		t.Fatalf("generous deadline aborted the run: %+v", out)
+	}
+	if len(out.Outputs) != spec.Iterations {
+		t.Errorf("completed %d iterations, want %d", len(out.Outputs), spec.Iterations)
 	}
 }
