@@ -203,11 +203,13 @@ func BenchmarkFig10AssertionMiss(b *testing.B) {
 
 // The warm/full pair measures the same campaign with the checkpoint
 // fast path on and off; their ratio is the speedup the CI bench gate
-// asserts on (cmd/benchgate -speedup). One op = one whole campaign, so
-// run these with -benchtime=1x.
+// asserts on (cmd/benchgate -speedup). Both disable the fault-space
+// pruner so the pair keeps measuring checkpointing alone; the pruned
+// benchmark below layers the pruner back on top of the warm start. One
+// op = one whole campaign, so run these with -benchtime=1x.
 const fastPathExperiments = 300
 
-func benchWholeCampaign(b *testing.B, disableWarmStart bool) {
+func benchWholeCampaign(b *testing.B, disableWarmStart, disablePrune bool) {
 	var res *goofi.Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -216,6 +218,7 @@ func benchWholeCampaign(b *testing.B, disableWarmStart bool) {
 			Experiments:      fastPathExperiments,
 			Seed:             2001,
 			DisableWarmStart: disableWarmStart,
+			DisablePrune:     disablePrune,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -227,14 +230,28 @@ func benchWholeCampaign(b *testing.B, disableWarmStart bool) {
 		b.ReportMetric(float64(ws.EarlyExits), "early_exits")
 		b.ReportMetric(float64(ws.Checkpoints), "checkpoints")
 	}
+	if p := res.Prune; p != nil {
+		b.ReportMetric(float64(p.Simulated), "simulated")
+		b.ReportMetric(float64(p.PrunedDead), "pruned_dead")
+		b.ReportMetric(float64(p.Collapsed), "collapsed")
+		b.ReportMetric(float64(p.Classes), "classes")
+	}
 }
 
 func BenchmarkCampaignWarmStart(b *testing.B) {
-	benchWholeCampaign(b, false)
+	benchWholeCampaign(b, false, true)
 }
 
 func BenchmarkCampaignFullReplay(b *testing.B) {
-	benchWholeCampaign(b, true)
+	benchWholeCampaign(b, true, true)
+}
+
+// BenchmarkCampaignPruned is the production default: warm start plus
+// fault-space pruning. The CI gate asserts its speedup over
+// BenchmarkCampaignWarmStart — the pruner's contribution on top of the
+// checkpoint fast path.
+func BenchmarkCampaignPruned(b *testing.B) {
+	benchWholeCampaign(b, false, false)
 }
 
 // --- Tables 2, 3, 4: the fault-injection campaigns ---

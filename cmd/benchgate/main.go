@@ -2,7 +2,8 @@
 // two `go test -bench` output files (base branch vs PR), fails when a
 // gated benchmark regresses beyond the budget, optionally asserts a
 // minimum speedup between two benchmarks of the PR run, and writes a
-// machine-readable JSON report.
+// machine-readable JSON report. -speedup accepts several
+// comma-separated assertions.
 //
 // Usage:
 //
@@ -10,7 +11,7 @@
 //	go run ./cmd/benchgate -base base.txt -pr pr.txt \
 //	    -gate '^BenchmarkCampaign|^BenchmarkTraceReplay' \
 //	    -max-regression 0.20 \
-//	    -speedup 'BenchmarkCampaignFullReplay/BenchmarkCampaignWarmStart=2.0' \
+//	    -speedup 'BenchmarkCampaignFullReplay/BenchmarkCampaignWarmStart=2.0,BenchmarkCampaignWarmStart/BenchmarkCampaignPruned=2.0' \
 //	    -json BENCH_pr.json
 package main
 
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"strings"
 
 	"ctrlguard/internal/benchcmp"
 )
@@ -45,7 +47,7 @@ func main() {
 		prFile        = flag.String("pr", "", "bench output of the PR branch (required)")
 		gateExpr      = flag.String("gate", `^BenchmarkCampaign|^BenchmarkTraceReplay`, "regexp selecting benchmarks the regression gate applies to")
 		maxRegression = flag.Float64("max-regression", 0.20, "fail when a gated benchmark is more than this fraction slower than base")
-		speedupSpec   = flag.String("speedup", "", "assert a minimum ratio within the PR run, e.g. BenchmarkSlow/BenchmarkFast=2.0")
+		speedupSpec   = flag.String("speedup", "", "assert minimum ratios within the PR run, comma-separated, e.g. BenchmarkSlow/BenchmarkFast=2.0")
 		jsonOut       = flag.String("json", "", "write a JSON report to this file")
 	)
 	flag.Parse()
@@ -103,19 +105,25 @@ func main() {
 	}
 
 	if *speedupSpec != "" {
-		spec, err := benchcmp.ParseSpeedup(*speedupSpec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-			os.Exit(2)
-		}
-		ratio, err := benchcmp.CheckSpeedup(pr, spec)
-		sr := speedupResult{Spec: *speedupSpec, Ratio: ratio, Pass: err == nil}
-		rep.Speedups = append(rep.Speedups, sr)
-		if err != nil {
-			rep.Pass = false
-			fmt.Printf("FAIL: %v\n", err)
-		} else {
-			fmt.Printf("speedup %s: measured %.2fx\n", *speedupSpec, ratio)
+		for _, one := range strings.Split(*speedupSpec, ",") {
+			one = strings.TrimSpace(one)
+			if one == "" {
+				continue
+			}
+			spec, err := benchcmp.ParseSpeedup(one)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+				os.Exit(2)
+			}
+			ratio, err := benchcmp.CheckSpeedup(pr, spec)
+			sr := speedupResult{Spec: one, Ratio: ratio, Pass: err == nil}
+			rep.Speedups = append(rep.Speedups, sr)
+			if err != nil {
+				rep.Pass = false
+				fmt.Printf("FAIL: %v\n", err)
+			} else {
+				fmt.Printf("speedup %s: measured %.2fx\n", one, ratio)
+			}
 		}
 	}
 

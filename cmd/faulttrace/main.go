@@ -14,6 +14,10 @@
 //	faulttrace show f7.trace
 //	    print a trace's header, causal chain, and event iterations
 //
+//	faulttrace show -defuse -variant alg1
+//	    print the workload's disassembly annotated with each
+//	    instruction's def/use sets (the fault-space pruner's tables)
+//
 //	faulttrace diff -fault line0.data0:28:300 -a alg1 -b alg2
 //	    capture the same fault under two variants and compare their
 //	    causal chains (the paper's Algorithm I vs II argument)
@@ -75,6 +79,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   faulttrace capture -variant V (-fault element:bit:iteration | -exp N -seed S -n COUNT) [-o FILE]
   faulttrace show FILE
+  faulttrace show -defuse [-variant V]
   faulttrace diff (-fault element:bit:iteration [-a V1] [-b V2] | FILE1 FILE2)
   faulttrace svg FILE [-o FILE]`)
 }
@@ -180,10 +185,23 @@ func loadTrace(path string) (*trace.Trace, error) {
 }
 
 func runShow(args []string) error {
-	if len(args) != 1 {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	defuse := fs.Bool("defuse", false, "print the workload's disassembly annotated with per-instruction def/use sets (the pruner's static tables) instead of a trace")
+	variant := fs.String("variant", "", "workload variant (with -defuse; default alg1)")
+	fs.Parse(args)
+
+	if *defuse {
+		v, err := resolveVariant(0, *variant)
+		if err != nil {
+			return err
+		}
+		fmt.Print(workload.Program(v).DisassembleDefUse())
+		return nil
+	}
+	if fs.NArg() != 1 {
 		return fmt.Errorf("show needs exactly one trace file")
 	}
-	tr, err := loadTrace(args[0])
+	tr, err := loadTrace(fs.Arg(0))
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,7 @@ func main() {
 		disasm    = flag.Bool("disasm", false, "print the workload's disassembly and exit")
 		mark      = flag.Bool("markdown", false, "with -compare: emit a markdown report instead of tables")
 		precision = flag.Float64("precision", 0, "run batches until the severe-rate 95% CI half-width is below this (e.g. 0.001)")
+		noPrune   = flag.Bool("no-prune", false, "disable fault-space pruning; simulate every injection")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	spec := goofi.CampaignSpec{
 		Alg: *alg, Variant: *variant, Experiments: *n,
 		Seed: *seed, Workers: *workers, Precision: *precision,
+		DisablePrune: *noPrune,
 	}
 	// Cancel on SIGINT so a long campaign still flushes the records
 	// completed so far.
@@ -67,7 +69,7 @@ func main() {
 	if err == nil && spec.Sequential() {
 		err = runPrecision(ctx, cfg, *precision)
 	} else if err == nil {
-		err = run(ctx, cfg.Variant, *n, *n2, *seed, *workers, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *quiet)
+		err = run(ctx, cfg.Variant, *n, *n2, *seed, *workers, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *noPrune, *quiet)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goofi:", err)
@@ -76,7 +78,7 @@ func main() {
 }
 
 func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, workers int, out string,
-	compare, swifi bool, analyze, trace string, disasm, markdown, quiet bool) error {
+	compare, swifi bool, analyze, trace string, disasm, markdown, noPrune, quiet bool) error {
 	switch {
 	case disasm:
 		fmt.Print(workload.Program(v).Disassemble())
@@ -86,7 +88,7 @@ func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, worker
 	case trace != "":
 		return runTrace(v, trace)
 	case compare:
-		return runCompare(ctx, n, n2, seed, workers, markdown, quiet)
+		return runCompare(ctx, n, n2, seed, workers, markdown, noPrune, quiet)
 	}
 
 	var (
@@ -96,7 +98,7 @@ func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, worker
 	if swifi {
 		res, err = goofi.RunSWIFI(goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers})
 	} else {
-		res, err = campaign(ctx, v, n, seed, workers, quiet)
+		res, err = campaign(ctx, v, n, seed, workers, noPrune, quiet)
 	}
 	interrupted := errors.Is(err, context.Canceled) && res != nil
 	if err != nil && !interrupted {
@@ -149,6 +151,10 @@ func runPrecision(ctx context.Context, cfg goofi.Config, target float64) error {
 		return err
 	}
 	fmt.Printf("experiments: %d in %d batches (converged: %v)\n", res.Experiments, res.Batches, res.Converged)
+	if p := res.Prune; p != nil {
+		fmt.Printf("pruning: %d planned, %d simulated, %d pruned dead, %d collapsed into %d classes\n",
+			p.Planned, p.Simulated, p.PrunedDead, p.Collapsed, p.Classes)
+	}
 	fmt.Printf("severe rate: %s (half-width %.4f%%)\n", res.Estimate, res.HalfWidth*100)
 	a := goofi.Analyze(res.Records)
 	fmt.Println(a.Summary())
@@ -215,12 +221,12 @@ func runTrace(v workload.Variant, spec string) error {
 	return nil
 }
 
-func runCompare(ctx context.Context, n, n2 int, seed uint64, workers int, markdown, quiet bool) error {
-	r1, err := campaign(ctx, workload.AlgorithmI, n, seed, workers, quiet)
+func runCompare(ctx context.Context, n, n2 int, seed uint64, workers int, markdown, noPrune, quiet bool) error {
+	r1, err := campaign(ctx, workload.AlgorithmI, n, seed, workers, noPrune, quiet)
 	if err != nil {
 		return err
 	}
-	r2, err := campaign(ctx, workload.AlgorithmII, n2, seed+1, workers, quiet)
+	r2, err := campaign(ctx, workload.AlgorithmII, n2, seed+1, workers, noPrune, quiet)
 	if err != nil {
 		return err
 	}
@@ -240,8 +246,8 @@ func runCompare(ctx context.Context, n, n2 int, seed uint64, workers int, markdo
 	return nil
 }
 
-func campaign(ctx context.Context, v workload.Variant, n int, seed uint64, workers int, quiet bool) (*goofi.Result, error) {
-	cfg := goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers}
+func campaign(ctx context.Context, v workload.Variant, n int, seed uint64, workers int, noPrune, quiet bool) (*goofi.Result, error) {
+	cfg := goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers, DisablePrune: noPrune}
 	if !quiet {
 		cfg.Progress = func(done, total int) {
 			if done%500 == 0 || done == total {
@@ -252,7 +258,13 @@ func campaign(ctx context.Context, v workload.Variant, n int, seed uint64, worke
 			}
 		}
 	}
-	return goofi.RunContext(ctx, cfg)
+	res, err := goofi.RunContext(ctx, cfg)
+	if res != nil && res.Prune != nil && !quiet {
+		p := res.Prune
+		fmt.Fprintf(os.Stderr, "%s: pruning: %d planned, %d simulated, %d pruned dead, %d collapsed into %d classes\n",
+			v, p.Planned, p.Simulated, p.PrunedDead, p.Collapsed, p.Classes)
+	}
+	return res, err
 }
 
 func tableFor(v workload.Variant) string {

@@ -1,0 +1,153 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Static def/use summaries of the instruction set, the ground truth the
+// fault-space pruner's liveness analysis is built on. The tables mirror
+// CPU.Step exactly: a location is a "use" when its pre-instruction value
+// can influence the instruction's behaviour (result, flags, trap, or
+// memory traffic), and a "def" when the instruction overwrites it at
+// full width regardless of its prior value.
+//
+// Two architectural reads are implicit and NOT in the tables:
+//
+//   - The PC is read by every instruction fetch and written by every
+//     completion, so the first use of a PC fault is always the faulted
+//     instruction itself.
+//   - The stack pointer (r14) is read by the storage check, but only
+//     when a load or store actually targets the stack segment. The
+//     address depends on runtime register values, so the dynamic
+//     analyzer adds that use per executed instruction.
+
+// MemMode classifies an instruction's data-memory behaviour.
+type MemMode uint8
+
+// Memory access modes.
+const (
+	MemNone MemMode = iota
+	MemLoad
+	MemStore
+)
+
+// Flag bit positions in DefUse.UseFlags / DefUse.DefFlags.
+const (
+	FlagMaskZ  uint8 = 1 << 0
+	FlagMaskLT uint8 = 1 << 1
+)
+
+// DefUse is the static def/use summary of one decoded instruction.
+// Register masks have bit i set for register ri; r0 is excluded because
+// it is hardwired to zero (neither readable state nor writable).
+type DefUse struct {
+	UseRegs  uint16
+	DefRegs  uint16
+	UseFlags uint8
+	DefFlags uint8
+	Mem      MemMode
+}
+
+// regMask builds a register mask, dropping r0.
+func regMask(regs ...int) uint16 {
+	var m uint16
+	for _, r := range regs {
+		if r != 0 {
+			m |= 1 << (r & 15)
+		}
+	}
+	return m
+}
+
+// pairMask builds the mask of the even/odd pair starting at r.
+func pairMask(r int) uint16 {
+	return regMask(r, (r+1)&15)
+}
+
+// DefUse returns the instruction's static def/use summary, matching the
+// execution semantics of CPU.Step.
+func (in Instr) DefUse() DefUse {
+	switch in.Op {
+	case OpMovi, OpMovu:
+		return DefUse{DefRegs: regMask(in.Rd)}
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpFadd, OpFsub, OpFmul, OpFdiv:
+		return DefUse{UseRegs: regMask(in.Rs1, in.Rs2), DefRegs: regMask(in.Rd)}
+	case OpAddi, OpOri:
+		return DefUse{UseRegs: regMask(in.Rs1), DefRegs: regMask(in.Rd)}
+	case OpLd:
+		return DefUse{UseRegs: regMask(in.Rs1), DefRegs: regMask(in.Rd), Mem: MemLoad}
+	case OpSt:
+		// The rd slot encodes the store's source register.
+		return DefUse{UseRegs: regMask(in.Rs1, in.Rd), Mem: MemStore}
+	case OpCmp, OpFcmp:
+		return DefUse{UseRegs: regMask(in.Rs1, in.Rs2), DefFlags: FlagMaskZ | FlagMaskLT}
+	case OpFaddd, OpFsubd, OpFmuld, OpFdivd:
+		return DefUse{UseRegs: pairMask(in.Rs1) | pairMask(in.Rs2), DefRegs: pairMask(in.Rd)}
+	case OpFcmpd:
+		return DefUse{UseRegs: pairMask(in.Rs1) | pairMask(in.Rs2), DefFlags: FlagMaskZ | FlagMaskLT}
+	case OpBeq, OpBne:
+		return DefUse{UseFlags: FlagMaskZ}
+	case OpBlt, OpBge:
+		return DefUse{UseFlags: FlagMaskLT}
+	case OpBgt, OpBle:
+		return DefUse{UseFlags: FlagMaskZ | FlagMaskLT}
+	case OpCall:
+		return DefUse{DefRegs: regMask(15)}
+	case OpRet:
+		return DefUse{UseRegs: regMask(15)}
+	default: // Nop, Halt, Jmp, Sig, Fail
+		return DefUse{}
+	}
+}
+
+// String renders the summary as "use r1,r2,Z def r3", or "-" when the
+// instruction touches no tracked location.
+func (du DefUse) String() string {
+	var b strings.Builder
+	writeSet := func(label string, regs uint16, flags uint8, mem string) {
+		if regs == 0 && flags == 0 && mem == "" {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(label)
+		b.WriteByte(' ')
+		first := true
+		emit := func(s string) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(s)
+		}
+		for r := 1; r < 16; r++ {
+			if regs&(1<<r) != 0 {
+				emit(fmt.Sprintf("r%d", r))
+			}
+		}
+		if flags&FlagMaskZ != 0 {
+			emit("Z")
+		}
+		if flags&FlagMaskLT != 0 {
+			emit("LT")
+		}
+		if mem != "" {
+			emit(mem)
+		}
+	}
+	useMem, defMem := "", ""
+	switch du.Mem {
+	case MemLoad:
+		useMem = "mem"
+	case MemStore:
+		defMem = "mem"
+	}
+	writeSet("use", du.UseRegs, du.UseFlags, useMem)
+	writeSet("def", du.DefRegs, du.DefFlags, defMem)
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}

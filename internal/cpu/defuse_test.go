@@ -1,0 +1,158 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefUseTables(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want DefUse
+	}{
+		{Instr{Op: OpMovi, Rd: 3, Imm: 7}, DefUse{DefRegs: regMask(3)}},
+		{Instr{Op: OpMovu, Rd: 9}, DefUse{DefRegs: regMask(9)}},
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, DefUse{UseRegs: regMask(2, 3), DefRegs: regMask(1)}},
+		{Instr{Op: OpAddi, Rd: 4, Rs1: 4}, DefUse{UseRegs: regMask(4), DefRegs: regMask(4)}},
+		{Instr{Op: OpLd, Rd: 2, Rs1: 1}, DefUse{UseRegs: regMask(1), DefRegs: regMask(2), Mem: MemLoad}},
+		// ST's rd slot is the store's SOURCE, so it must be a use.
+		{Instr{Op: OpSt, Rd: 2, Rs1: 1}, DefUse{UseRegs: regMask(1, 2), Mem: MemStore}},
+		{Instr{Op: OpCmp, Rs1: 1, Rs2: 2}, DefUse{UseRegs: regMask(1, 2), DefFlags: FlagMaskZ | FlagMaskLT}},
+		{Instr{Op: OpFcmpd, Rs1: 2, Rs2: 4}, DefUse{UseRegs: regMask(2, 3, 4, 5), DefFlags: FlagMaskZ | FlagMaskLT}},
+		// Double ops read and write even/odd pairs.
+		{Instr{Op: OpFaddd, Rd: 8, Rs1: 2, Rs2: 6}, DefUse{UseRegs: regMask(2, 3, 6, 7), DefRegs: regMask(8, 9)}},
+		{Instr{Op: OpBeq}, DefUse{UseFlags: FlagMaskZ}},
+		{Instr{Op: OpBlt}, DefUse{UseFlags: FlagMaskLT}},
+		{Instr{Op: OpBgt}, DefUse{UseFlags: FlagMaskZ | FlagMaskLT}},
+		{Instr{Op: OpCall}, DefUse{DefRegs: regMask(15)}},
+		{Instr{Op: OpRet}, DefUse{UseRegs: regMask(15)}},
+		{Instr{Op: OpJmp}, DefUse{}},
+		{Instr{Op: OpNop}, DefUse{}},
+		{Instr{Op: OpHalt}, DefUse{}},
+		// r0 is hardwired: neither a use nor a def.
+		{Instr{Op: OpAdd, Rd: 0, Rs1: 0, Rs2: 5}, DefUse{UseRegs: regMask(5)}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.DefUse(); got != tc.want {
+			t.Errorf("%s: DefUse() = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDefUseString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2}, "use r1,r2 def r3"},
+		{Instr{Op: OpLd, Rd: 2, Rs1: 1}, "use r1,mem def r2"},
+		{Instr{Op: OpSt, Rd: 2, Rs1: 1}, "use r1,r2 def mem"},
+		{Instr{Op: OpCmp, Rs1: 1, Rs2: 2}, "use r1,r2 def Z,LT"},
+		{Instr{Op: OpBgt}, "use Z,LT"},
+		{Instr{Op: OpNop}, "-"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.DefUse().String(); got != tc.want {
+			t.Errorf("%s: String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDefUseMatchesExecution cross-checks the static tables against the
+// machine: for each single-register-operand instruction shape, changing
+// a register listed as a use must be able to change the result, and a
+// register listed as a def must hold a value independent of its prior
+// content.
+func TestDefUseMatchesExecution(t *testing.T) {
+	// ADDI r2, r1, 1 — r1 use, r2 def.
+	p := MustAssemble(".code\n ADDI r2, r1, 1\n HALT\n")
+	run := func(r1, r2 uint32) uint32 {
+		c := New(p, newStubIO())
+		c.Regs[1], c.Regs[2] = r1, r2
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Regs[2]
+	}
+	if run(10, 0) != run(10, 99) {
+		t.Error("r2 (a def) influenced ADDI's result")
+	}
+	if run(10, 0) == run(20, 0) {
+		t.Error("r1 (a use) did not influence ADDI's result")
+	}
+}
+
+func TestDisassembleDefUse(t *testing.T) {
+	p := MustAssemble(`
+.code
+ MOVI r1, 0x1000
+ LD r2, 0(r1)
+ ST r2, 4(r1)
+ HALT
+.data
+ .word 7
+`)
+	out := p.DisassembleDefUse()
+	for _, want := range []string{
+		"; def r1",
+		"; use r1,mem def r2",
+		"; use r1,r2 def mem",
+		"; -",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DisassembleDefUse() missing %q in:\n%s", want, out)
+		}
+	}
+	// The plain disassembly must stay unannotated.
+	if strings.Contains(p.Disassemble(), "; def") {
+		t.Error("Disassemble() leaked def/use annotations")
+	}
+}
+
+func TestCacheProbe(t *testing.T) {
+	c := New(MustAssemble(".code\n HALT\n"), newStubIO())
+	addr := DataBase // line index of DataBase, cold cache
+
+	acc := c.Cache.Probe(addr)
+	if acc.Hit {
+		t.Fatal("probe of a cold cache reported a hit")
+	}
+	if acc.VictimValid || acc.VictimDirty {
+		t.Errorf("cold-cache probe reported a victim: %+v", acc)
+	}
+	if acc.FillBase != addr&^15 {
+		t.Errorf("FillBase = %#x, want %#x", acc.FillBase, addr&^15)
+	}
+
+	// Fill the line via a real write, then probe again: a hit, and the
+	// probe must not have perturbed anything.
+	if err := c.Cache.WriteWord(addr, 42, c.Mem); err != nil {
+		t.Fatal(err)
+	}
+	acc = c.Cache.Probe(addr)
+	if !acc.Hit {
+		t.Fatal("probe after fill missed")
+	}
+	if got, ok := c.Cache.PeekWord(addr); !ok || got != 42 {
+		t.Fatalf("PeekWord after probe = %d,%v, want 42,true", got, ok)
+	}
+
+	// A conflicting address (same line, different tag) sees the dirty
+	// victim.
+	conflict := addr + uint32(CacheLines*CacheLineSize)
+	acc = c.Cache.Probe(conflict)
+	if acc.Hit {
+		t.Fatal("conflicting address hit")
+	}
+	if !acc.VictimValid || !acc.VictimDirty {
+		t.Errorf("conflict probe lost the dirty victim: %+v", acc)
+	}
+	if acc.VictimBase != addr&^15 {
+		t.Errorf("VictimBase = %#x, want %#x", acc.VictimBase, addr&^15)
+	}
+
+	tag, valid, dirty := c.Cache.LineState(acc.Line)
+	if !valid || !dirty {
+		t.Errorf("LineState = tag %d valid %v dirty %v, want the dirty line", tag, valid, dirty)
+	}
+}

@@ -11,6 +11,19 @@ import (
 // the inverse of Assemble up to label names and comments, used by the
 // trace tools and for debugging workloads.
 func (p *Program) Disassemble() string {
+	return p.disassemble(false)
+}
+
+// DisassembleDefUse renders the code segment like Disassemble but
+// annotates every instruction with its static def/use summary — the
+// register, flag and memory effects the fault-space pruner's liveness
+// analysis is built on. Used by the analyzer's debug output and the
+// trace tools.
+func (p *Program) DisassembleDefUse() string {
+	return p.disassemble(true)
+}
+
+func (p *Program) disassemble(defuse bool) string {
 	labelAt := make(map[uint32][]string, len(p.CodeLabels))
 	for name, addr := range p.CodeLabels {
 		labelAt[addr] = append(labelAt[addr], name)
@@ -29,6 +42,10 @@ func (p *Program) Disassemble() string {
 		in, err := Decode(w)
 		if err != nil {
 			fmt.Fprintf(&b, "  %#06x  .word %#08x  ; %v\n", addr, w, err)
+			continue
+		}
+		if defuse {
+			fmt.Fprintf(&b, "  %#06x  %-24s ; %s\n", addr, in.String(), in.DefUse())
 			continue
 		}
 		fmt.Fprintf(&b, "  %#06x  %s\n", addr, in)

@@ -10,6 +10,9 @@ package cpu
 // the length of a SnapshotWords buffer.
 const CacheTotalWords = CacheLines * cacheWords
 
+// CacheWordsPerLine is the number of data words in one cache line.
+const CacheWordsPerLine = cacheWords
+
 // PeekWord returns the cached copy of the aligned data word at addr
 // when its line is resident, without updating hit/miss counters or
 // line state. The second result reports residency.
@@ -31,6 +34,56 @@ func (c *Cache) SnapshotWords(dst []uint32) []uint32 {
 		dst = append(dst, c.lines[i].data[:]...)
 	}
 	return dst
+}
+
+// CacheAccess predicts what a cache access at a given address would do
+// to the current cache state, without performing it. It exposes exactly
+// the decision points of Cache.ensure: the hit check, the victim's
+// eviction, and the line refill.
+type CacheAccess struct {
+	Line int  // direct-mapped line index of the address
+	Word int  // data-word index of the address within the line
+	Hit  bool // the line currently holds the address
+
+	// Victim state on a miss (meaningful only when !Hit): whether the
+	// displaced line is valid, whether its eviction writes it back
+	// (valid && dirty), and the memory base address of the write-back.
+	VictimValid bool
+	VictimDirty bool
+	VictimBase  uint32
+
+	// FillBase is the memory base address the refill would read
+	// (meaningful only when !Hit).
+	FillBase uint32
+}
+
+// Probe predicts the effect of accessing addr through the cache in its
+// current state. Like PeekWord it looks but never touches: no counters,
+// no fills, no write-backs.
+func (c *Cache) Probe(addr uint32) CacheAccess {
+	idx := cacheIndex(addr)
+	line := &c.lines[idx]
+	acc := CacheAccess{
+		Line: idx,
+		Word: int(addr >> 2 & (cacheWords - 1)),
+	}
+	if line.valid && line.tag == cacheTag(addr) {
+		acc.Hit = true
+		return acc
+	}
+	acc.VictimValid = line.valid
+	acc.VictimDirty = line.dirty
+	if line.valid {
+		acc.VictimBase = lineBase(line.tag, idx)
+	}
+	acc.FillBase = addr &^ uint32(CacheLineSize-1)
+	return acc
+}
+
+// LineState returns the metadata of cache line idx without touching it.
+func (c *Cache) LineState(idx int) (tag uint16, valid, dirty bool) {
+	line := &c.lines[idx]
+	return line.tag, line.valid, line.dirty
 }
 
 // PeekWord returns the effective value of the aligned word at addr —

@@ -16,6 +16,7 @@ import (
 	"ctrlguard/internal/classify"
 	"ctrlguard/internal/cpu"
 	"ctrlguard/internal/inject"
+	"ctrlguard/internal/prune"
 	"ctrlguard/internal/trace"
 	"ctrlguard/internal/workload"
 )
@@ -101,6 +102,14 @@ type Config struct {
 	// and belt-and-braces validation, not correctness.
 	DisableWarmStart bool
 
+	// DisablePrune forces every experiment to be simulated instead of
+	// letting the fault-space pruner synthesize records for provably
+	// dead faults and collapse first-use equivalence classes to one
+	// representative run. Pruning produces byte-identical aggregate
+	// statistics (guaranteed by tests), so like DisableWarmStart this
+	// exists for benchmarking and cross-validation, not correctness.
+	DisablePrune bool
+
 	// CheckpointCap bounds the per-campaign checkpoint cache
 	// (0 = DefaultCheckpointCap).
 	CheckpointCap int
@@ -109,6 +118,10 @@ type Config struct {
 	// sequential campaign, so later batches skip the golden run and
 	// reuse cached checkpoints.
 	warm *warmState
+
+	// prune carries the fault-space pruner's event index across the
+	// batches of a sequential campaign, like warm.
+	prune *pruneState
 }
 
 // Record is the logged result of a single fault-injection experiment —
@@ -125,6 +138,15 @@ type Record struct {
 	FirstDev  int     `json:"firstDeviation"`
 	StrongIts int     `json:"strongIterations"`
 	MaxDev    float64 `json:"maxDeviation"`
+
+	// Provenance records how the verdict was obtained: "simulated" for
+	// an executed experiment, "pruned-dead" for a record synthesized
+	// because the pruner proved the fault non-effective,
+	// "class-representative:<n>" for a simulated run whose verdict was
+	// fanned out to n equivalence-class members, and
+	// "class-member-of:<id>" for a record inferred from representative
+	// experiment <id>.
+	Provenance string `json:"provenance,omitempty"`
 }
 
 // Result is a completed campaign.
@@ -136,6 +158,10 @@ type Result struct {
 	// WarmStart reports the checkpoint fast path's work avoidance;
 	// nil when the fast path was disabled.
 	WarmStart *WarmStartStats
+
+	// Prune reports the fault-space pruner's work avoidance; nil when
+	// pruning was disabled or inapplicable (detail-mode observer set).
+	Prune *PruneStats
 
 	// Faults reports the campaign engine's own fault handling: retries,
 	// recovered panics, deadline expiries, abandoned experiments, and
@@ -172,23 +198,40 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	// The warm-start fast path records state digests during the golden
 	// run so injected runs can detect re-convergence, and shares
-	// pre-injection checkpoints across the worker pool. Detail-mode
-	// observers must see every instruction of every run, so they force
-	// full replays.
+	// pre-injection checkpoints across the worker pool. The fault-space
+	// pruner piggybacks a def-use observer on the same golden run to
+	// build its event index. Detail-mode observers must see every
+	// instruction of every run, so they force full replays and disable
+	// pruning; trace mode simulates every selected experiment in detail,
+	// so it declines pruning too.
 	warm := cfg.warm
+	prn := cfg.prune
 	useWarm := !cfg.DisableWarmStart && cfg.Spec.Observer == nil
+	usePrune := !cfg.DisablePrune && cfg.Spec.Observer == nil && cfg.Trace == nil
 	var golden *workload.Outcome
 	if warm != nil {
 		golden = warm.golden
 	} else {
 		goldenSpec := cfg.Spec
 		goldenSpec.RecordStateHashes = useWarm
+		var capture *prune.Capture
+		if usePrune && prn == nil {
+			capture = prune.NewCapture()
+			goldenSpec.Observer = capture.Observer()
+		}
 		golden = workload.Run(prog, goldenSpec)
 		if golden.Detected() {
 			return nil, fmt.Errorf("goofi: reference execution trapped: %v", golden.Trap)
 		}
 		if useWarm {
 			warm = newWarmState(prog, cfg.Spec, golden, cfg.CheckpointCap)
+		}
+		if capture != nil {
+			// A nil index means the capture saw something it could not
+			// model; pruning silently degrades to full simulation.
+			if ix := capture.Finish(golden.Instructions); ix != nil {
+				prn = newPruneState(ix, golden, cfg.Classify)
+			}
 		}
 	}
 
@@ -198,6 +241,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	injections := make([]workload.Injection, cfg.Experiments)
 	for i := range injections {
 		injections[i] = sampler.Next()
+	}
+
+	// Pruning phase: classify the whole plan against the golden event
+	// index before anything executes. The plan is deterministic for a
+	// given (spec, seed), so resumed campaigns rebuild it identically.
+	var plan *prunePlan
+	if prn != nil && usePrune {
+		plan = buildPrunePlan(prn.idx, injections)
+	}
+	prov := func(i int) string {
+		if plan != nil {
+			return plan.provenance(i)
+		}
+		return ProvenanceSimulated
 	}
 
 	// Feed experiments in injection order so the checkpoint capture
@@ -246,6 +303,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if !ok || !resumable(rec, string(cfg.Variant), injections[i]) {
 				continue
 			}
+			// Normalize to this run's plan so a restarted campaign's
+			// record file matches an uninterrupted one, even when the
+			// interrupted run had pruning toggled differently.
+			rec.Provenance = prov(i)
 			records[i] = rec
 			completed[i] = true
 			done++
@@ -262,6 +323,52 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// fanOut infers the records of rep's equivalence-class members from
+	// its verdict. Callers must hold mu (or run before the workers
+	// start).
+	fanOut := func(rep int) {
+		for _, m := range plan.members[rep] {
+			if completed[m] {
+				continue // reused from a resumed run
+			}
+			rec := memberRecord(m, injections[m], records[rep])
+			records[m] = rec
+			completed[m] = true
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, cfg.Experiments)
+			}
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(rec)
+			}
+		}
+	}
+
+	if plan != nil && ctx.Err() == nil {
+		// Dead faults never execute: synthesize their records up front.
+		for i := range injections {
+			if completed[i] || plan.decision[i] != pdDead {
+				continue
+			}
+			rec := deadRecord(cfg, i, injections[i], prn.deadVerdict)
+			records[i] = rec
+			completed[i] = true
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, cfg.Experiments)
+			}
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(rec)
+			}
+		}
+		// Representatives already settled by a resumed run fan out now.
+		for rep := range plan.members {
+			if completed[rep] && records[rep].Outcome != OutcomeAbandoned {
+				fanOut(rep)
+			}
+		}
+	}
+
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -272,6 +379,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 					continue // drain without running
 				}
 				rec, fs := runExperimentIsolated(prog, cfg, golden, warm, i, injections[i])
+				if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
+					rec.Provenance = prov(i)
+				}
 				var tr *trace.Trace
 				if cfg.Trace != nil && cfg.Trace.OnTrace != nil && cfg.Trace.shouldTrace(rec) {
 					// Capture errors mean cancellation; the partial
@@ -293,6 +403,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if cfg.OnRecord != nil {
 					cfg.OnRecord(rec)
 				}
+				if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
+					fanOut(i)
+				}
 				if tr != nil {
 					cfg.Trace.OnTrace(rec, tr)
 				}
@@ -302,6 +415,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 feed:
 	for _, i := range order {
+		// Members and dead faults never dispatch (members land with
+		// their representative); checking the plan first also keeps this
+		// unlocked completed[] read off indices the workers' fan-out
+		// writes concurrently.
+		if plan != nil && (plan.decision[i] == pdDead || plan.decision[i] == pdMember) {
+			continue
+		}
 		if completed[i] {
 			continue // reused from a resumed run
 		}
@@ -314,10 +434,43 @@ feed:
 	close(next)
 	wg.Wait()
 
+	// An abandoned representative (wall-clock deadline — the one
+	// nondeterministic outcome) cannot vouch for its class: fall back to
+	// simulating the members it was standing for.
+	if plan != nil && ctx.Err() == nil {
+		for rep, members := range plan.members {
+			if !completed[rep] || records[rep].Outcome != OutcomeAbandoned {
+				continue
+			}
+			for _, m := range members {
+				if completed[m] || ctx.Err() != nil {
+					continue
+				}
+				rec, fs := runExperimentIsolated(prog, cfg, golden, warm, m, injections[m])
+				records[m] = rec
+				completed[m] = true
+				done++
+				faults.add(fs)
+				if cfg.Progress != nil {
+					cfg.Progress(done, cfg.Experiments)
+				}
+				if cfg.OnRecord != nil {
+					cfg.OnRecord(rec)
+				}
+			}
+		}
+	}
+
 	res := &Result{Config: cfg, Golden: golden, Records: records, Faults: faults}
 	if warm != nil {
 		res.Config.warm = warm
 		res.WarmStart = warm.stats()
+	}
+	if prn != nil {
+		res.Config.prune = prn
+	}
+	if plan != nil {
+		res.Prune = tallyPrune(records, completed, cfg.Experiments)
 	}
 	if err := ctx.Err(); err != nil {
 		partial := make([]Record, 0, done)
@@ -352,12 +505,13 @@ func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm
 	}
 
 	rec := Record{
-		ID:      id,
-		Variant: string(cfg.Variant),
-		Region:  string(inj.Bit.Region),
-		Element: inj.Bit.Element,
-		Bit:     inj.Bit.Bit,
-		At:      inj.At,
+		ID:         id,
+		Variant:    string(cfg.Variant),
+		Region:     string(inj.Bit.Region),
+		Element:    inj.Bit.Element,
+		Bit:        inj.Bit.Bit,
+		At:         inj.At,
+		Provenance: ProvenanceSimulated,
 	}
 	var verdict classify.Verdict
 	if out.Detected() {

@@ -105,14 +105,15 @@ func runExperimentIsolated(prog *cpu.Program, cfg Config, golden *workload.Outco
 	}
 	stats.Abandoned++
 	return Record{
-		ID:        id,
-		Variant:   string(cfg.Variant),
-		Region:    string(inj.Bit.Region),
-		Element:   inj.Bit.Element,
-		Bit:       inj.Bit.Bit,
-		At:        inj.At,
-		Outcome:   OutcomeAbandoned,
-		Mechanism: lastErr.Error(),
+		ID:         id,
+		Variant:    string(cfg.Variant),
+		Region:     string(inj.Bit.Region),
+		Element:    inj.Bit.Element,
+		Bit:        inj.Bit.Bit,
+		At:         inj.At,
+		Outcome:    OutcomeAbandoned,
+		Mechanism:  lastErr.Error(),
+		Provenance: ProvenanceSimulated,
 	}, stats
 }
 

@@ -16,6 +16,9 @@ func chaosConfig(n int, seed uint64) Config {
 		Seed:         seed,
 		Workers:      2,
 		RetryBackoff: time.Millisecond,
+		// Chaos tests count exact per-experiment retries/panics; pruning
+		// would skip some experiments entirely.
+		DisablePrune: true,
 	}
 }
 

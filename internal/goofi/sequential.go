@@ -53,6 +53,11 @@ type PrecisionResult struct {
 	// and checkpoint cache); nil when the fast path was disabled.
 	WarmStart *WarmStartStats
 
+	// Prune accumulates the fault-space pruner's work avoidance over
+	// every batch (the batches share one event index); nil when pruning
+	// was disabled.
+	Prune *PruneStats
+
 	// Faults accumulates worker fault isolation's interventions over
 	// every batch (see Result.Faults).
 	Faults FaultStats
@@ -90,10 +95,12 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 
 	res := &PrecisionResult{}
 	counter := stats.NewCounter()
-	// Every batch runs the same variant and spec, so the golden run
-	// and the checkpoint cache carry over from batch to batch: only
-	// the first batch pays for the reference execution.
+	// Every batch runs the same variant and spec, so the golden run,
+	// the checkpoint cache and the pruner's event index carry over from
+	// batch to batch: only the first batch pays for the reference
+	// execution.
 	var warm *warmState
+	var prn *pruneState
 	for res.Experiments < cfg.MaxExperiments {
 		batch := cfg.Campaign
 		batch.Experiments = cfg.BatchSize
@@ -104,12 +111,20 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 		// staying reproducible.
 		batch.Seed = cfg.Campaign.Seed + uint64(res.Batches)*1_000_003
 		batch.warm = warm
+		batch.prune = prn
 
 		out, err := RunContext(ctx, batch)
 		if out != nil {
 			warm = out.Config.warm
+			prn = out.Config.prune
 			if out.WarmStart != nil {
 				res.WarmStart = out.WarmStart
+			}
+			if out.Prune != nil {
+				if res.Prune == nil {
+					res.Prune = &PruneStats{}
+				}
+				res.Prune.add(*out.Prune)
 			}
 			res.Faults.add(out.Faults)
 		}

@@ -41,6 +41,13 @@ type CampaignSpec struct {
 	// every experiment from iteration 0. Results are byte-identical
 	// either way; the knob exists for benchmarking and validation.
 	DisableWarmStart bool `json:"disableWarmStart,omitempty"`
+
+	// DisablePrune turns off fault-space pruning, simulating every
+	// injection instead of synthesizing records for provably dead
+	// faults and collapsing equivalence classes. Aggregate statistics
+	// are byte-identical either way; the knob exists for benchmarking
+	// and cross-validation.
+	DisablePrune bool `json:"disablePrune,omitempty"`
 }
 
 // Sequential reports whether the spec asks for a precision-driven
@@ -71,6 +78,7 @@ func (s CampaignSpec) Resolve() (Config, error) {
 		Seed:             s.Seed,
 		Workers:          s.Workers,
 		DisableWarmStart: s.DisableWarmStart,
+		DisablePrune:     s.DisablePrune,
 	}, nil
 }
 

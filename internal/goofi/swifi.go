@@ -85,11 +85,12 @@ func RunSWIFI(cfg Config) (*Result, error) {
 
 func runSWIFIExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, id int, flip inject.ImageFlip) Record {
 	rec := Record{
-		ID:      id,
-		Variant: string(cfg.Variant),
-		Region:  "image-" + flip.Target.String(),
-		Element: "word" + strconv.Itoa(flip.Word),
-		Bit:     flip.Bit,
+		ID:         id,
+		Variant:    string(cfg.Variant),
+		Region:     "image-" + flip.Target.String(),
+		Element:    "word" + strconv.Itoa(flip.Word),
+		Bit:        flip.Bit,
+		Provenance: ProvenanceSimulated,
 	}
 	mutated, err := flip.Apply(prog)
 	if err != nil {

@@ -41,7 +41,10 @@ func (tc *TraceConfig) shouldTrace(rec Record) bool {
 // is re-derived from cfg.Seed exactly as RunContext draws it, so the
 // returned trace replays the campaign's experiment n bit for bit —
 // a campaign record plus its campaign spec is enough to reconstruct
-// the full forensic picture after the fact.
+// the full forensic picture after the fact. The replay declines every
+// shortcut: no warm-start checkpoints and no fault-space pruning, so
+// even an experiment whose campaign record was inferred (pruned-dead or
+// class member) is traced as a genuine full simulation.
 func TraceExperiment(ctx context.Context, cfg Config, n int) (*trace.Trace, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("goofi: experiment index %d is negative", n)

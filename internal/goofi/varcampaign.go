@@ -308,16 +308,17 @@ func RunVariableBatch(ctx context.Context, cfgs []VarConfig) ([]*Result, error) 
 				stateDiffers := !float64SlicesEqual(ctrl.State(), c.goldenFinal)
 				verdict := classify.Run(c.golden, outputs, stateDiffers, c.cfg.Classify)
 				c.records[tk.exp] = Record{
-					ID:        tk.exp,
-					Variant:   c.cfg.Name,
-					Region:    "variable",
-					Element:   fmt.Sprintf("state[%d]", e.flip.Element),
-					Bit:       e.flip.Bit,
-					At:        uint64(e.iteration),
-					Outcome:   verdict.Outcome.String(),
-					FirstDev:  verdict.FirstDeviation,
-					StrongIts: verdict.StrongIterations,
-					MaxDev:    verdict.MaxDeviation,
+					ID:         tk.exp,
+					Variant:    c.cfg.Name,
+					Region:     "variable",
+					Element:    fmt.Sprintf("state[%d]", e.flip.Element),
+					Bit:        e.flip.Bit,
+					At:         uint64(e.iteration),
+					Outcome:    verdict.Outcome.String(),
+					FirstDev:   verdict.FirstDeviation,
+					StrongIts:  verdict.StrongIterations,
+					MaxDev:     verdict.MaxDeviation,
+					Provenance: ProvenanceSimulated,
 				}
 				c.completed[tk.exp] = true
 			}

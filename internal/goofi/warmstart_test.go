@@ -23,6 +23,9 @@ func warmTestConfig(v workload.Variant) Config {
 		Seed:        2001,
 		Spec:        spec,
 		Workers:     4,
+		// These tests pin warm-start bookkeeping exactly (resumed vs
+		// full replays); pruning would skip some experiments entirely.
+		DisablePrune: true,
 	}
 }
 

@@ -1,0 +1,218 @@
+package prune
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/cpu"
+)
+
+// Cross-validation property test: the pruner's claims are checked
+// against the machine itself on randomized programs. For every
+// injection the analyzer marks DEAD, a full simulation must reproduce
+// the golden run bit for bit; for every first-use equivalence class
+// with two or more members, the members' full simulations must be
+// bitwise identical to each other.
+//
+// Reproduction: the test is deterministic by default; set
+// PRUNE_CROSSVAL_SEED to replay a failure and PRUNE_CROSSVAL_TRIALS to
+// widen the search (e.g. PRUNE_CROSSVAL_TRIALS=200 go test -run
+// CrossVal ./internal/prune/).
+
+const crossvalBudget = 20000 // step budget per faulty simulation
+
+// rawOutcome is the complete observable result of one run: how it
+// ended, how long it took, and the architectural final state (registers,
+// PC, flags, memory overlaid with dirty lines). Two runs with equal
+// rawOutcomes are indistinguishable to any classifier.
+type rawOutcome struct {
+	steps  uint64
+	halted bool
+	trap   string
+	state  []uint32
+}
+
+func (a rawOutcome) equal(b rawOutcome) bool {
+	return a.steps == b.steps && a.halted == b.halted && a.trap == b.trap &&
+		cpu.StatesEqual(a.state, b.state)
+}
+
+func (a rawOutcome) String() string {
+	return fmt.Sprintf("{steps %d halted %v trap %q}", a.steps, a.halted, a.trap)
+}
+
+// simulate runs the program with a single bit flip applied when the
+// instruction counter reaches at (inject == false runs it clean).
+func simulate(t *testing.T, p *cpu.Program, inject bool, bit cpu.StateBit, at uint64) rawOutcome {
+	t.Helper()
+	c := cpu.New(p, testIO{})
+	armed := inject
+	for steps := 0; steps < crossvalBudget; steps++ {
+		if armed && c.InstrCount() == at {
+			if err := c.FlipBit(bit); err != nil {
+				t.Fatalf("FlipBit(%v): %v", bit, err)
+			}
+			armed = false
+		}
+		if c.Halted() {
+			break
+		}
+		if err := c.Step(); err != nil {
+			return rawOutcome{steps: c.InstrCount(), trap: err.Error(), state: c.FinalState()}
+		}
+	}
+	return rawOutcome{steps: c.InstrCount(), halted: c.Halted(), state: c.FinalState()}
+}
+
+// randomProgram emits a straight-line program over r2..r13,r15 with
+// loads and stores spread across enough of the data segment to exercise
+// cache conflicts, evictions and write-backs. r1 stays the data base
+// register and r14 (SP) is untouched, so the golden run never traps.
+func randomProgram(rng *rand.Rand) string {
+	regs := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15}
+	r := func() int { return regs[rng.Intn(len(regs))] }
+	// 1 KiB of data: 8 cache lines x 2 conflicting tags.
+	const dataWords = 256
+	off := func() int { return rng.Intn(dataWords) * 4 }
+
+	var b strings.Builder
+	b.WriteString(".code\n MOVI r1, 0x1000\n")
+	n := 60 + rng.Intn(140)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0, 1:
+			fmt.Fprintf(&b, " MOVI r%d, %d\n", r(), rng.Intn(32768))
+		case 2:
+			fmt.Fprintf(&b, " ADD r%d, r%d, r%d\n", r(), r(), r())
+		case 3:
+			fmt.Fprintf(&b, " SUB r%d, r%d, r%d\n", r(), r(), r())
+		case 4:
+			fmt.Fprintf(&b, " AND r%d, r%d, r%d\n", r(), r(), r())
+		case 5:
+			fmt.Fprintf(&b, " OR r%d, r%d, r%d\n", r(), r(), r())
+		case 6:
+			fmt.Fprintf(&b, " XOR r%d, r%d, r%d\n", r(), r(), r())
+		case 7:
+			fmt.Fprintf(&b, " ADDI r%d, r%d, %d\n", r(), r(), rng.Intn(2048))
+		case 8:
+			fmt.Fprintf(&b, " CMP r%d, r%d\n", r(), r())
+		case 9, 10:
+			fmt.Fprintf(&b, " LD r%d, %d(r1)\n", r(), off())
+		default:
+			fmt.Fprintf(&b, " ST r%d, %d(r1)\n", r(), off())
+		}
+	}
+	b.WriteString(" HALT\n.data\n")
+	for i := 0; i < dataWords; i++ {
+		fmt.Fprintf(&b, " .word %d\n", rng.Intn(1<<16))
+	}
+	return b.String()
+}
+
+func crossvalParams(t *testing.T) (seed int64, trials, samples int) {
+	seed, trials, samples = 7, 10, 80
+	if s := os.Getenv("PRUNE_CROSSVAL_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad PRUNE_CROSSVAL_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	if s := os.Getenv("PRUNE_CROSSVAL_TRIALS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad PRUNE_CROSSVAL_TRIALS %q", s)
+		}
+		trials = v
+	}
+	return seed, trials, samples
+}
+
+func TestCrossValPrunerAgainstSimulation(t *testing.T) {
+	seed, trials, samples := crossvalParams(t)
+	rng := rand.New(rand.NewSource(seed))
+	bits := cpu.StateBits()
+
+	var checkedDead, checkedClasses int
+	for trial := 0; trial < trials; trial++ {
+		src := randomProgram(rng)
+		p, err := cpu.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v", trial, err)
+		}
+		ix := captureRun(t, p)
+		golden := simulate(t, p, false, cpu.StateBit{}, 0)
+		if !golden.halted || golden.steps != ix.Total() {
+			t.Fatalf("trial %d: golden run %v does not match the capture (%d instructions)",
+				trial, golden, ix.Total())
+		}
+
+		classes := make(map[Key][]int) // key -> injection sample indices
+		type sample struct {
+			bit cpu.StateBit
+			at  uint64
+		}
+		injections := make([]sample, samples)
+		for i := range injections {
+			injections[i] = sample{
+				bit: bits[rng.Intn(len(bits))],
+				at:  uint64(rng.Int63n(int64(ix.Total()))),
+			}
+			if i%3 != 0 {
+				// Reuse the previous sample's bit at a fresh time: two
+				// flips of the same bit whose windows reach the same
+				// first use form exactly the class collision we want to
+				// stress.
+				injections[i].bit = injections[i-1].bit
+			}
+			f, ok := ix.Fate(injections[i].bit, injections[i].at)
+			if !ok {
+				continue
+			}
+			if f.Dead {
+				// The pruner's central claim: a dead flip's run is
+				// indistinguishable from the golden run.
+				got := simulate(t, p, true, injections[i].bit, injections[i].at)
+				if !got.equal(golden) {
+					t.Fatalf("trial %d (seed %d): UNSOUND dead verdict for %s:%d at %d:\nfaulty %v\ngolden %v",
+						trial, seed, injections[i].bit.Element, injections[i].bit.Bit,
+						injections[i].at, got, golden)
+				}
+				checkedDead++
+				continue
+			}
+			classes[f.Key] = append(classes[f.Key], i)
+		}
+
+		// Every multi-member class must be internally bitwise identical.
+		for key, members := range classes {
+			if len(members) < 2 {
+				continue
+			}
+			rep := simulate(t, p, true, injections[members[0]].bit, injections[members[0]].at)
+			for _, m := range members[1:] {
+				got := simulate(t, p, true, injections[m].bit, injections[m].at)
+				if !got.equal(rep) {
+					t.Fatalf("trial %d (seed %d): UNSOUND class %+v: member %s:%d at %d gave %v, representative %s:%d at %d gave %v",
+						trial, seed, key,
+						injections[m].bit.Element, injections[m].bit.Bit, injections[m].at, got,
+						injections[members[0]].bit.Element, injections[members[0]].bit.Bit,
+						injections[members[0]].at, rep)
+				}
+			}
+			checkedClasses++
+		}
+	}
+	if checkedDead == 0 {
+		t.Error("cross-validation never saw a dead verdict; generator is too tame")
+	}
+	if checkedClasses == 0 {
+		t.Error("cross-validation never saw a multi-member class; generator is too tame")
+	}
+	t.Logf("cross-validated %d dead verdicts and %d equivalence classes over %d programs",
+		checkedDead, checkedClasses, trials)
+}

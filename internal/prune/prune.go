@@ -1,0 +1,422 @@
+// Package prune implements static fault-space pruning for SCIFI bit-flip
+// campaigns: a def-use/liveness analysis over the golden run's dynamic
+// instruction stream that classifies every candidate injection
+// (location, bit, time) BEFORE it is simulated.
+//
+// The analysis exploits a structural property of single-bit transient
+// faults: a faulty run executes exactly the golden instruction sequence
+// until the first dynamic READ of the faulted location. From one
+// instrumented golden replay the analyzer therefore knows, for every
+// injection point, which of three fates applies:
+//
+//   - Dead: the location is overwritten at full width before its next
+//     read (and is invisible to the end-of-run state comparison). The
+//     flip provably cannot influence the run; its verdict equals the
+//     golden-vs-golden classification without any simulation.
+//
+//   - Class: the location's first read happens at dynamic instruction T
+//     with a machine and environment state identical to the golden
+//     run's everywhere except the flipped bit. All injections sharing
+//     (location-at-T, bit, T) reach T in the same state and therefore
+//     produce bit-identical outcomes: one representative simulation
+//     stands for the whole class.
+//
+//   - For faults in dirty cache data, a write-back migrates the flipped
+//     bit into its memory word before anything reads it; the analysis
+//     follows that single hop and continues the scan on the memory
+//     word's event list.
+//
+// Soundness notes, each load-bearing and pinned by the cross-validation
+// property test:
+//
+//   - All defs in this ISA are full-width (32-bit register and word
+//     writes, whole-tag refills, boolean assignments), so a def really
+//     erases any single-bit flip.
+//   - Cache metadata (tag/valid/dirty) reads follow Cache.ensure's
+//     short-circuit evaluation exactly: a tag is only "read" when the
+//     hit check or eviction actually depends on it; otherwise the
+//     refill overwrites it and the flip is dead.
+//   - The end of the run reads every register, the PC, both flags and
+//     the effective memory image (memory overlaid with valid+dirty
+//     lines) through cpu.FinalState, so locations that survive to the
+//     end unread are still "used" by the final state comparison —
+//     except cache data words whose line is not written back, which
+//     are invisible and therefore dead.
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"ctrlguard/internal/cpu"
+)
+
+// Location numbering: a dense index over every trackable fault carrier.
+// Registers r1..r15 map to 0..14; then the PC and the two flags; then
+// per cache line tag, valid, dirty and the data words; then one slot
+// per data-segment memory word (memory is not an injection target, but
+// write-backs migrate cache faults into it).
+const (
+	locPC        = 15
+	locFlagZ     = 16
+	locFlagLT    = 17
+	locCacheBase = 18
+	locPerLine   = 3 + cpu.CacheWordsPerLine
+	locMemBase   = locCacheBase + cpu.CacheLines*locPerLine
+	numMemWords  = int(cpu.DataSize / 4)
+	numLocs      = locMemBase + numMemWords
+)
+
+// locReg returns the location of register r (1..15).
+func locReg(r int) uint32 { return uint32(r - 1) }
+
+// memLoc returns the location of the data-segment memory word at addr.
+func memLoc(addr uint32) (uint32, bool) {
+	if cpu.SegmentOf(addr) != cpu.SegData {
+		return 0, false
+	}
+	return uint32(locMemBase) + (addr-cpu.DataBase)/4, true
+}
+
+// locOf maps an injectable state bit onto its location index.
+func locOf(b cpu.StateBit) (uint32, bool) {
+	switch b.Region {
+	case cpu.RegionRegisters:
+		switch b.Element {
+		case "pc":
+			return locPC, true
+		case "flagZ":
+			return locFlagZ, true
+		case "flagLT":
+			return locFlagLT, true
+		}
+		var r int
+		if _, err := fmt.Sscanf(b.Element, "r%d", &r); err != nil || r < 1 || r > 15 {
+			return 0, false
+		}
+		return locReg(r), true
+	case cpu.RegionCache:
+		var l int
+		var field string
+		if _, err := fmt.Sscanf(b.Element, "line%d.%s", &l, &field); err != nil || l < 0 || l >= cpu.CacheLines {
+			return 0, false
+		}
+		base := uint32(locCacheBase + l*locPerLine)
+		switch field {
+		case "tag":
+			return base, true
+		case "valid":
+			return base + 1, true
+		case "dirty":
+			return base + 2, true
+		}
+		var w int
+		if _, err := fmt.Sscanf(field, "data%d", &w); err != nil || w < 0 || w >= cpu.CacheWordsPerLine {
+			return 0, false
+		}
+		return base + 3 + uint32(w), true
+	}
+	return 0, false
+}
+
+// Event kinds, in intra-instruction execution order semantics: the
+// FIRST event a location receives within one instruction decides the
+// fate of a fault present when the instruction begins.
+const (
+	evUse uint8 = iota // the pre-instruction value influences behaviour
+	evDef              // overwritten at full width
+	evWB               // cache data word written back to memory word aux
+)
+
+// event is one def/use touch of a location by one dynamic instruction.
+type event struct {
+	idx  uint32 // dynamic instruction index
+	kind uint8
+	aux  uint32 // evWB: memory byte address receiving the write-back
+}
+
+// Capture observes a golden run and builds the per-location event
+// index. Attach Observer() to the golden RunSpec, then call Finish.
+// The observer is read-only (it never perturbs the machine) and must
+// see every instruction of exactly one fault-free run.
+type Capture struct {
+	bad       bool
+	vm        *cpu.CPU
+	count     uint64
+	events    [numLocs][]event
+	lastTouch [numLocs]uint32 // idx+1 of the last event, for intra-instruction dedup
+}
+
+// NewCapture returns an empty capture.
+func NewCapture() *Capture {
+	return &Capture{}
+}
+
+// Observer returns the workload.RunSpec observer that records events.
+func (c *Capture) Observer() func(iteration int, instr uint64, vm *cpu.CPU) {
+	return c.observe
+}
+
+func (c *Capture) add(loc uint32, idx uint32, kind uint8, aux uint32) {
+	if c.lastTouch[loc] == idx+1 {
+		return // a same-instruction event landed first and wins
+	}
+	c.lastTouch[loc] = idx + 1
+	c.events[loc] = append(c.events[loc], event{idx: idx, kind: kind, aux: aux})
+}
+
+func regVal(vm *cpu.CPU, r int) uint32 {
+	if r == 0 {
+		return 0
+	}
+	return vm.Regs[r]
+}
+
+// observe records the def/use events of the instruction about to
+// execute. Emission order mirrors CPU.Step's micro-operation order —
+// operand reads, the storage check, the cache access (hit check,
+// eviction, refill, then the word access), then result writes — so the
+// first-event-wins dedup resolves same-instruction conflicts the way
+// the hardware would.
+func (c *Capture) observe(_ int, instr uint64, vm *cpu.CPU) {
+	if c.bad {
+		return
+	}
+	if instr != c.count || instr >= 1<<31 {
+		c.bad = true
+		return
+	}
+	c.count++
+	c.vm = vm
+
+	in, err := cpu.Decode(vm.Mem.ReadWord(vm.PC))
+	if err != nil {
+		c.bad = true // a golden run never fetches an illegal instruction
+		return
+	}
+	idx := uint32(instr)
+	du := in.DefUse()
+
+	// 1. Operand reads.
+	for r := 1; r < 16; r++ {
+		if du.UseRegs&(1<<r) != 0 {
+			c.add(locReg(r), idx, evUse, 0)
+		}
+	}
+	if du.UseFlags&cpu.FlagMaskZ != 0 {
+		c.add(locFlagZ, idx, evUse, 0)
+	}
+	if du.UseFlags&cpu.FlagMaskLT != 0 {
+		c.add(locFlagLT, idx, evUse, 0)
+	}
+
+	// 2. The data-memory access, if any.
+	if du.Mem != cpu.MemNone {
+		addr := regVal(vm, in.Rs1) + uint32(int32(int16(in.Imm)))
+		switch cpu.SegmentOf(addr) {
+		case cpu.SegIO:
+			// Uncached, host-mapped: no tracked state involved.
+		case cpu.SegStack:
+			// The storage check reads the stack pointer.
+			c.add(locReg(cpu.SPReg), idx, evUse, 0)
+		case cpu.SegData:
+			if !c.cacheEvents(vm, addr, du.Mem == cpu.MemStore, idx) {
+				c.bad = true
+				return
+			}
+		default:
+			c.bad = true // would trap; cannot happen on a golden run
+			return
+		}
+	}
+
+	// 3. Result writes.
+	for r := 1; r < 16; r++ {
+		if du.DefRegs&(1<<r) != 0 {
+			c.add(locReg(r), idx, evDef, 0)
+		}
+	}
+	if du.DefFlags&cpu.FlagMaskZ != 0 {
+		c.add(locFlagZ, idx, evDef, 0)
+	}
+	if du.DefFlags&cpu.FlagMaskLT != 0 {
+		c.add(locFlagLT, idx, evDef, 0)
+	}
+}
+
+// cacheEvents replays Cache.ensure's decision tree against the current
+// (pre-access) cache state, recording exactly the reads whose value the
+// access depends on and the writes that overwrite state.
+func (c *Capture) cacheEvents(vm *cpu.CPU, addr uint32, isStore bool, idx uint32) bool {
+	acc := vm.Cache.Probe(addr)
+	base := uint32(locCacheBase + acc.Line*locPerLine)
+	tagLoc, validLoc, dirtyLoc := base, base+1, base+2
+	wordLoc := func(w int) uint32 { return base + 3 + uint32(w) }
+
+	if acc.Hit {
+		// The hit check read valid and tag and both mattered.
+		c.add(validLoc, idx, evUse, 0)
+		c.add(tagLoc, idx, evUse, 0)
+		if isStore {
+			c.add(wordLoc(acc.Word), idx, evDef, 0)
+			c.add(dirtyLoc, idx, evDef, 0)
+		} else {
+			c.add(wordLoc(acc.Word), idx, evUse, 0)
+		}
+		return true
+	}
+
+	// Miss. The hit check always reads valid; it short-circuits past
+	// the tag when the line is invalid (a flipped tag in an invalid
+	// line changes nothing and is then overwritten by the refill).
+	c.add(validLoc, idx, evUse, 0)
+	if acc.VictimValid {
+		c.add(tagLoc, idx, evUse, 0)
+		c.add(dirtyLoc, idx, evUse, 0) // eviction reads dirty for valid lines
+		if acc.VictimDirty {
+			// Write-back: each data word's flipped bits migrate into
+			// the victim's memory words before the refill overwrites
+			// the line.
+			for w := 0; w < cpu.CacheWordsPerLine; w++ {
+				wbAddr := acc.VictimBase + uint32(w*4)
+				ml, ok := memLoc(wbAddr)
+				if !ok {
+					return false // write-back outside SegData traps; never golden
+				}
+				c.add(wordLoc(w), idx, evWB, wbAddr)
+				c.add(ml, idx, evDef, 0)
+			}
+		}
+	}
+	// Refill: reads four memory words, then overwrites the whole line.
+	for w := 0; w < cpu.CacheWordsPerLine; w++ {
+		if ml, ok := memLoc(acc.FillBase + uint32(w*4)); ok {
+			c.add(ml, idx, evUse, 0)
+		}
+	}
+	for w := 0; w < cpu.CacheWordsPerLine; w++ {
+		c.add(wordLoc(w), idx, evDef, 0)
+	}
+	c.add(tagLoc, idx, evDef, 0)
+	c.add(validLoc, idx, evDef, 0)
+	c.add(dirtyLoc, idx, evDef, 0)
+	// Finally the access itself (the load's read deduplicates against
+	// the refill's def: the word was overwritten before it was read).
+	if isStore {
+		c.add(wordLoc(acc.Word), idx, evDef, 0)
+		c.add(dirtyLoc, idx, evDef, 0)
+	} else {
+		c.add(wordLoc(acc.Word), idx, evUse, 0)
+	}
+	return true
+}
+
+// Index is the finished event index of one golden run, ready for Fate
+// queries. It is immutable and safe for concurrent use.
+type Index struct {
+	events    [numLocs][]event
+	total     uint64
+	lineValid [cpu.CacheLines]bool
+	lineDirty [cpu.CacheLines]bool
+}
+
+// Finish seals the capture into a queryable Index. total must be the
+// golden run's instruction count. It returns nil when the capture
+// cannot vouch for the run (decode failure, instruction count mismatch,
+// or an index overflow) — callers then simply simulate everything.
+func (c *Capture) Finish(total uint64) *Index {
+	if c.bad || c.vm == nil || c.count != total || total >= 1<<31 {
+		return nil
+	}
+	ix := &Index{events: c.events, total: total}
+	for l := 0; l < cpu.CacheLines; l++ {
+		_, valid, dirty := c.vm.Cache.LineState(l)
+		ix.lineValid[l] = valid
+		ix.lineDirty[l] = dirty
+	}
+	return ix
+}
+
+// Total returns the golden run's instruction count.
+func (ix *Index) Total() uint64 { return ix.total }
+
+// Key identifies a first-use equivalence class: every injection whose
+// flipped bit first matters at dynamic instruction At, while residing
+// in location Loc, reaches At in an identical machine state and shares
+// one verdict. At == Total() means the end-of-run state comparison.
+type Key struct {
+	Loc uint32
+	Bit uint
+	At  uint64
+}
+
+// Fate is the analysis result for one injection.
+type Fate struct {
+	// Dead reports that the flip is provably erased before anything
+	// reads it: the outcome equals the golden run's.
+	Dead bool
+
+	// Key is the injection's first-use equivalence class (zero when
+	// Dead).
+	Key Key
+}
+
+// Fate classifies the injection (bit, at). The boolean is false when
+// the analysis cannot speak for this injection (unknown element or an
+// out-of-range time); the campaign must then simulate it.
+func (ix *Index) Fate(bit cpu.StateBit, at uint64) (Fate, bool) {
+	loc, ok := locOf(bit)
+	if !ok || at >= ix.total {
+		return Fate{}, false
+	}
+	if loc == locPC {
+		// The fetch reads the PC every instruction: a PC fault is
+		// always first used by the faulted instruction itself.
+		return Fate{Key: Key{Loc: loc, Bit: bit.Bit, At: at}}, true
+	}
+	evs := ix.events[loc][:]
+	i := sort.Search(len(evs), func(j int) bool { return uint64(evs[j].idx) >= at })
+	for {
+		if i >= len(evs) {
+			return ix.endFate(loc, bit.Bit), true
+		}
+		switch e := evs[i]; e.kind {
+		case evDef:
+			return Fate{Dead: true}, true
+		case evUse:
+			return Fate{Key: Key{Loc: loc, Bit: bit.Bit, At: uint64(e.idx)}}, true
+		default: // evWB: follow the flip into its memory word
+			ml, ok := memLoc(e.aux)
+			if !ok {
+				return Fate{}, false
+			}
+			after := uint64(e.idx)
+			loc = ml
+			evs = ix.events[loc][:]
+			i = sort.Search(len(evs), func(j int) bool { return uint64(evs[j].idx) > after })
+		}
+	}
+}
+
+// endFate resolves a fault that survives to the end of the run without
+// a single event: the final state comparison reads registers, PC,
+// flags and the effective memory image, so most locations are still
+// "used" at index Total(). Cache data words are the exception — a line
+// that is not both valid and dirty never reaches the final image, so
+// its flips are invisible.
+func (ix *Index) endFate(loc uint32, bit uint) Fate {
+	if loc >= locCacheBase && loc < locMemBase {
+		rel := int(loc) - locCacheBase
+		line, field := rel/locPerLine, rel%locPerLine
+		if field >= 3 { // a data word
+			if ix.lineValid[line] && ix.lineDirty[line] {
+				return Fate{Key: Key{Loc: loc, Bit: bit, At: ix.total}}
+			}
+			return Fate{Dead: true}
+		}
+		// Metadata flips redirect or suppress the final overlay;
+		// conservatively treat them as used by it.
+		return Fate{Key: Key{Loc: loc, Bit: bit, At: ix.total}}
+	}
+	return Fate{Key: Key{Loc: loc, Bit: bit, At: ix.total}}
+}

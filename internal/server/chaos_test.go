@@ -277,6 +277,9 @@ func TestChaosWorkerFaultMetrics(t *testing.T) {
 		Workers: 1, QueueDepth: 2,
 		ConfigHook: func(cfg *goofi.Config) {
 			cfg.RetryBackoff = time.Millisecond
+			// The assertions below count exact per-experiment panics and
+			// retries; pruning would skip some experiments entirely.
+			cfg.DisablePrune = true
 			cfg.Chaos = func(id, attempt int) {
 				if id == victim || attempt == 0 {
 					panic("chaos: worker crash")

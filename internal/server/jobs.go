@@ -96,6 +96,7 @@ type Campaign struct {
 	resumed    bool // re-enqueued by journal recovery after a restart
 	userCancel bool // cancelled via the API, as opposed to a shutdown
 	faults     goofi.FaultStats
+	prune      *goofi.PruneStats
 	cancel     context.CancelFunc
 	subs       map[chan Event]struct{}
 	doneCh     chan struct{} // closed on reaching a terminal state
@@ -118,6 +119,7 @@ type View struct {
 	RecordsPath string             `json:"recordsPath,omitempty"`
 	Resumed     bool               `json:"resumed,omitempty"`
 	Faults      goofi.FaultStats   `json:"faults,omitempty"`
+	Prune       *goofi.PruneStats  `json:"prune,omitempty"`
 	Error       string             `json:"error,omitempty"`
 }
 
@@ -139,6 +141,7 @@ func (c *Campaign) Snapshot() View {
 		RecordsPath: c.dataPath,
 		Resumed:     c.resumed,
 		Faults:      c.faults,
+		Prune:       c.prune,
 		Error:       c.errMsg,
 	}
 	if !c.started.IsZero() {
@@ -706,6 +709,7 @@ func (m *Manager) execute(c *Campaign) {
 
 	var recs []goofi.Record
 	var faults goofi.FaultStats
+	var pruneStats *goofi.PruneStats
 	var runErr error
 	if c.Spec.Sequential() {
 		res, err := goofi.RunUntilPrecisionContext(ctx, goofi.PrecisionConfig{
@@ -716,6 +720,7 @@ func (m *Manager) execute(c *Campaign) {
 		if res != nil {
 			recs = res.Records
 			faults = res.Faults
+			pruneStats = res.Prune
 		}
 		runErr = err
 	} else {
@@ -723,8 +728,18 @@ func (m *Manager) execute(c *Campaign) {
 		if res != nil {
 			recs = res.Records
 			faults = res.Faults
+			pruneStats = res.Prune
 		}
 		runErr = err
+	}
+	if pruneStats != nil {
+		metrics.ExperimentsPlanned.Add(int64(pruneStats.Planned))
+		metrics.ExperimentsSimulated.Add(int64(pruneStats.Simulated))
+		metrics.ExperimentsPrunedDead.Add(int64(pruneStats.PrunedDead))
+		metrics.ExperimentsCollapsed.Add(int64(pruneStats.Collapsed))
+		c.mu.Lock()
+		c.prune = pruneStats
+		c.mu.Unlock()
 	}
 
 	if app != nil {

@@ -23,6 +23,13 @@ var metrics struct {
 	ExperimentsPanicked  expvar.Int
 	ExperimentsAbandoned expvar.Int
 	ExperimentsResumed   expvar.Int
+
+	// Fault-space pruning work avoidance, accumulated over completed
+	// campaigns (see goofi.PruneStats).
+	ExperimentsPlanned    expvar.Int
+	ExperimentsSimulated  expvar.Int
+	ExperimentsPrunedDead expvar.Int
+	ExperimentsCollapsed  expvar.Int
 	BusyWorkers          expvar.Int
 	TotalWorkers         expvar.Int
 
@@ -49,6 +56,10 @@ func metricsInit(workers int) {
 		m.Set("experiments_panicked", &metrics.ExperimentsPanicked)
 		m.Set("experiments_abandoned", &metrics.ExperimentsAbandoned)
 		m.Set("experiments_resumed", &metrics.ExperimentsResumed)
+		m.Set("experiments_planned", &metrics.ExperimentsPlanned)
+		m.Set("experiments_simulated", &metrics.ExperimentsSimulated)
+		m.Set("experiments_pruned_dead", &metrics.ExperimentsPrunedDead)
+		m.Set("experiments_collapsed", &metrics.ExperimentsCollapsed)
 		m.Set("campaign_workers", &metrics.TotalWorkers)
 		m.Set("campaign_workers_busy", &metrics.BusyWorkers)
 		m.Set("experiments_per_sec", expvar.Func(func() any {
