@@ -1,0 +1,221 @@
+// Command ctrlexec executes campaign shards on behalf of a ctrlguardd
+// coordinator — the worker half of distributed campaigns. It is
+// deliberately dumb: it holds no queue and no durable state. The
+// coordinator owns the plan, the leases, and every streamed record;
+// ctrlexec just runs the deterministic engine over one contiguous
+// experiment-ID range at a time and streams the results back.
+//
+// Two modes:
+//
+// One-shot (default): a shard task arrives as JSON on stdin, events
+// leave as NDJSON on stdout, and the process exits. This is how the
+// coordinator runs local executors — one process per lease, so a
+// crashed or killed shard can never poison the next one:
+//
+//	ctrlexec -timeout 10m -mem 512 < task.json
+//
+// Serve (-serve): a long-lived HTTP executor for remote machines. The
+// coordinator POSTs tasks to /api/v1/shards/run and reads the same
+// NDJSON event stream from the response body. With -register the
+// executor announces itself to a coordinator and re-announces
+// periodically as a liveness heartbeat:
+//
+//	ctrlexec -serve :9077 -register http://coordinator:8077 -advertise http://worker1:9077
+//
+// Self-limits: -timeout bounds one shard's wall clock and -mem caps
+// the Go heap (debug.SetMemoryLimit), so a pathological shard dies on
+// the worker without waiting for the coordinator's lease to expire.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ctrlguard/internal/dist"
+)
+
+func main() {
+	var (
+		serve     = flag.String("serve", "", "serve shards over HTTP on this address instead of one-shot stdin mode")
+		register  = flag.String("register", "", "coordinator base URL to register with (serve mode)")
+		advertise = flag.String("advertise", "", "URL the coordinator should reach this executor at (default http://localhost<serve-addr>)")
+		name      = flag.String("name", "", "executor name for registration (default host-pid)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit per shard (0 = none)")
+		memMB     = flag.Int64("mem", 0, "soft Go heap limit in MiB (0 = none)")
+	)
+	flag.Parse()
+
+	if *memMB > 0 {
+		debug.SetMemoryLimit(*memMB << 20)
+	}
+
+	logger := log.New(os.Stderr, "ctrlexec: ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	if *serve != "" {
+		err = serveMode(ctx, logger, *serve, *register, *advertise, *name, *timeout)
+	} else {
+		err = oneShot(ctx, logger, *timeout)
+	}
+	if err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// oneShot runs a single shard task from stdin, streaming events to
+// stdout. Stdout carries nothing but the NDJSON event stream; all
+// logging goes to stderr.
+func oneShot(ctx context.Context, logger *log.Logger, timeout time.Duration) error {
+	var task dist.ShardTask
+	if err := json.NewDecoder(os.Stdin).Decode(&task); err != nil {
+		return fmt.Errorf("read shard task from stdin: %w", err)
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var mu sync.Mutex
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(ev dist.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(&ev)
+	}
+
+	logger.Printf("shard %d [%d,%d) of %s (attempt %d, %d resume records)",
+		task.Shard, task.Start, task.End, task.Campaign, task.Attempt, len(task.Resume))
+	if err := dist.ServeShard(ctx, task, true, emit); err != nil {
+		return fmt.Errorf("shard %d: %w", task.Shard, err)
+	}
+	return nil
+}
+
+// serveMode runs the HTTP executor, optionally registering with (and
+// heartbeating to) a coordinator until shut down.
+func serveMode(ctx context.Context, logger *log.Logger, addr, register, advertise, name string, timeout time.Duration) error {
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "ctrlexec"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if advertise == "" {
+		// ":9077" has no reachable host; a full "host:port" does.
+		if strings.HasPrefix(addr, ":") {
+			advertise = "http://localhost" + addr
+		} else {
+			advertise = "http://" + addr
+		}
+	}
+
+	handler := dist.ShardHandler(logger, true)
+	if timeout > 0 {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			inner.ServeHTTP(w, r.WithContext(tctx))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /api/v1/shards/run", handler)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving shards on %s (advertising %s)", addr, advertise)
+		errc <- srv.ListenAndServe()
+	}()
+
+	var hbStop func()
+	if register != "" {
+		hbStop = heartbeat(ctx, logger, register, name, advertise)
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if hbStop != nil {
+		hbStop()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
+
+// heartbeat registers the executor with the coordinator and keeps the
+// registration alive by re-posting it — registration and heartbeat are
+// the same idempotent upsert, so a coordinator restart just sees the
+// executor reappear on the next beat. Returns a stop function that
+// deregisters.
+func heartbeat(ctx context.Context, logger *log.Logger, coordinator, name, url string) (stop func()) {
+	body, _ := json.Marshal(map[string]string{"name": name, "url": url})
+	post := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinator+"/api/v1/executors", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			logger.Printf("register with %s: %v", coordinator, err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			logger.Printf("register with %s: %s", coordinator, resp.Status)
+		}
+	}
+	post()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(5 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				post()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			req, err := http.NewRequest(http.MethodDelete, coordinator+"/api/v1/executors/"+name, nil)
+			if err != nil {
+				return
+			}
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		})
+	}
+}

@@ -25,6 +25,13 @@
 // power loss) loses at most the unsynced tail of the running
 // campaign's records — the restart re-runs just those experiments.
 // -no-resume parks interrupted campaigns instead of re-running them.
+//
+// With -executors N, ctrlguardd becomes a distributed coordinator:
+// campaigns are split into shards and leased to N local ctrlexec
+// subprocesses (plus any remote ctrlexec -serve instances that
+// register themselves), with dead or wedged executors detected by
+// lease expiry and their shards re-leased. The merged result is
+// byte-identical to an in-process run.
 package main
 
 import (
@@ -33,22 +40,51 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"ctrlguard/internal/server"
 )
 
+// findCtrlexec locates the executor binary: first as a sibling of the
+// running ctrlguardd binary (the usual `go build ./...` layout), then
+// on $PATH.
+func findCtrlexec() string {
+	if self, err := os.Executable(); err == nil {
+		sib := filepath.Join(filepath.Dir(self), "ctrlexec")
+		if st, err := os.Stat(sib); err == nil && !st.IsDir() {
+			return sib
+		}
+	}
+	if p, err := exec.LookPath("ctrlexec"); err == nil {
+		return p
+	}
+	return ""
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8077", "listen address")
-		workers  = flag.Int("workers", 1, "campaigns executed concurrently (each parallelises its own experiments)")
-		queue    = flag.Int("queue", 16, "max campaigns waiting in the queue")
-		data     = flag.String("data", "", "directory for per-campaign JSONL record files (empty = in-memory only)")
-		jdir     = flag.String("journal", "", "directory for the crash-recovery job journal (empty = no journal, no resume)")
-		noResume = flag.Bool("no-resume", false, "replay the journal but do not re-run interrupted campaigns")
+		addr      = flag.String("addr", ":8077", "listen address")
+		workers   = flag.Int("workers", 1, "campaigns executed concurrently (each parallelises its own experiments)")
+		queue     = flag.Int("queue", 16, "max campaigns waiting in the queue")
+		data      = flag.String("data", "", "directory for per-campaign JSONL record files (empty = in-memory only)")
+		jdir      = flag.String("journal", "", "directory for the crash-recovery job journal (empty = no journal, no resume)")
+		noResume  = flag.Bool("no-resume", false, "replay the journal but do not re-run interrupted campaigns")
+		executors = flag.Int("executors", 0, "run campaigns sharded across this many local ctrlexec processes (0 = in-process)")
+		shardSize = flag.Int("shard-size", 0, "experiments per shard for distributed campaigns (0 = default)")
+		execBin   = flag.String("exec-bin", "", "ctrlexec binary for -executors (default: next to this binary, then $PATH)")
 	)
 	flag.Parse()
+
+	if *executors > 0 && *execBin == "" {
+		*execBin = findCtrlexec()
+		if *execBin == "" {
+			fmt.Fprintln(os.Stderr, "ctrlguardd: -executors needs ctrlexec; build it and put it next to ctrlguardd, on $PATH, or pass -exec-bin")
+			os.Exit(1)
+		}
+	}
 
 	if *data != "" {
 		if err := os.MkdirAll(*data, 0o755); err != nil {
@@ -67,6 +103,9 @@ func main() {
 		DataDir:    *data,
 		JournalDir: *jdir,
 		NoResume:   *noResume,
+		Executors:  *executors,
+		ExecBin:    *execBin,
+		ShardSize:  *shardSize,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlguardd:", err)

@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ctrlguard/internal/goofi"
+)
+
+// The chaos suite runs shards on real ctrlexec subprocesses and kills
+// them in every way the coordinator claims to survive: a SIGKILL
+// mid-stream, a self-exit mid-shard, and a silent wedge that only the
+// lease watchdog can detect. Each case must still end with a record
+// file byte-identical to a single-process run — the acceptance bar for
+// the whole distributed layer.
+
+var ctrlexecBin string
+
+func TestMain(m *testing.M) {
+	tmp, err := os.MkdirTemp("", "ctrlexec-build-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctrlexecBin = filepath.Join(tmp, "ctrlexec")
+	out, err := exec.Command("go", "build", "-o", ctrlexecBin, "ctrlguard/cmd/ctrlexec").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "build ctrlexec: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(tmp)
+	os.Exit(code)
+}
+
+func procExecutors(n int, onSpawn func(ShardTask, int)) []Executor {
+	out := make([]Executor, n)
+	for i := range out {
+		out[i] = &Proc{Bin: ctrlexecBin, Tag: fmt.Sprintf("local-%d", i+1), OnSpawn: onSpawn}
+	}
+	return out
+}
+
+func TestProcExecutorsByteIdentical(t *testing.T) {
+	spec := goofi.CampaignSpec{Variant: "alg1", Experiments: 60, Seed: 21}
+	want := soloBytes(t, spec)
+
+	res, err := Run(context.Background(), spec, procExecutors(2, nil), Options{
+		ShardSize:  20,
+		SegmentDir: t.TempDir(),
+		Campaign:   "c-proc",
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Releases != 0 {
+		t.Fatalf("Releases = %d, want 0", res.Releases)
+	}
+	if got := distBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatal("subprocess-distributed record file differs from solo run")
+	}
+}
+
+// TestProcChaosSelfKillReLease: the executor leasing shard 0 exits with
+// status 137 mid-shard (after streaming 3 records). The coordinator
+// must salvage the streamed records, re-lease the shard, and still
+// produce the solo run's bytes.
+func TestProcChaosSelfKillReLease(t *testing.T) {
+	spec := goofi.CampaignSpec{Variant: "alg1", Experiments: 60, Seed: 23}
+	want := soloBytes(t, spec)
+
+	res, err := Run(context.Background(), spec, procExecutors(2, nil), Options{
+		ShardSize:  30,
+		SegmentDir: t.TempDir(),
+		Campaign:   "c-kill",
+		Logger:     quietLogger(),
+		TaskHook: func(task *ShardTask) {
+			if task.Shard == 0 && task.Attempt == 0 {
+				task.ChaosKillAfter = 3
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Releases < 1 {
+		t.Fatalf("Releases = %d, want >= 1 (the killed executor's shard)", res.Releases)
+	}
+	if got := distBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatal("record file differs from solo run after mid-shard executor death")
+	}
+}
+
+// TestProcExternalSIGKILLReLease delivers a real kill -9 to the
+// executor process running shard 0 once it has streamed a few records
+// — the genuine article, not a simulated exit.
+func TestProcExternalSIGKILLReLease(t *testing.T) {
+	spec := goofi.CampaignSpec{Variant: "alg2", Experiments: 60, Seed: 29}
+	want := soloBytes(t, spec)
+
+	var mu sync.Mutex
+	pids := map[int]int{} // shard -> pid of its attempt-0 executor
+	killed := false
+	shard0Records := 0
+
+	res, err := Run(context.Background(), spec, procExecutors(2, func(task ShardTask, pid int) {
+		mu.Lock()
+		if task.Attempt == 0 {
+			pids[task.Shard] = pid
+		}
+		mu.Unlock()
+	}), Options{
+		ShardSize:  30,
+		SegmentDir: t.TempDir(),
+		Campaign:   "c-sigkill",
+		Logger:     quietLogger(),
+		OnRecord: func(rec goofi.Record) {
+			mu.Lock()
+			defer mu.Unlock()
+			if rec.ID >= 30 || killed {
+				return
+			}
+			// Shard 0 is streaming; after its third record, kill its
+			// executor dead mid-shard.
+			shard0Records++
+			if shard0Records >= 3 {
+				killed = true
+				if pid := pids[0]; pid > 0 {
+					syscall.Kill(pid, syscall.SIGKILL)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("the kill never fired; test exercised nothing")
+	}
+	if res.Releases < 1 {
+		t.Fatalf("Releases = %d, want >= 1 after SIGKILL", res.Releases)
+	}
+	if got := distBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatal("record file differs from solo run after SIGKILL'd executor was re-leased")
+	}
+}
+
+// TestProcChaosWedgeLeaseExpiry wedges the shard-0 executor after two
+// records: it stops streaming everything, heartbeats included. Only the
+// lease watchdog can notice; it must kill the process and re-lease.
+func TestProcChaosWedgeLeaseExpiry(t *testing.T) {
+	spec := goofi.CampaignSpec{Variant: "alg1", Experiments: 40, Seed: 31}
+	want := soloBytes(t, spec)
+
+	start := time.Now()
+	const ttl = 1500 * time.Millisecond
+	res, err := Run(context.Background(), spec, procExecutors(2, nil), Options{
+		ShardSize:  20,
+		LeaseTTL:   ttl,
+		SegmentDir: t.TempDir(),
+		Campaign:   "c-wedge",
+		Logger:     quietLogger(),
+		TaskHook: func(task *ShardTask) {
+			if task.Shard == 0 && task.Attempt == 0 {
+				task.ChaosHangAfter = 2
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Releases < 1 {
+		t.Fatalf("Releases = %d, want >= 1 (the wedged executor's lease)", res.Releases)
+	}
+	if elapsed := time.Since(start); elapsed < ttl {
+		t.Fatalf("finished in %v — the wedge cannot have expired a %v lease", elapsed, ttl)
+	}
+	if got := distBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatal("record file differs from solo run after wedged executor was expired")
+	}
+}
+
+// TestHTTPExecutorByteIdentical drives the remote transport end to end
+// against an in-process ShardHandler.
+func TestHTTPExecutorByteIdentical(t *testing.T) {
+	spec := goofi.CampaignSpec{Variant: "alg2", Experiments: 50, Seed: 37}
+	want := soloBytes(t, spec)
+
+	ts := httptest.NewServer(ShardHandler(quietLogger(), false))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), spec, []Executor{&HTTP{URL: ts.URL, Tag: "remote-1"}}, Options{
+		ShardSize:  15,
+		SegmentDir: t.TempDir(),
+		Campaign:   "c-http",
+		Logger:     quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := distBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatal("HTTP-distributed record file differs from solo run")
+	}
+}

@@ -1,0 +1,34 @@
+package dist
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/goofi"
+)
+
+// MergeRecords folds per-shard record sets into the canonical
+// experiment-ordered slice of a solo run. Within a set, a later record
+// for the same experiment ID wins — a re-leased shard's segment may
+// hold a salvaged abandoned record followed by its successful re-run,
+// and the engine's own resume discipline is newest-wins too. Exactly
+// one record per ID in [0, total) must emerge, or the merge fails
+// loudly rather than writing a silently incomplete record file.
+func MergeRecords(total int, shardSets ...[]goofi.Record) ([]goofi.Record, error) {
+	out := make([]goofi.Record, total)
+	seen := make([]bool, total)
+	for _, set := range shardSets {
+		for _, rec := range set {
+			if rec.ID < 0 || rec.ID >= total {
+				return nil, fmt.Errorf("dist: merge: record ID %d outside plan [0,%d)", rec.ID, total)
+			}
+			out[rec.ID] = rec
+			seen[rec.ID] = true
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("dist: merge: no record for experiment %d (incomplete shard coverage)", id)
+		}
+	}
+	return out, nil
+}

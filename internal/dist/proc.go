@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"sync"
+)
+
+// Proc is the local-subprocess Executor: each shard lease spawns one
+// ctrlexec process, writes the task as JSON on its stdin, and reads
+// the event stream from its stdout. The process boundary is the
+// isolation boundary the coordinator's fault tolerance relies on — a
+// wedged executor is SIGKILLed when its lease expires (the Run context
+// is cancelled) and can never take the coordinator down with it, and
+// the executor self-limits its wall clock and heap (ctrlexec -timeout,
+// -mem) so a runaway shard dies on its own machine.
+type Proc struct {
+	// Bin is the ctrlexec binary to spawn.
+	Bin string
+
+	// Args are extra arguments placed before the task is fed on stdin
+	// (e.g. -timeout, -mem resource limits).
+	Args []string
+
+	// Tag names this executor slot in journals and logs
+	// (default "proc").
+	Tag string
+
+	// OnSpawn, if non-nil, observes every spawned process. TEST-ONLY:
+	// the chaos suite uses it to SIGKILL executors mid-shard.
+	OnSpawn func(task ShardTask, pid int)
+}
+
+// Name implements Executor.
+func (p *Proc) Name() string {
+	if p.Tag != "" {
+		return p.Tag
+	}
+	return "proc"
+}
+
+// stderrTail keeps the last chunk of a subprocess's stderr for error
+// reporting without buffering unbounded output.
+type stderrTail struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (t *stderrTail) Write(b []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, b...)
+	if n := len(t.buf); n > 4096 {
+		t.buf = append(t.buf[:0], t.buf[n-4096:]...)
+	}
+	return len(b), nil
+}
+
+func (t *stderrTail) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(bytes.TrimSpace(t.buf))
+}
+
+// Run implements Executor: spawn, feed the task, relay the event
+// stream, and reap. Cancelling ctx kills the subprocess outright
+// (SIGKILL) — the lease-expiry path must work against a process that
+// no longer responds to anything gentler.
+func (p *Proc) Run(ctx context.Context, task ShardTask, sink func(Event)) error {
+	body, err := json.Marshal(task)
+	if err != nil {
+		return fmt.Errorf("dist: encode task: %w", err)
+	}
+	cmd := exec.Command(p.Bin, p.Args...)
+	cmd.Stdin = bytes.NewReader(body)
+	tail := &stderrTail{}
+	cmd.Stderr = tail
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("dist: stdout pipe: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("dist: spawn %s: %w", p.Bin, err)
+	}
+	if p.OnSpawn != nil {
+		p.OnSpawn(task, cmd.Process.Pid)
+	}
+
+	// The killer outlives the scan loop on purpose: a wedged executor
+	// produces no more lines, so only the context can end it.
+	waitDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cmd.Process.Kill()
+		case <-waitDone:
+		}
+	}()
+
+	var (
+		sawDone bool
+		evErr   string
+	)
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A torn line at the end of a killed executor's stream is
+			// expected; anything it managed to stream before is kept.
+			continue
+		}
+		switch ev.Type {
+		case EventDone:
+			sawDone = true
+		case EventError:
+			evErr = ev.Error
+		}
+		sink(ev)
+	}
+	scanErr := sc.Err()
+	waitErr := cmd.Wait()
+	close(waitDone)
+
+	switch {
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case evErr != "":
+		return fmt.Errorf("dist: executor %s failed: %s", p.Name(), evErr)
+	case scanErr != nil:
+		return fmt.Errorf("dist: executor %s stream: %w", p.Name(), scanErr)
+	case waitErr != nil:
+		if msg := tail.String(); msg != "" {
+			return fmt.Errorf("dist: executor %s exited: %w (stderr: %s)", p.Name(), waitErr, msg)
+		}
+		return fmt.Errorf("dist: executor %s exited: %w", p.Name(), waitErr)
+	case !sawDone:
+		return fmt.Errorf("dist: executor %s stream ended without a done event", p.Name())
+	}
+	return nil
+}

@@ -53,3 +53,19 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	}
 	return nil
 }
+
+// SyncDir fsyncs a directory, persisting rename/create/unlink entries
+// within it. Unlike the advisory directory sync inside WriteFile, every
+// failure is reported — callers that must know the rename is durable
+// before acting on it (the journal's compaction) use this.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsatomic: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

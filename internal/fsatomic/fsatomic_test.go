@@ -63,6 +63,15 @@ func TestWriteFileFailureLeavesOldContent(t *testing.T) {
 	}
 }
 
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory: want error")
+	}
+}
+
 func TestWriteFileCreatesMissingTarget(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fresh.jsonl")
 	if err := WriteFile(path, func(w io.Writer) error {

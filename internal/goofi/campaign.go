@@ -114,6 +114,19 @@ type Config struct {
 	// (0 = DefaultCheckpointCap).
 	CheckpointCap int
 
+	// Shard, if non-nil, restricts the campaign to the contiguous
+	// experiment-ID range [Shard.Start, Shard.End) of the full plan.
+	// The golden run, the sampler's full plan, and the pruner's
+	// classification are identical to a solo run's; only experiments in
+	// the range execute and emit records (plus any out-of-shard class
+	// representative an in-shard member's verdict depends on, which runs
+	// but is not emitted). Result.Records holds the shard's records in
+	// experiment-ID order, each byte-identical to the corresponding solo
+	// record — the invariant distributed campaigns rely on to merge
+	// shard segments into a solo-identical file. Incompatible with Trace
+	// (which must see the whole campaign).
+	Shard *Shard
+
 	// warm carries the fast-path state across the batches of a
 	// sequential campaign, so later batches skip the golden run and
 	// reuse cached checkpoints.
@@ -187,6 +200,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.Experiments <= 0 {
 		return nil, fmt.Errorf("goofi: campaign needs a positive experiment count, got %d", cfg.Experiments)
+	}
+	shard := cfg.Shard
+	if shard != nil {
+		if err := shard.validFor(cfg.Experiments); err != nil {
+			return nil, err
+		}
+		if cfg.Trace != nil {
+			return nil, fmt.Errorf("goofi: shard-scoped campaigns cannot trace (tracing needs the whole campaign)")
+		}
+	}
+	inShard := func(i int) bool { return shard == nil || shard.Contains(i) }
+	shardTotal := cfg.Experiments
+	if shard != nil {
+		shardTotal = shard.Size()
 	}
 	if cfg.Spec.Iterations == 0 {
 		cfg.Spec = workload.SpecFor(cfg.Variant)
@@ -300,7 +327,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		var reused []Record
 		for i := range injections {
 			rec, ok := byID[i]
-			if !ok || !resumable(rec, string(cfg.Variant), injections[i]) {
+			if !ok || !inShard(i) || !resumable(rec, string(cfg.Variant), injections[i]) {
 				continue
 			}
 			// Normalize to this run's plan so a restarted campaign's
@@ -315,7 +342,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		faults.Resumed = len(reused)
 		if len(reused) > 0 {
 			if cfg.Progress != nil {
-				cfg.Progress(done, cfg.Experiments)
+				cfg.Progress(done, shardTotal)
 			}
 			if cfg.OnResume != nil {
 				cfg.OnResume(reused)
@@ -328,15 +355,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// start).
 	fanOut := func(rep int) {
 		for _, m := range plan.members[rep] {
-			if completed[m] {
-				continue // reused from a resumed run
+			if completed[m] || !inShard(m) {
+				continue // reused from a resumed run, or another shard's
 			}
 			rec := memberRecord(m, injections[m], records[rep])
 			records[m] = rec
 			completed[m] = true
 			done++
 			if cfg.Progress != nil {
-				cfg.Progress(done, cfg.Experiments)
+				cfg.Progress(done, shardTotal)
 			}
 			if cfg.OnRecord != nil {
 				cfg.OnRecord(rec)
@@ -347,7 +374,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if plan != nil && ctx.Err() == nil {
 		// Dead faults never execute: synthesize their records up front.
 		for i := range injections {
-			if completed[i] || plan.decision[i] != pdDead {
+			if completed[i] || plan.decision[i] != pdDead || !inShard(i) {
 				continue
 			}
 			rec := deadRecord(cfg, i, injections[i], prn.deadVerdict)
@@ -355,7 +382,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			completed[i] = true
 			done++
 			if cfg.Progress != nil {
-				cfg.Progress(done, cfg.Experiments)
+				cfg.Progress(done, shardTotal)
 			}
 			if cfg.OnRecord != nil {
 				cfg.OnRecord(rec)
@@ -395,13 +422,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				mu.Lock()
 				records[i] = rec
 				completed[i] = true
-				done++
 				faults.add(fs)
-				if cfg.Progress != nil {
-					cfg.Progress(done, cfg.Experiments)
-				}
-				if cfg.OnRecord != nil {
-					cfg.OnRecord(rec)
+				// An out-of-shard representative ran only to supply its
+				// class verdict: record the run for fan-out, emit nothing.
+				if inShard(i) {
+					done++
+					if cfg.Progress != nil {
+						cfg.Progress(done, shardTotal)
+					}
+					if cfg.OnRecord != nil {
+						cfg.OnRecord(rec)
+					}
 				}
 				if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
 					fanOut(i)
@@ -421,6 +452,27 @@ feed:
 		// writes concurrently.
 		if plan != nil && (plan.decision[i] == pdDead || plan.decision[i] == pdMember) {
 			continue
+		}
+		if !inShard(i) {
+			// Another shard's experiment — unless it is a class
+			// representative whose verdict an in-shard member still
+			// needs, in which case it runs here too (un-emitted). The
+			// members read below is safe unlocked: only this
+			// representative's own fan-out writes them, and it cannot
+			// have been dispatched yet.
+			if plan == nil || plan.decision[i] != pdRep {
+				continue
+			}
+			needed := false
+			for _, m := range plan.members[i] {
+				if inShard(m) && !completed[m] {
+					needed = true
+					break
+				}
+			}
+			if !needed {
+				continue
+			}
 		}
 		if completed[i] {
 			continue // reused from a resumed run
@@ -443,7 +495,7 @@ feed:
 				continue
 			}
 			for _, m := range members {
-				if completed[m] || ctx.Err() != nil {
+				if completed[m] || !inShard(m) || ctx.Err() != nil {
 					continue
 				}
 				rec, fs := runExperimentIsolated(prog, cfg, golden, warm, m, injections[m])
@@ -452,7 +504,7 @@ feed:
 				done++
 				faults.add(fs)
 				if cfg.Progress != nil {
-					cfg.Progress(done, cfg.Experiments)
+					cfg.Progress(done, shardTotal)
 				}
 				if cfg.OnRecord != nil {
 					cfg.OnRecord(rec)
@@ -461,6 +513,10 @@ feed:
 		}
 	}
 
+	lo, hi := 0, cfg.Experiments
+	if shard != nil {
+		lo, hi = shard.Start, shard.End
+	}
 	res := &Result{Config: cfg, Golden: golden, Records: records, Faults: faults}
 	if warm != nil {
 		res.Config.warm = warm
@@ -470,16 +526,20 @@ feed:
 		res.Config.prune = prn
 	}
 	if plan != nil {
-		res.Prune = tallyPrune(records, completed, cfg.Experiments)
+		res.Prune = tallyPrune(records, completed, shardTotal, lo, hi)
 	}
-	if err := ctx.Err(); err != nil {
+	if shard != nil || ctx.Err() != nil {
+		// Shard runs emit only their own range; cancelled runs only what
+		// finished. Either way the records stay in experiment-ID order.
 		partial := make([]Record, 0, done)
-		for i, ok := range completed {
-			if ok {
+		for i := lo; i < hi; i++ {
+			if completed[i] {
 				partial = append(partial, records[i])
 			}
 		}
 		res.Records = partial
+	}
+	if err := ctx.Err(); err != nil {
 		return res, err
 	}
 	return res, nil

@@ -194,10 +194,14 @@ func memberRecord(id int, inj workload.Injection, rep Record) Record {
 
 // tallyPrune derives the campaign's pruning statistics from the
 // completed records' provenance, so the stats agree with the records
-// even across resumes and abandoned-representative fallbacks.
-func tallyPrune(records []Record, completed []bool, planned int) *PruneStats {
+// even across resumes and abandoned-representative fallbacks. The
+// [lo, hi) range scopes the tally to a shard's own records; an
+// out-of-shard representative executed only for its verdict counts
+// toward no shard (its home shard tallies the emitted record).
+func tallyPrune(records []Record, completed []bool, planned, lo, hi int) *PruneStats {
 	s := &PruneStats{Planned: planned}
-	for i, rec := range records {
+	for i := lo; i < hi; i++ {
+		rec := records[i]
 		if !completed[i] {
 			continue
 		}

@@ -1,0 +1,65 @@
+package goofi
+
+import "fmt"
+
+// Distributed campaigns split one plan across executor processes. The
+// unit of distribution is a contiguous slice of experiment IDs: the
+// sampler draws the identical full plan everywhere (it is deterministic
+// for a given spec and seed), so a shard needs only its [Start, End)
+// range to know exactly which injections are its own. Contiguity is
+// what makes the final merge trivial and deterministic: concatenating
+// the shards' record sets in shard order yields the experiment-ordered
+// record file of a solo run.
+//
+// Pruning equivalence classes do not respect shard boundaries: a class
+// member's record is inferred from its representative's verdict, and
+// the representative (the class's lowest experiment ID) may live in
+// another shard. A shard therefore *executes* an out-of-shard
+// representative when one of its own members needs the verdict, but
+// never emits its record — the representative's home shard does that.
+// The duplicated run is deterministic, so both shards derive identical
+// member records and the merge stays byte-identical to a solo run.
+
+// Shard restricts a campaign to the contiguous experiment-ID range
+// [Start, End) of its full plan. The campaign still draws and
+// classifies the complete plan (both are cheap and deterministic);
+// only execution and record emission are scoped.
+type Shard struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Size is the number of experiments the shard owns.
+func (s Shard) Size() int { return s.End - s.Start }
+
+// Contains reports whether experiment id belongs to the shard.
+func (s Shard) Contains(id int) bool { return id >= s.Start && id < s.End }
+
+// validFor checks the shard against the campaign's plan size.
+func (s Shard) validFor(experiments int) error {
+	if s.Start < 0 || s.End <= s.Start || s.End > experiments {
+		return fmt.Errorf("goofi: shard [%d,%d) invalid for a %d-experiment plan", s.Start, s.End, experiments)
+	}
+	return nil
+}
+
+// SplitShards partitions a plan of total experiments into contiguous
+// shards of at most size experiments each (the final shard takes the
+// remainder). size <= 0 yields a single shard covering the whole plan.
+func SplitShards(total, size int) []Shard {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 || size > total {
+		size = total
+	}
+	shards := make([]Shard, 0, (total+size-1)/size)
+	for start := 0; start < total; start += size {
+		end := start + size
+		if end > total {
+			end = total
+		}
+		shards = append(shards, Shard{Start: start, End: end})
+	}
+	return shards
+}

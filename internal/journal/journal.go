@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +44,24 @@ const (
 	EventTerminal EventType = "terminal"
 	// EventResumed records a restart re-enqueueing an interrupted job.
 	EventResumed EventType = "resumed"
+
+	// EventShardLeased records a distributed campaign shard being leased
+	// to an executor — a first lease or a re-lease after a failure. The
+	// shard index rides in Entry.Shard, the executor name in
+	// Entry.Executor.
+	EventShardLeased EventType = "shard-leased"
+	// EventShardRenewed records a lease renewal: the executor streamed
+	// progress recently. Renewals are throttled by the coordinator so
+	// the journal grows with shard count, not record count.
+	EventShardRenewed EventType = "shard-renewed"
+	// EventShardCompleted records a shard finishing; its segment file
+	// holds every in-shard record. On restart, completed shards are not
+	// re-leased — their segments are merged as-is.
+	EventShardCompleted EventType = "shard-completed"
+	// EventShardExpired records a lease expiring or an executor dying;
+	// the shard returns to the queue for re-lease, resuming from
+	// whatever its segment salvaged.
+	EventShardExpired EventType = "shard-expired"
 )
 
 // Entry is one journal line. The job specs are opaque JSON so the
@@ -59,6 +79,11 @@ type Entry struct {
 	Error    string          `json:"error,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 	TuneSpec json.RawMessage `json:"tuneSpec,omitempty"`
+	// Shard and Executor describe distributed-campaign lease events
+	// (the shard-* event types). Shard is a pointer so shard 0 is
+	// distinguishable from "not a shard event".
+	Shard    *int   `json:"shard,omitempty"`
+	Executor string `json:"executor,omitempty"`
 }
 
 // TruncatedError reports a journal whose final line was cut short by a
@@ -253,6 +278,10 @@ type JobStatus struct {
 	// EventTerminal — the job finished (in some state) rather than being
 	// cut off mid-flight by a crash.
 	Terminal bool
+	// ShardsDone holds the shard indices this job has completed, for
+	// distributed campaigns. A restarted coordinator skips these shards
+	// and merges their segment files directly.
+	ShardsDone map[int]bool
 }
 
 // Reduce folds a replayed entry stream into per-job statuses, ordered
@@ -301,6 +330,13 @@ func Reduce(entries []Entry) []JobStatus {
 		case EventResumed:
 			s.Terminal = false
 			s.Error = ""
+		case EventShardCompleted:
+			if e.Shard != nil {
+				if s.ShardsDone == nil {
+					s.ShardsDone = make(map[int]bool)
+				}
+				s.ShardsDone[*e.Shard] = true
+			}
 		}
 	}
 	out := make([]JobStatus, 0, len(order))
@@ -335,6 +371,25 @@ func (j *Journal) Compact(statuses []JobStatus) error {
 				return fmt.Errorf("journal: compact encode: %w", err)
 			}
 			if !s.Terminal {
+				// An in-flight distributed campaign's completed shards
+				// must survive compaction, or a restart would re-run
+				// them. One entry per shard, in index order.
+				shards := make([]int, 0, len(s.ShardsDone))
+				for sh := range s.ShardsDone {
+					shards = append(shards, sh)
+				}
+				sort.Ints(shards)
+				for _, sh := range shards {
+					seq++
+					shard := sh
+					done := Entry{
+						Seq: seq, Time: s.Submitted, Job: s.Job,
+						Type: EventShardCompleted, Shard: &shard,
+					}
+					if err := enc.Encode(&done); err != nil {
+						return fmt.Errorf("journal: compact encode: %w", err)
+					}
+				}
 				continue
 			}
 			seq++
@@ -352,6 +407,13 @@ func (j *Journal) Compact(statuses []JobStatus) error {
 	})
 	if err != nil {
 		return err
+	}
+	// The journal is the server's source of truth across restarts: the
+	// rename that installed the compacted file must itself be durable
+	// before the old entries are considered gone, so unlike WriteFile's
+	// advisory sync this directory fsync is a hard requirement.
+	if err := fsatomic.SyncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
 	}
 	// Reopen the rewritten file for appending; the old descriptor now
 	// points at the unlinked pre-compaction inode.

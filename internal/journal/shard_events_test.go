@@ -1,0 +1,121 @@
+package journal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func intp(v int) *int { return &v }
+
+func TestReduceFoldsCompletedShards(t *testing.T) {
+	entries := []Entry{
+		{Job: "c1", Type: EventSubmitted, Kind: "campaign", Total: 60},
+		{Job: "c1", Type: EventStarted, State: "running"},
+		{Job: "c1", Type: EventShardLeased, Shard: intp(0), Executor: "local-1"},
+		{Job: "c1", Type: EventShardLeased, Shard: intp(1), Executor: "local-2"},
+		{Job: "c1", Type: EventShardRenewed, Shard: intp(0), Executor: "local-1"},
+		{Job: "c1", Type: EventShardCompleted, Shard: intp(1), Executor: "local-2"},
+		{Job: "c1", Type: EventShardExpired, Shard: intp(0), Executor: "local-1", Error: "lease expired"},
+		{Job: "c1", Type: EventShardLeased, Shard: intp(0), Executor: "local-2"},
+		{Job: "c1", Type: EventShardCompleted, Shard: intp(0), Executor: "local-2"},
+	}
+	statuses := Reduce(entries)
+	if len(statuses) != 1 {
+		t.Fatalf("got %d statuses, want 1", len(statuses))
+	}
+	s := statuses[0]
+	if len(s.ShardsDone) != 2 || !s.ShardsDone[0] || !s.ShardsDone[1] {
+		t.Fatalf("ShardsDone = %v, want {0,1}", s.ShardsDone)
+	}
+	if s.Terminal {
+		t.Fatal("completed shards must not make the job terminal")
+	}
+}
+
+func TestShardEventsRoundTripThroughFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []Entry{
+		{Job: "c1", Type: EventSubmitted, Kind: "campaign", Total: 40},
+		{Job: "c1", Type: EventShardLeased, Shard: intp(0), Executor: "w1", Done: 0},
+		{Job: "c1", Type: EventShardCompleted, Shard: intp(0), Executor: "w1", Done: 20},
+	}
+	for _, e := range writes {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	_, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(entries))
+	}
+	got := entries[1]
+	if got.Type != EventShardLeased || got.Shard == nil || *got.Shard != 0 || got.Executor != "w1" {
+		t.Fatalf("shard-leased entry did not round-trip: %+v", got)
+	}
+	statuses := Reduce(entries)
+	if !statuses[0].ShardsDone[0] {
+		t.Fatalf("ShardsDone after replay = %v, want {0}", statuses[0].ShardsDone)
+	}
+}
+
+// TestCompactPreservesShardCompletions: compacting a journal with an
+// in-flight distributed campaign must not lose which shards finished —
+// a restart would otherwise re-run them.
+func TestCompactPreservesShardCompletions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := []Entry{
+		{Job: "c1", Type: EventSubmitted, Kind: "campaign", Total: 90},
+		{Job: "c1", Type: EventStarted, State: "running"},
+		{Job: "c1", Type: EventShardCompleted, Shard: intp(2)},
+		{Job: "c1", Type: EventShardCompleted, Shard: intp(0)},
+		{Job: "c2", Type: EventSubmitted, Kind: "campaign", Total: 10},
+		{Job: "c2", Type: EventTerminal, State: "done", Done: 10, Total: 10},
+	}
+	for _, e := range seed {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Compact(Reduce(seed)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statuses := Reduce(entries)
+	if len(statuses) != 2 {
+		t.Fatalf("got %d statuses after compaction, want 2", len(statuses))
+	}
+	c1 := statuses[0]
+	if len(c1.ShardsDone) != 2 || !c1.ShardsDone[0] || !c1.ShardsDone[2] {
+		t.Fatalf("compaction lost shard completions: %v, want {0,2}", c1.ShardsDone)
+	}
+	if c1.Terminal {
+		t.Fatal("c1 must stay non-terminal through compaction")
+	}
+	if !statuses[1].Terminal || statuses[1].State != "done" {
+		t.Fatalf("c2 lost its terminal state: %+v", statuses[1])
+	}
+	// Terminal jobs do not need their shard trail.
+	for _, e := range entries {
+		if e.Job == "c2" && e.Type == EventShardCompleted {
+			t.Fatal("compaction emitted shard entries for a terminal job")
+		}
+	}
+}

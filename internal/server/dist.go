@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ctrlguard/internal/dist"
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/journal"
+)
+
+// Distributed campaigns: with executors configured, the manager stops
+// running eligible campaigns on its own goroutines and becomes a
+// coordinator instead — the plan is split into contiguous shards and
+// leased out to ctrlexec processes (local subprocesses and/or remote
+// HTTP executors that registered themselves), with the dist package's
+// lease machinery recovering from any executor death mid-shard. The
+// merged result is byte-identical to a solo run, so everything
+// downstream (reports, records, resume) is unchanged.
+
+// execTTL is how long a remote executor registration stays live without
+// a heartbeat re-POST (ctrlexec beats every 5s).
+const execTTL = 15 * time.Second
+
+// execEntry is one registered remote executor.
+type execEntry struct {
+	Name string    `json:"name"`
+	URL  string    `json:"url"`
+	Seen time.Time `json:"seen"`
+}
+
+// execRegistry tracks remote executors by name. Registration and
+// heartbeat are the same idempotent upsert; entries expire lazily when
+// read after going execTTL without one.
+type execRegistry struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	m   map[string]execEntry
+}
+
+func newExecRegistry(ttl time.Duration) *execRegistry {
+	if ttl <= 0 {
+		ttl = execTTL
+	}
+	return &execRegistry{ttl: ttl, m: make(map[string]execEntry)}
+}
+
+func (r *execRegistry) upsert(name, url string) execEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := execEntry{Name: name, URL: url, Seen: time.Now()}
+	r.m[name] = e
+	return e
+}
+
+func (r *execRegistry) remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	return ok
+}
+
+// live returns the unexpired registrations, pruning the rest, sorted by
+// name for stable executor ordering.
+func (r *execRegistry) live() []execEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := time.Now().Add(-r.ttl)
+	out := make([]execEntry, 0, len(r.m))
+	for name, e := range r.m {
+		if e.Seen.Before(cutoff) {
+			delete(r.m, name)
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// distEligible reports whether a campaign should run through the
+// coordinator: executors are available and the job is a plain
+// (non-sequential) campaign. Precision-driven campaigns batch their
+// experiments adaptively, so their IDs are not stable across processes
+// and they stay on the solo path.
+func (m *Manager) distEligible(c *Campaign) bool {
+	if c.Kind != KindCampaign || c.Spec.Sequential() {
+		return false
+	}
+	return m.distWorkers > 0 || (m.registry != nil && len(m.registry.live()) > 0)
+}
+
+// distExecutors assembles the executor set for one campaign: the
+// configured number of local ctrlexec subprocess slots plus every live
+// remote registration at lease time.
+func (m *Manager) distExecutors() []dist.Executor {
+	var out []dist.Executor
+	for i := 0; i < m.distWorkers; i++ {
+		out = append(out, &dist.Proc{
+			Bin:     m.execBin,
+			Args:    m.execArgs,
+			Tag:     fmt.Sprintf("local-%d", i+1),
+			OnSpawn: m.spawnHook,
+		})
+	}
+	if m.registry != nil {
+		for _, e := range m.registry.live() {
+			out = append(out, &dist.HTTP{URL: e.URL, Tag: e.Name})
+		}
+	}
+	return out
+}
+
+// executeDist runs one campaign as a distributed coordinator. The
+// shard segments live next to the record file (<id>.shards/) so a
+// coordinator restart salvages them; journaled shard completions skip
+// finished shards entirely.
+func (m *Manager) executeDist(ctx context.Context, c *Campaign, resumed bool) {
+	segDir := ""
+	if m.dataDir != "" {
+		segDir = filepath.Join(m.dataDir, c.ID+".shards")
+	} else {
+		tmp, err := os.MkdirTemp("", "ctrlguard-shards-")
+		if err != nil {
+			m.finalize(c, nil, goofi.FaultStats{}, fmt.Errorf("segment dir: %w", err), "")
+			return
+		}
+		segDir = tmp
+		defer os.RemoveAll(tmp)
+	}
+	if !resumed {
+		// A fresh submission must not inherit segments from an earlier
+		// unjournaled run under the same ID.
+		os.RemoveAll(segDir)
+	}
+
+	c.mu.Lock()
+	completed := c.shardsDone
+	c.mu.Unlock()
+	if !resumed {
+		completed = nil
+	}
+
+	var lastJournal time.Time
+	var mu sync.Mutex
+	opts := dist.Options{
+		ShardSize:       m.shardSize,
+		LeaseTTL:        m.leaseTTL,
+		SegmentDir:      segDir,
+		Campaign:        c.ID,
+		CompletedShards: completed,
+		Logger:          m.logger,
+		TaskHook:        m.distTaskHook,
+		Journal: func(e journal.Entry) {
+			switch e.Type {
+			case journal.EventShardLeased:
+				metrics.ShardsLeased.Add(1)
+			case journal.EventShardCompleted:
+				metrics.ShardsCompleted.Add(1)
+			case journal.EventShardExpired:
+				metrics.ShardsExpired.Add(1)
+			}
+			m.appendJournal(e)
+		},
+		OnRecord: func(rec goofi.Record) {
+			metrics.ExperimentsTotal.Add(1)
+			c.mu.Lock()
+			c.outcomes[rec.Outcome]++
+			c.mu.Unlock()
+		},
+		OnProgress: func(done, total int) {
+			c.mu.Lock()
+			c.done, c.total = done, total
+			c.broadcastLocked(c.eventLocked("progress"))
+			outcomes := copyCounts(c.outcomes)
+			c.mu.Unlock()
+			mu.Lock()
+			due := time.Since(lastJournal) >= journalProgressEvery
+			if due {
+				lastJournal = time.Now()
+			}
+			mu.Unlock()
+			if due {
+				m.appendJournal(journal.Entry{Job: c.ID, Type: journal.EventProgress,
+					Done: done, Total: total, Outcomes: outcomes})
+			}
+		},
+	}
+
+	executors := m.distExecutors()
+	m.logger.Printf("campaign %s: distributing across %d executors (shard size %d)",
+		c.ID, len(executors), opts.ShardSize)
+	res, runErr := dist.Run(ctx, c.Spec, executors, opts)
+
+	var recs []goofi.Record
+	var faults goofi.FaultStats
+	path := ""
+	if res != nil {
+		recs = res.Records
+		faults = res.Faults
+		metrics.ExperimentsResumed.Add(int64(faults.Resumed))
+		prune := res.Prune
+		metrics.ExperimentsPlanned.Add(int64(prune.Planned))
+		metrics.ExperimentsSimulated.Add(int64(prune.Simulated))
+		metrics.ExperimentsPrunedDead.Add(int64(prune.PrunedDead))
+		metrics.ExperimentsCollapsed.Add(int64(prune.Collapsed))
+		c.mu.Lock()
+		p := prune
+		c.prune = &p
+		// The coordinator counts progress from salvaged segments too;
+		// outcomes for those records arrive only with the final merge.
+		c.outcomes = make(map[string]int)
+		for _, rec := range recs {
+			c.outcomes[rec.Outcome]++
+		}
+		c.mu.Unlock()
+	}
+	if m.dataDir != "" && len(recs) > 0 && !m.killed.Load() {
+		path = filepath.Join(m.dataDir, c.ID+".jsonl")
+		if err := goofi.SaveRecords(path, recs); err != nil {
+			path = ""
+			if runErr == nil {
+				runErr = err
+			}
+		}
+	}
+	if runErr == nil {
+		// dist.Run already removed the segment files on success; drop
+		// the now-empty working directory too.
+		os.Remove(segDir)
+	}
+	m.finalize(c, recs, faults, runErr, path)
+}
+
+// --- executor registry HTTP endpoints -------------------------------
+
+// handleExecRegister is POST /api/v1/executors: a remote ctrlexec
+// announces (or re-announces — this doubles as the heartbeat) itself.
+func (s *Server) handleExecRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad executor registration: %v", err)
+		return
+	}
+	if req.Name == "" || req.URL == "" {
+		s.writeError(w, http.StatusBadRequest, "executor registration needs name and url")
+		return
+	}
+	e := s.mgr.registry.upsert(req.Name, req.URL)
+	metrics.ExecutorsRegistered.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"name":    e.Name,
+		"url":     e.URL,
+		"ttl":     s.mgr.registry.ttl.String(),
+		"expires": e.Seen.Add(s.mgr.registry.ttl),
+	})
+}
+
+// handleExecList is GET /api/v1/executors: the live registrations.
+func (s *Server) handleExecList(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"executors": s.mgr.registry.live()})
+}
+
+// handleExecDelete is DELETE /api/v1/executors/{name}: a clean
+// deregistration on executor shutdown.
+func (s *Server) handleExecDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.mgr.registry.remove(name) {
+		s.writeError(w, http.StatusNotFound, "no executor %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"ctrlguard/internal/goofi"
 	"ctrlguard/internal/tune"
@@ -179,6 +180,55 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	rep.TopElements = q.TopElements(5)
 	rep.MaxDeviation.Min, rep.MaxDeviation.Mean, rep.MaxDeviation.Max = q.MaxDeviationStats()
 	s.writeJSON(w, http.StatusOK, rep)
+}
+
+// Raw-record pagination bounds: a campaign can hold hundreds of
+// thousands of records, so /records never returns more than a page.
+const (
+	recordsDefaultLimit = 100
+	recordsMaxLimit     = 1000
+)
+
+// handleRecords serves a campaign's raw records one page at a time:
+// GET /api/v1/campaigns/{id}/records?offset=&limit=. Records are in
+// experiment order; offset past the end yields an empty page rather
+// than an error, so clients can walk until they get fewer than limit.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil || offset < 0 {
+		s.writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
+		return
+	}
+	limit, err := queryInt(r, "limit", recordsDefaultLimit)
+	if err != nil || limit <= 0 || limit > recordsMaxLimit {
+		s.writeError(w, http.StatusBadRequest, "limit must be an integer in [1,%d]", recordsMaxLimit)
+		return
+	}
+	recs := c.Records()
+	total := len(recs)
+	lo := min(offset, total)
+	hi := min(lo+limit, total)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"campaign": c.ID,
+		"total":    total,
+		"offset":   offset,
+		"limit":    limit,
+		"count":    hi - lo,
+		"records":  recs[lo:hi],
+	})
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
 }
 
 // handleSubmitTune validates a JSON tuning spec and enqueues a

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ctrlguard/internal/dist"
 	"ctrlguard/internal/goofi"
 	"ctrlguard/internal/journal"
 	"ctrlguard/internal/tune"
@@ -97,6 +98,7 @@ type Campaign struct {
 	userCancel bool // cancelled via the API, as opposed to a shutdown
 	faults     goofi.FaultStats
 	prune      *goofi.PruneStats
+	shardsDone map[int]bool // journal-replayed completed shards (dist resume)
 	cancel     context.CancelFunc
 	subs       map[chan Event]struct{}
 	doneCh     chan struct{} // closed on reaching a terminal state
@@ -262,6 +264,30 @@ type Options struct {
 	// uses it to inject worker panics, hangs, and timeouts; production
 	// configs leave it nil.
 	ConfigHook func(*goofi.Config)
+
+	// Executors, when positive, turns the manager into a distributed
+	// coordinator: eligible campaigns are sharded across this many
+	// local ctrlexec subprocesses (plus any registered remote
+	// executors) instead of running in-process. Requires ExecBin.
+	Executors int
+	// ExecBin is the ctrlexec binary local executor slots spawn.
+	ExecBin string
+	// ExecArgs are extra arguments for spawned executors (resource
+	// limits like -timeout and -mem).
+	ExecArgs []string
+	// ShardSize is the experiments-per-shard for distributed campaigns
+	// (default dist.DefaultShardSize).
+	ShardSize int
+	// LeaseTTL overrides the shard lease TTL (default
+	// dist.DefaultLeaseTTL). Tests shrink it to exercise expiry fast.
+	LeaseTTL time.Duration
+	// DistTaskHook, if non-nil, observes (and may mutate) every shard
+	// task before it is leased. TEST-ONLY: the chaos suite plants
+	// executor kill/hang knobs through it.
+	DistTaskHook func(*dist.ShardTask)
+	// ExecSpawnHook, if non-nil, observes every spawned local executor
+	// process. TEST-ONLY: the chaos suite SIGKILLs executors through it.
+	ExecSpawnHook func(task dist.ShardTask, pid int)
 }
 
 // Manager owns the campaign queue and worker pool.
@@ -276,6 +302,16 @@ type Manager struct {
 	hook    func(*goofi.Config)
 	closing atomic.Bool // graceful shutdown: running jobs -> interrupted
 	killed  atomic.Bool // test-only crash: suppress journal/terminal writes
+
+	// Distributed-coordinator state (see dist.go).
+	distWorkers  int
+	execBin      string
+	execArgs     []string
+	shardSize    int
+	leaseTTL     time.Duration
+	registry     *execRegistry
+	distTaskHook func(*dist.ShardTask)
+	spawnHook    func(task dist.ShardTask, pid int)
 
 	mu     sync.Mutex
 	jobs   map[string]*Campaign
@@ -298,14 +334,25 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.Logger == nil {
 		opts.Logger = log.Default()
 	}
+	if opts.Executors > 0 && opts.ExecBin == "" {
+		return nil, errors.New("server: Executors > 0 requires ExecBin (the ctrlexec binary to spawn)")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		baseCtx: ctx,
-		stop:    cancel,
-		dataDir: opts.DataDir,
-		logger:  opts.Logger,
-		hook:    opts.ConfigHook,
-		jobs:    make(map[string]*Campaign),
+		baseCtx:      ctx,
+		stop:         cancel,
+		dataDir:      opts.DataDir,
+		logger:       opts.Logger,
+		hook:         opts.ConfigHook,
+		jobs:         make(map[string]*Campaign),
+		distWorkers:  opts.Executors,
+		execBin:      opts.ExecBin,
+		execArgs:     opts.ExecArgs,
+		shardSize:    opts.ShardSize,
+		leaseTTL:     opts.LeaseTTL,
+		registry:     newExecRegistry(0),
+		distTaskHook: opts.DistTaskHook,
+		spawnHook:    opts.ExecSpawnHook,
 	}
 	var pending []*Campaign
 	if opts.JournalPath != "" {
@@ -361,6 +408,7 @@ func (m *Manager) restoreJobs(entries []journal.Entry, resume bool) []*Campaign 
 		for k, v := range s.Outcomes {
 			c.outcomes[k] = v
 		}
+		c.shardsDone = s.ShardsDone
 		if len(s.Spec) > 0 {
 			if err := json.Unmarshal(s.Spec, &c.Spec); err != nil {
 				m.logger.Printf("journal: job %s has an unreadable spec, dropping: %v", s.Job, err)
@@ -640,6 +688,13 @@ func (m *Manager) execute(c *Campaign) {
 
 	if c.Kind == KindTune {
 		m.runTune(ctx, c)
+		return
+	}
+
+	// With executors available, eligible campaigns run through the
+	// distributed coordinator instead of this worker's goroutines.
+	if m.distEligible(c) {
+		m.executeDist(ctx, c, resumed)
 		return
 	}
 

@@ -30,8 +30,15 @@ var metrics struct {
 	ExperimentsSimulated  expvar.Int
 	ExperimentsPrunedDead expvar.Int
 	ExperimentsCollapsed  expvar.Int
-	BusyWorkers          expvar.Int
-	TotalWorkers         expvar.Int
+	BusyWorkers           expvar.Int
+	TotalWorkers          expvar.Int
+
+	// Distributed-campaign scheduling: shard lease lifecycle counts and
+	// remote-executor registrations (each heartbeat re-POST counts).
+	ShardsLeased        expvar.Int
+	ShardsCompleted     expvar.Int
+	ShardsExpired       expvar.Int
+	ExecutorsRegistered expvar.Int
 
 	start time.Time
 	once  sync.Once
@@ -60,6 +67,10 @@ func metricsInit(workers int) {
 		m.Set("experiments_simulated", &metrics.ExperimentsSimulated)
 		m.Set("experiments_pruned_dead", &metrics.ExperimentsPrunedDead)
 		m.Set("experiments_collapsed", &metrics.ExperimentsCollapsed)
+		m.Set("shards_leased", &metrics.ShardsLeased)
+		m.Set("shards_completed", &metrics.ShardsCompleted)
+		m.Set("shards_expired", &metrics.ShardsExpired)
+		m.Set("executors_registered", &metrics.ExecutorsRegistered)
 		m.Set("campaign_workers", &metrics.TotalWorkers)
 		m.Set("campaign_workers_busy", &metrics.BusyWorkers)
 		m.Set("experiments_per_sec", expvar.Func(func() any {

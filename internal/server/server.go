@@ -10,6 +10,9 @@
 //	DELETE /api/v1/campaigns/{id}        cancel a campaign
 //	GET    /api/v1/campaigns/{id}/events live progress (NDJSON or SSE)
 //	GET    /api/v1/campaigns/{id}/report query the stored records
+//	GET    /api/v1/campaigns/{id}/records
+//	                                     page through raw records
+//	                                     (?offset=&limit=)
 //	GET    /api/v1/campaigns/{id}/experiments/{n}/trace
 //	                                     replay experiment n in detail
 //	                                     mode and serve its propagation
@@ -17,6 +20,10 @@
 //	POST   /api/v1/tune                  submit a design-space tuning job
 //	GET    /api/v1/tune/{id}/result      a finished tune job's outcome
 //	GET    /api/v1/variants              available workload variants
+//	POST   /api/v1/executors             remote executor registration
+//	                                     and heartbeat (same upsert)
+//	GET    /api/v1/executors             live remote executors
+//	DELETE /api/v1/executors/{name}      deregister an executor
 //	GET    /metrics                      expvar campaign metrics
 //	GET    /healthz                      liveness probe
 package server
@@ -69,6 +76,23 @@ type Config struct {
 	// just before it runs. TEST-ONLY: the chaos harness injects worker
 	// panics and hangs through it; leave nil in production.
 	ConfigHook func(*goofi.Config)
+
+	// Executors, when positive, runs eligible campaigns through the
+	// distributed coordinator with this many local ctrlexec
+	// subprocesses (plus any remote executors that register
+	// themselves). Requires ExecBin.
+	Executors int
+
+	// ExecBin is the ctrlexec binary local executor slots spawn.
+	ExecBin string
+
+	// ShardSize is the experiments-per-shard for distributed campaigns
+	// (default dist.DefaultShardSize).
+	ShardSize int
+
+	// LeaseTTL overrides the shard lease TTL for distributed campaigns
+	// (default dist.DefaultLeaseTTL).
+	LeaseTTL time.Duration
 }
 
 // Server is the ctrlguardd HTTP service.
@@ -110,6 +134,10 @@ func New(cfg Config) (*Server, error) {
 		NoResume:    cfg.NoResume,
 		Logger:      cfg.Logger,
 		ConfigHook:  cfg.ConfigHook,
+		Executors:   cfg.Executors,
+		ExecBin:     cfg.ExecBin,
+		ShardSize:   cfg.ShardSize,
+		LeaseTTL:    cfg.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -131,10 +159,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/records", s.handleRecords)
 	s.mux.HandleFunc("GET /api/v1/campaigns/{id}/experiments/{n}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /api/v1/tune", s.handleSubmitTune)
 	s.mux.HandleFunc("GET /api/v1/tune/{id}/result", s.handleTuneResult)
 	s.mux.HandleFunc("GET /api/v1/variants", s.handleVariants)
+	s.mux.HandleFunc("POST /api/v1/executors", s.handleExecRegister)
+	s.mux.HandleFunc("GET /api/v1/executors", s.handleExecList)
+	s.mux.HandleFunc("DELETE /api/v1/executors/{name}", s.handleExecDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
