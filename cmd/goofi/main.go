@@ -12,6 +12,8 @@
 //	goofi -analyze records.jsonl    analysis phase over logged records
 //	goofi -trace line0.data0:28:300 detail-mode propagation of one fault
 //	goofi -disasm                   disassemble the workload program
+//	goofi -model pc -n 2000         attack-style fault model (-list-models)
+//	goofi -detector cfe+automaton   arm in-loop detectors (-list-detectors)
 //
 // Additional flags select the seed, worker count, and a JSONL file to
 // which the per-experiment records are logged (the campaign database).
@@ -28,7 +30,9 @@ import (
 	"strings"
 
 	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/detect"
 	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/inject"
 	"ctrlguard/internal/workload"
 )
 
@@ -49,9 +53,27 @@ func main() {
 		mark      = flag.Bool("markdown", false, "with -compare: emit a markdown report instead of tables")
 		precision = flag.Float64("precision", 0, "run batches until the severe-rate 95% CI half-width is below this (e.g. 0.001)")
 		noPrune   = flag.Bool("no-prune", false, "disable fault-space pruning; simulate every injection")
+		model     = flag.String("model", "", "fault model (see -list-models; default is the paper's permanent single bit-flip)")
+		burstW    = flag.Int("burst-width", 0, "adjacent-bit span for -model burst (0 = default)")
+		detector  = flag.String("detector", "", "arm in-loop detectors: cfe, automaton, or cfe+automaton (see -list-detectors)")
+		listMod   = flag.Bool("list-models", false, "list the available fault models and exit")
+		listDet   = flag.Bool("list-detectors", false, "list the available detector families and exit")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
+
+	if *listMod {
+		for _, m := range inject.Models() {
+			fmt.Printf("%-10s %s\n", m, inject.DescribeModel(m))
+		}
+		return
+	}
+	if *listDet {
+		for _, f := range detect.Families() {
+			fmt.Printf("%-10s %s\n", f.Name, f.Description)
+		}
+		return
+	}
 
 	// The same spec type validates ctrlguardd's JSON submissions; the
 	// CLI flags are just another front end to it.
@@ -59,6 +81,7 @@ func main() {
 		Alg: *alg, Variant: *variant, Experiments: *n,
 		Seed: *seed, Workers: *workers, Precision: *precision,
 		DisablePrune: *noPrune,
+		Model:        *model, BurstWidth: *burstW, Detector: *detector,
 	}
 	// Cancel on SIGINT so a long campaign still flushes the records
 	// completed so far.
@@ -69,7 +92,7 @@ func main() {
 	if err == nil && spec.Sequential() {
 		err = runPrecision(ctx, cfg, *precision)
 	} else if err == nil {
-		err = run(ctx, cfg.Variant, *n, *n2, *seed, *workers, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *noPrune, *quiet)
+		err = run(ctx, cfg, *n, *n2, *out, *compare, *swifi, *analyze, *trace, *disasm, *mark, *quiet)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goofi:", err)
@@ -77,8 +100,9 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, workers int, out string,
-	compare, swifi bool, analyze, trace string, disasm, markdown, noPrune, quiet bool) error {
+func run(ctx context.Context, base goofi.Config, n, n2 int, out string,
+	compare, swifi bool, analyze, trace string, disasm, markdown, quiet bool) error {
+	v := base.Variant
 	switch {
 	case disasm:
 		fmt.Print(workload.Program(v).Disassemble())
@@ -88,7 +112,7 @@ func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, worker
 	case trace != "":
 		return runTrace(v, trace)
 	case compare:
-		return runCompare(ctx, n, n2, seed, workers, markdown, noPrune, quiet)
+		return runCompare(ctx, base, n, n2, markdown, quiet)
 	}
 
 	var (
@@ -96,9 +120,12 @@ func run(ctx context.Context, v workload.Variant, n, n2 int, seed uint64, worker
 		err error
 	)
 	if swifi {
-		res, err = goofi.RunSWIFI(goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers})
+		if base.Detect.Enabled() {
+			return fmt.Errorf("-detector does not apply to SWIFI campaigns (detectors monitor the runtime loop)")
+		}
+		res, err = goofi.RunSWIFI(base)
 	} else {
-		res, err = campaign(ctx, v, n, seed, workers, noPrune, quiet)
+		res, err = campaign(ctx, base, v, n, base.Seed, quiet)
 	}
 	interrupted := errors.Is(err, context.Canceled) && res != nil
 	if err != nil && !interrupted {
@@ -154,6 +181,10 @@ func runPrecision(ctx context.Context, cfg goofi.Config, target float64) error {
 	if p := res.Prune; p != nil {
 		fmt.Printf("pruning: %d planned, %d simulated, %d pruned dead, %d collapsed into %d classes\n",
 			p.Planned, p.Simulated, p.PrunedDead, p.Collapsed, p.Classes)
+	}
+	if d := res.Detect; d != nil {
+		fmt.Printf("detectors: %d caught by signature monitor, %d by automaton, %d golden false positives, %.1f%% modeled overhead\n",
+			d.CFEDetected, d.AutomatonDetected, d.FalsePositives, d.Overhead*100)
 	}
 	fmt.Printf("severe rate: %s (half-width %.4f%%)\n", res.Estimate, res.HalfWidth*100)
 	a := goofi.Analyze(res.Records)
@@ -221,12 +252,12 @@ func runTrace(v workload.Variant, spec string) error {
 	return nil
 }
 
-func runCompare(ctx context.Context, n, n2 int, seed uint64, workers int, markdown, noPrune, quiet bool) error {
-	r1, err := campaign(ctx, workload.AlgorithmI, n, seed, workers, noPrune, quiet)
+func runCompare(ctx context.Context, base goofi.Config, n, n2 int, markdown, quiet bool) error {
+	r1, err := campaign(ctx, base, workload.AlgorithmI, n, base.Seed, quiet)
 	if err != nil {
 		return err
 	}
-	r2, err := campaign(ctx, workload.AlgorithmII, n2, seed+1, workers, noPrune, quiet)
+	r2, err := campaign(ctx, base, workload.AlgorithmII, n2, base.Seed+1, quiet)
 	if err != nil {
 		return err
 	}
@@ -246,8 +277,9 @@ func runCompare(ctx context.Context, n, n2 int, seed uint64, workers int, markdo
 	return nil
 }
 
-func campaign(ctx context.Context, v workload.Variant, n int, seed uint64, workers int, noPrune, quiet bool) (*goofi.Result, error) {
-	cfg := goofi.Config{Variant: v, Experiments: n, Seed: seed, Workers: workers, DisablePrune: noPrune}
+func campaign(ctx context.Context, base goofi.Config, v workload.Variant, n int, seed uint64, quiet bool) (*goofi.Result, error) {
+	cfg := base
+	cfg.Variant, cfg.Experiments, cfg.Seed = v, n, seed
 	if !quiet {
 		cfg.Progress = func(done, total int) {
 			if done%500 == 0 || done == total {
@@ -263,6 +295,11 @@ func campaign(ctx context.Context, v workload.Variant, n int, seed uint64, worke
 		p := res.Prune
 		fmt.Fprintf(os.Stderr, "%s: pruning: %d planned, %d simulated, %d pruned dead, %d collapsed into %d classes\n",
 			v, p.Planned, p.Simulated, p.PrunedDead, p.Collapsed, p.Classes)
+	}
+	if res != nil && res.Detect != nil && !quiet {
+		d := res.Detect
+		fmt.Fprintf(os.Stderr, "%s: detectors (%s): %d caught by signature monitor, %d by automaton, %d golden false positives, %.1f%% modeled overhead\n",
+			v, base.Detect, d.CFEDetected, d.AutomatonDetected, d.FalsePositives, d.Overhead*100)
 	}
 	return res, err
 }

@@ -25,9 +25,11 @@ import (
 	"strconv"
 	"strings"
 
+	"ctrlguard/internal/inject"
 	"ctrlguard/internal/stats"
 	"ctrlguard/internal/tune"
 	"ctrlguard/internal/viz"
+	"ctrlguard/internal/workload"
 )
 
 func main() {
@@ -43,7 +45,19 @@ func main() {
 	rates := flag.String("rates", "", "comma-separated rate-assertion thresholds, 0 disables (default 0,3,8)")
 	out := flag.String("out", "", "write per-candidate results as JSON lines to this path")
 	svg := flag.String("svg", "", "write the Pareto front as an SVG scatter to this path")
+	detStudy := flag.Bool("detector-study", false, "measure the detector design space (CPU-level campaigns per variant x fault model x detector) instead of the guard-parameter search")
+	detVariants := flag.String("detector-variants", "", "comma-separated workload variants for -detector-study (default alg1,alg2,mimo-alg1)")
+	detModels := flag.String("detector-models", "", "comma-separated fault models for -detector-study (default pc)")
+	detN := flag.Int("detector-n", 600, "experiments per -detector-study point")
 	flag.Parse()
+
+	if *detStudy {
+		if err := runDetectorStudy(*seed, *workers, *detN, *detVariants, *detModels, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "guardtune:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	spec := tune.Spec{
 		Seed:               *seed,
@@ -151,6 +165,52 @@ func run(spec tune.Spec, outPath, svgPath string) error {
 			return fmt.Errorf("write %s: %w", svgPath, err)
 		}
 		fmt.Printf("Wrote Pareto scatter to %s.\n", svgPath)
+	}
+	return nil
+}
+
+// runDetectorStudy measures the detector design space: every (variant,
+// fault model, detector family) point gets a CPU-level campaign, and
+// the study reports detection coverage, residual failures, detector
+// noise, and modeled overhead with the Pareto-optimal points marked.
+func runDetectorStudy(seed uint64, workers, n int, variants, models, outPath string) error {
+	cfg := tune.DetectorStudyConfig{Experiments: n, Seed: seed, Workers: workers}
+	for _, v := range splitList(variants) {
+		cfg.Space.Variants = append(cfg.Space.Variants, workload.Variant(v))
+	}
+	for _, m := range splitList(models) {
+		parsed, err := inject.ParseModel(m)
+		if err != nil {
+			return err
+		}
+		cfg.Space.Models = append(cfg.Space.Models, parsed)
+	}
+	study, err := tune.RunDetectorStudy(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+
+	onFront := make(map[string]bool, len(study.Front))
+	for _, r := range study.Front {
+		onFront[r.Name] = true
+	}
+	tbl := stats.NewTable(fmt.Sprintf("Detector design space (%d experiments per point)", n),
+		"Point", "Detected", "Severe", "Value failures", "False positives", "Overhead", "")
+	for _, r := range study.Results {
+		note := ""
+		if onFront[r.Name] {
+			note = "front"
+		}
+		tbl.AddRow(r.Name, r.Detected.String(), r.Severe.String(), r.ValueFailures.String(),
+			r.FalsePositives.String(), fmt.Sprintf("%.1f%%", r.Overhead*100), note)
+	}
+	fmt.Println(tbl.String())
+
+	if outPath != "" {
+		if err := tune.SaveResults(outPath, study.Results); err != nil {
+			return err
+		}
+		fmt.Printf("Wrote %d results to %s.\n", len(study.Results), outPath)
 	}
 	return nil
 }

@@ -203,6 +203,22 @@ func (a FuncAssertion) Name() string {
 	return a.Label
 }
 
+// VectorAssertion is the optional vector-level extension of Assertion
+// for checks that depend on the whole vector at once rather than one
+// element at a time — state-sequence automata mined from golden traces
+// (internal/detect) validate the transition of the full state vector.
+// When an assertion given to a Guard also implements VectorAssertion,
+// the guard evaluates CheckVector over the candidate vector before the
+// per-element checks; a rejection counts as a violation of element 0.
+type VectorAssertion interface {
+	Assertion
+
+	// CheckVector reports whether the vector as a whole is acceptable.
+	// Like the stateful element assertions, accepted vectors may
+	// advance internal history; rejected ones must leave it unchanged.
+	CheckVector(v []float64) bool
+}
+
 // All combines assertions conjunctively: a value is acceptable only if
 // every assertion accepts it.
 func All(asserts ...Assertion) Assertion {
@@ -216,6 +232,17 @@ var _ Assertion = allAssertion(nil)
 func (a allAssertion) Check(i int, v float64) bool {
 	for _, sub := range a {
 		if !sub.Check(i, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckVector forwards the whole-vector check to every member that
+// implements VectorAssertion (a no-op conjunction otherwise).
+func (a allAssertion) CheckVector(v []float64) bool {
+	for _, sub := range a {
+		if va, ok := sub.(VectorAssertion); ok && !va.CheckVector(v) {
 			return false
 		}
 	}

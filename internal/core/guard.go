@@ -202,8 +202,14 @@ func (g *Guard) ResetBackups() {
 }
 
 // firstViolation returns the index of the first element rejected by a,
-// or -1 if all pass.
+// or -1 if all pass. A VectorAssertion's whole-vector check runs first;
+// its rejection is attributed to element 0.
 func firstViolation(a Assertion, v []float64) int {
+	if va, ok := a.(VectorAssertion); ok {
+		if !va.CheckVector(v) {
+			return 0
+		}
+	}
 	for i, x := range v {
 		if !a.Check(i, x) {
 			return i

@@ -87,6 +87,12 @@ func (op Opcode) valid() bool {
 	return op >= OpNop && op < opMax
 }
 
+// IsBranch reports whether op is a conditional branch, for static
+// control-flow analysis (internal/detect's block-graph derivation).
+func (op Opcode) IsBranch() bool {
+	return op.isBranch()
+}
+
 // isBranch reports whether op is a conditional branch.
 func (op Opcode) isBranch() bool {
 	switch op {

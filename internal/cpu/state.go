@@ -1,6 +1,9 @@
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Region partitions the injectable state elements the way the paper's
 // Table 2 does: faults into the data cache versus faults into all other
@@ -114,6 +117,93 @@ func (c *CPU) flipCacheBit(sb StateBit) error {
 			return fmt.Errorf("cpu: bad cache element %q", sb.Element)
 		}
 		line.data[w] ^= 1 << sb.Bit
+	}
+	return nil
+}
+
+// StateBitWidth returns the number of bits the element holding sb can
+// store: 1 for the flags and the cache line valid/dirty bits, the tag
+// width for cache tags, and the 32-bit word width otherwise. Burst
+// faults wrap within this width, so a burst never spills into a
+// neighbouring element.
+func StateBitWidth(sb StateBit) uint {
+	switch sb.Element {
+	case "flagZ", "flagLT":
+		return 1
+	}
+	if sb.Region == RegionCache {
+		if strings.HasSuffix(sb.Element, ".tag") {
+			return tagBits
+		}
+		if strings.HasSuffix(sb.Element, ".valid") || strings.HasSuffix(sb.Element, ".dirty") {
+			return 1
+		}
+	}
+	return 32
+}
+
+// StateBitValue reads the current value of one state bit without
+// perturbing the machine, for the transient fault model's
+// flip-then-restore bookkeeping.
+func (c *CPU) StateBitValue(sb StateBit) (bool, error) {
+	switch sb.Region {
+	case RegionRegisters:
+		switch sb.Element {
+		case "pc":
+			return c.PC&(1<<sb.Bit) != 0, nil
+		case "flagZ":
+			return c.FlagZ, nil
+		case "flagLT":
+			return c.FlagLT, nil
+		}
+		var r int
+		if _, err := fmt.Sscanf(sb.Element, "r%d", &r); err != nil || r < 1 || r > 15 {
+			return false, fmt.Errorf("cpu: bad register element %q", sb.Element)
+		}
+		return c.Regs[r]&(1<<sb.Bit) != 0, nil
+	case RegionCache:
+		var l int
+		var field string
+		if _, err := fmt.Sscanf(sb.Element, "line%d.%s", &l, &field); err != nil || l < 0 || l >= CacheLines {
+			return false, fmt.Errorf("cpu: bad cache element %q", sb.Element)
+		}
+		line := &c.Cache.lines[l]
+		switch {
+		case field == "tag":
+			return line.tag&(1<<sb.Bit) != 0, nil
+		case field == "valid":
+			return line.valid, nil
+		case field == "dirty":
+			return line.dirty, nil
+		default:
+			var w int
+			if _, err := fmt.Sscanf(field, "data%d", &w); err != nil || w < 0 || w >= cacheWords {
+				return false, fmt.Errorf("cpu: bad cache element %q", sb.Element)
+			}
+			return line.data[w]&(1<<sb.Bit) != 0, nil
+		}
+	default:
+		return false, fmt.Errorf("cpu: unknown region %q", sb.Region)
+	}
+}
+
+// FlipBurst inverts width adjacent bits of the element holding sb,
+// starting at sb.Bit and wrapping within the element's width — the
+// multi-bit burst fault model. width <= 1 degenerates to FlipBit.
+func (c *CPU) FlipBurst(sb StateBit, width int) error {
+	if width <= 1 {
+		return c.FlipBit(sb)
+	}
+	w := StateBitWidth(sb)
+	if uint(width) > w {
+		width = int(w)
+	}
+	for i := 0; i < width; i++ {
+		b := sb
+		b.Bit = (sb.Bit + uint(i)) % w
+		if err := c.FlipBit(b); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -29,6 +29,13 @@ const (
 	MechDataError    Mechanism = "DATA ERROR"
 	MechControlFlow  Mechanism = "CONTROL FLOW ERROR"
 	MechWatchdog     Mechanism = "WATCHDOG TIMER"
+
+	// Detector mechanisms contributed by internal/detect: SCFI-style
+	// basic-block signature monitoring and behavior-derived state
+	// automata. They are not Thor EDMs but flow through the same trap
+	// plumbing so campaigns classify their verdicts as detections.
+	MechSignature Mechanism = "SIGNATURE MONITOR"
+	MechAutomaton Mechanism = "BEHAVIOR AUTOMATON"
 )
 
 // Mechanisms lists every EDM in the order of Table 1, for table
@@ -49,6 +56,8 @@ func Mechanisms() []Mechanism {
 		MechIllegalOp,
 		MechControlFlow,
 		MechWatchdog,
+		MechSignature,
+		MechAutomaton,
 	}
 }
 

@@ -1,0 +1,91 @@
+package detect
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/cpu"
+)
+
+// CFMonitor is the runtime half of signature monitoring: it watches
+// every fetched instruction, verifies that execution flows sequentially
+// inside basic blocks and only crosses blocks along the static graph's
+// edges, and checks each completed block's accumulated instruction
+// signature against the expected one. Violations trap with
+// cpu.MechSignature. One monitor serves one run; the shared BlockGraph
+// is read-only.
+type CFMonitor struct {
+	g      *BlockGraph
+	prev   int // code index of the previously fetched instruction, -1 at start
+	runSig uint32
+
+	// Entries counts basic-block entries, the unit of the overhead
+	// model (CFEOverhead).
+	Entries uint64
+}
+
+// NewCFMonitor creates a monitor over g.
+func NewCFMonitor(g *BlockGraph) *CFMonitor {
+	return &CFMonitor{g: g, prev: -1}
+}
+
+// OnInstr implements workload.Monitor.
+func (m *CFMonitor) OnInstr(_ int, _ uint64, vm *cpu.CPU) *cpu.TrapError {
+	pc := vm.PC
+	if pc%4 != 0 || cpu.SegmentOf(pc) != cpu.SegCode {
+		// The CPU's own fetch check traps this before executing.
+		return nil
+	}
+	idx := int((pc - cpu.CodeBase) / 4)
+	if idx >= m.g.Instructions() {
+		return m.trap(pc, "fetch beyond the program's last instruction")
+	}
+
+	b := m.g.blockOf[idx]
+	switch {
+	case m.prev < 0:
+		// First instruction of the run: must be the entry point.
+		if idx != 0 {
+			return m.trap(pc, "execution did not start at the entry block")
+		}
+		m.enter(vm, idx)
+	case m.prev+1 == idx && m.g.blockOf[m.prev] == b:
+		// Sequential flow inside the current block.
+		m.runSig ^= vm.Mem.ReadWord(pc)
+	case idx == m.g.blocks[b].Start:
+		// Crossing into a block: legal only from the end of a block
+		// along a static edge.
+		pb := m.g.blockOf[m.prev]
+		if m.prev != m.g.blocks[pb].End-1 {
+			return m.trap(pc, fmt.Sprintf("control left block %d before its last instruction", pb))
+		}
+		if !m.g.isEdge(pb, b) {
+			return m.trap(pc, fmt.Sprintf("illegal transition block %d -> block %d", pb, b))
+		}
+		m.enter(vm, idx)
+	default:
+		return m.trap(pc, fmt.Sprintf("jump into the middle of block %d", b))
+	}
+
+	// Completed the block's last instruction: the accumulated
+	// signature must match the static one.
+	if idx == m.g.blocks[b].End-1 && m.runSig != m.g.sig[b] {
+		return m.trap(pc, fmt.Sprintf("signature mismatch in block %d", b))
+	}
+	m.prev = idx
+	return nil
+}
+
+// OnIteration implements workload.Monitor; signature monitoring is
+// purely per-instruction.
+func (m *CFMonitor) OnIteration(int, *cpu.CPU) *cpu.TrapError {
+	return nil
+}
+
+func (m *CFMonitor) enter(vm *cpu.CPU, idx int) {
+	m.Entries++
+	m.runSig = vm.Mem.ReadWord(cpu.CodeBase + uint32(idx*4))
+}
+
+func (m *CFMonitor) trap(pc uint32, info string) *cpu.TrapError {
+	return &cpu.TrapError{Mech: cpu.MechSignature, PC: pc, Info: info}
+}

@@ -1,0 +1,125 @@
+// Package detect is the detection subsystem beyond the paper's
+// executable assertions: in-loop error detectors that watch the
+// simulated CPU while a campaign experiment runs. Two families are
+// implemented. Control-flow error detection (SCFI-style signature
+// monitoring) derives the program's basic-block graph, tracks the
+// executed block sequence and a per-block instruction signature, and
+// traps on any inter-block transition or signature the static program
+// cannot produce. Behavior-derived detection mines a state-sequence
+// automaton — per-element value envelopes, rate bounds, monotonicity
+// and quantised state-transition sets — offline from a golden run (or
+// an internal/trace capture) and validates every control iteration
+// against it in-loop. Both report through cpu.TrapError with their own
+// mechanisms (SIGNATURE MONITOR, BEHAVIOR AUTOMATON), so campaign
+// classification, analysis tables and the server treat their verdicts
+// exactly like the Thor EDMs' detections.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec selects which detector families a campaign arms. The zero value
+// means no detectors.
+type Spec struct {
+	CFE       bool `json:"cfe,omitempty"`       // basic-block signature monitoring
+	Automaton bool `json:"automaton,omitempty"` // behavior-derived state automaton
+}
+
+// Enabled reports whether any family is armed.
+func (s Spec) Enabled() bool {
+	return s.CFE || s.Automaton
+}
+
+// String renders the spec in the form ParseSpec accepts.
+func (s Spec) String() string {
+	switch {
+	case s.CFE && s.Automaton:
+		return "cfe+automaton"
+	case s.CFE:
+		return "cfe"
+	case s.Automaton:
+		return "automaton"
+	default:
+		return "none"
+	}
+}
+
+// Family describes one detector family for discovery (-list-detectors).
+type Family struct {
+	Name        string
+	Description string
+}
+
+// Families lists the available detector families.
+func Families() []Family {
+	return []Family{
+		{"cfe", "control-flow error detection: basic-block signature monitoring over the simulated CPU (SCFI-style)"},
+		{"automaton", "behavior-derived detection: state-sequence/invariant automaton mined from golden runs"},
+	}
+}
+
+// ParseSpec parses a detector selection: "", "none", "cfe",
+// "automaton", or a "+"-joined combination ("cfe+automaton"). Unknown
+// names list the options.
+func ParseSpec(sel string) (Spec, error) {
+	var s Spec
+	sel = strings.ToLower(strings.TrimSpace(sel))
+	if sel == "" || sel == "none" {
+		return s, nil
+	}
+	for _, part := range strings.Split(sel, "+") {
+		switch strings.TrimSpace(part) {
+		case "cfe":
+			s.CFE = true
+		case "automaton":
+			s.Automaton = true
+		default:
+			var names []string
+			for _, f := range Families() {
+				names = append(names, f.Name)
+			}
+			sort.Strings(names)
+			return Spec{}, fmt.Errorf(
+				"detect: unknown detector %q (available: %s, none, or a \"+\"-joined combination)",
+				part, strings.Join(names, ", "))
+		}
+	}
+	return s, nil
+}
+
+// The deterministic overhead model, in the spirit of the tuner's
+// instruction-count cost model: a hardware or instrumented-software
+// implementation of each detector costs a fixed number of checking
+// instructions per checked event. Signature monitoring pays per block
+// entry (update the runtime signature, compare at the block exit);
+// the automaton pays per state element per iteration (range, rate,
+// monotonicity and transition-set checks).
+const (
+	cfeInstrPerBlockEntry     = 2
+	automatonInstrPerElem     = 8
+	automatonInstrPerIterBase = 3
+)
+
+// CFEOverhead models the relative instruction-count overhead of
+// signature monitoring on a run that entered blockEntries basic blocks
+// over totalInstr instructions.
+func CFEOverhead(blockEntries, totalInstr uint64) float64 {
+	if totalInstr == 0 {
+		return 0
+	}
+	return float64(cfeInstrPerBlockEntry*blockEntries) / float64(totalInstr)
+}
+
+// AutomatonOverhead models the relative instruction-count overhead of
+// evaluating an automaton over elems state elements once per control
+// iteration, on a run of totalInstr instructions.
+func AutomatonOverhead(elems, iterations int, totalInstr uint64) float64 {
+	if totalInstr == 0 || iterations <= 0 {
+		return 0
+	}
+	perIter := automatonInstrPerIterBase + automatonInstrPerElem*elems
+	return float64(uint64(perIter)*uint64(iterations)) / float64(totalInstr)
+}

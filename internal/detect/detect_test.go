@@ -1,0 +1,238 @@
+package detect
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/core"
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/trace"
+	"ctrlguard/internal/workload"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{}},
+		{"none", Spec{}},
+		{"cfe", Spec{CFE: true}},
+		{"automaton", Spec{Automaton: true}},
+		{"cfe+automaton", Spec{CFE: true, Automaton: true}},
+		{"automaton+cfe", Spec{CFE: true, Automaton: true}},
+		{" CFE ", Spec{CFE: true}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseSpec("cfe+bogus"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+// TestBlockGraphCoversAllVariants pins that the static analysis decodes
+// every workload variant into a consistent block partition.
+func TestBlockGraphCoversAllVariants(t *testing.T) {
+	for _, v := range workload.Variants() {
+		g := NewBlockGraph(workload.Program(v))
+		if g.Blocks() == 0 {
+			t.Errorf("%s: no basic blocks", v)
+		}
+		if g.Instructions() == 0 {
+			t.Errorf("%s: no instructions", v)
+		}
+	}
+}
+
+// TestCFMonitorGoldenClean pins the soundness side of signature
+// monitoring: the fault-free reference execution of every variant must
+// pass the monitor without a single trap.
+func TestCFMonitorGoldenClean(t *testing.T) {
+	for _, v := range workload.Variants() {
+		prog := workload.Program(v)
+		spec := workload.SpecFor(v)
+		spec.Monitor = NewCFMonitor(NewBlockGraph(prog))
+		out := workload.Run(prog, spec)
+		if out.Detected() {
+			t.Errorf("%s: golden run trapped under the CF monitor: %v", v, out.Trap)
+		}
+	}
+}
+
+// TestCFMonitorDetectsPCCorruption pins the detection side: forcing the
+// PC off the legal inter-block edges must trap with MechSignature.
+func TestCFMonitorDetectsPCCorruption(t *testing.T) {
+	prog := workload.Program(workload.AlgorithmI)
+	spec := workload.SpecFor(workload.AlgorithmI)
+	caught := 0
+	for _, bit := range []uint{2, 3, 4, 5, 6} {
+		run := spec
+		run.Injection = &workload.Injection{
+			At:    4000,
+			Bit:   cpu.StateBit{Region: cpu.RegionRegisters, Element: "pc", Bit: bit},
+			Model: workload.ModelPC,
+		}
+		run.Monitor = NewCFMonitor(NewBlockGraph(prog))
+		out := workload.Run(prog, run)
+		if out.Detected() && out.Trap.Mech == cpu.MechSignature {
+			caught++
+		}
+	}
+	if caught == 0 {
+		t.Error("no PC bit-flip was caught by signature monitoring")
+	}
+}
+
+// Mining edge cases: degenerate golden captures must yield valid
+// (possibly accept-all) automata, never a panic.
+
+func TestMineSeriesEmpty(t *testing.T) {
+	a := MineSeries(nil, MineOptions{})
+	if len(a.Elems) != 0 || a.Iterations != 0 {
+		t.Fatalf("empty series mined %+v", a)
+	}
+	c := a.NewChecker()
+	for _, v := range [][]float64{{1}, {math.NaN()}, nil} {
+		if got := c.Check(v); got != "" {
+			t.Errorf("accept-all automaton rejected %v: %s", v, got)
+		}
+	}
+}
+
+func TestMineSeriesSingleIteration(t *testing.T) {
+	a := MineSeries([][]float64{{2.5, -1}}, MineOptions{})
+	if len(a.Elems) != 2 {
+		t.Fatalf("got %d elems, want 2", len(a.Elems))
+	}
+	for i, e := range a.Elems {
+		if !e.Constrained {
+			t.Errorf("elem %d unconstrained", i)
+		}
+		if !math.IsInf(e.MaxDelta, 1) {
+			t.Errorf("elem %d: single iteration must leave the rate unbounded, got %g", i, e.MaxDelta)
+		}
+	}
+	c := a.NewChecker()
+	if got := c.Check([]float64{2.5, -1}); got != "" {
+		t.Errorf("mined sample rejected: %s", got)
+	}
+	if got := c.Check([]float64{100, -1}); got == "" {
+		t.Error("far-out-of-envelope value accepted")
+	}
+}
+
+func TestMineSeriesAllGoldenSelfConsistent(t *testing.T) {
+	series := make([][]float64, 0, 100)
+	for k := 0; k < 100; k++ {
+		series = append(series, []float64{math.Sin(float64(k) / 7), float64(k)})
+	}
+	a := MineSeries(series, MineOptions{})
+	if fp := a.Violations(series); fp != 0 {
+		t.Errorf("automaton rejects %d samples of its own training series", fp)
+	}
+	if a.Elems[1].Monotone != 1 {
+		t.Errorf("strictly increasing element not marked monotone: %+v", a.Elems[1])
+	}
+}
+
+func TestMineSeriesNaNUnconstrains(t *testing.T) {
+	series := [][]float64{{1, 1}, {math.NaN(), 2}, {3, 3}}
+	a := MineSeries(series, MineOptions{})
+	if a.Elems[0].Constrained {
+		t.Error("element with a NaN sample was constrained")
+	}
+	if !a.Elems[1].Constrained {
+		t.Error("clean element was not constrained")
+	}
+	c := a.NewChecker()
+	if got := c.Check([]float64{1e300, 1}); got != "" {
+		t.Errorf("unconstrained element still enforced: %s", got)
+	}
+}
+
+func TestMineFromTraceZeroIterations(t *testing.T) {
+	if a := MineFromTrace(nil, MineOptions{}); len(a.Elems) != 0 {
+		t.Errorf("nil trace mined %d elems", len(a.Elems))
+	}
+	empty := &trace.Trace{}
+	if a := MineFromTrace(empty, MineOptions{}); len(a.Elems) != 0 || a.Iterations != 0 {
+		t.Errorf("zero-iteration trace mined a constrained automaton")
+	}
+}
+
+func TestMineFromTraceSkipsTrappedIterations(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Header.HasState = true
+	tr.Iterations = []trace.Iteration{
+		{XGolden: 1, GoldenOutput: 10},
+		{XGolden: math.NaN(), GoldenOutput: math.NaN(), Events: trace.EventTrapped},
+		{XGolden: 2, GoldenOutput: 11},
+	}
+	a := MineFromTrace(tr, MineOptions{})
+	if a.Iterations != 2 {
+		t.Fatalf("mined %d iterations, want 2 (trapped one skipped)", a.Iterations)
+	}
+	for i, e := range a.Elems {
+		if !e.Constrained {
+			t.Errorf("elem %d unconstrained; the trapped NaN row leaked into mining", i)
+		}
+	}
+}
+
+// TestAutomatonAssertionInGuard pins the core integration: the mined
+// automaton drops into a guard as a vector assertion, vetoes
+// out-of-behavior vectors, and clones with fresh history.
+func TestAutomatonAssertionInGuard(t *testing.T) {
+	series := make([][]float64, 0, 50)
+	for k := 0; k < 50; k++ {
+		series = append(series, []float64{float64(k) * 0.1})
+	}
+	a := MineSeries(series, MineOptions{})
+	assert := a.NewAssertion()
+
+	if !assert.CheckVector([]float64{0.05}) {
+		t.Fatal("in-envelope vector rejected")
+	}
+	if assert.CheckVector([]float64{4.9}) {
+		t.Fatal("rate-violating jump accepted")
+	}
+	if !strings.Contains(assert.Name(), "automaton") {
+		t.Errorf("Name() = %q", assert.Name())
+	}
+
+	// Through core.All the vector check must still run (the guard's
+	// composite assertion forwards CheckVector to members).
+	combined := core.All(assert.CloneAssertion(), core.RangeAssertion{Min: -100, Max: 100})
+	va, ok := combined.(core.VectorAssertion)
+	if !ok {
+		t.Fatal("core.All lost the VectorAssertion capability")
+	}
+	if !va.CheckVector([]float64{0.05}) {
+		t.Error("composite rejected an in-envelope vector")
+	}
+	if va.CheckVector([]float64{4.9}) {
+		t.Error("composite accepted a rate-violating jump")
+	}
+}
+
+// TestOverheadModels pins the deterministic cost model's basic shape.
+func TestOverheadModels(t *testing.T) {
+	if got := CFEOverhead(100, 1000); got != 0.2 {
+		t.Errorf("CFEOverhead(100, 1000) = %g, want 0.2", got)
+	}
+	if got := AutomatonOverhead(2, 10, 1000); got <= 0 {
+		t.Errorf("AutomatonOverhead = %g, want positive", got)
+	}
+	if CFEOverhead(1, 0) != 0 || AutomatonOverhead(1, 1, 0) != 0 {
+		t.Error("zero-instruction runs must have zero overhead, not NaN")
+	}
+}

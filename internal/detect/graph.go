@@ -1,0 +1,181 @@
+package detect
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/cpu"
+)
+
+// Block is one basic block: instructions [Start, End) by code index.
+type Block struct {
+	Start, End int
+}
+
+// BlockGraph is the static control-flow graph of a program: its basic
+// blocks, the legal inter-block edges, and a per-block signature (the
+// XOR of the block's instruction words). It is immutable after
+// construction and safe to share across concurrent monitors.
+type BlockGraph struct {
+	blocks  []Block
+	blockOf []int    // code index -> block index
+	succ    [][]int  // block index -> legal successor blocks
+	sig     []uint32 // block index -> expected signature
+	words   []uint32 // the program's code words (the reference image)
+}
+
+// NewBlockGraph derives the basic-block graph of prog. Leaders are the
+// entry point, every branch/jump/call target, and every instruction
+// following a control transfer; edges follow the ISA semantics (branch
+// target + fall-through, jump/call target, RET to every return site).
+// Instruction words that fail to decode terminate their block with no
+// successors — the CPU's own INSTRUCTION ERROR fires before the
+// monitor would matter there.
+func NewBlockGraph(prog *cpu.Program) *BlockGraph {
+	n := len(prog.Code)
+	g := &BlockGraph{
+		blockOf: make([]int, n),
+		words:   append([]uint32(nil), prog.Code...),
+	}
+	if n == 0 {
+		return g
+	}
+
+	decoded := make([]cpu.Instr, n)
+	ok := make([]bool, n)
+	for i, w := range prog.Code {
+		in, err := cpu.Decode(w)
+		if err == nil {
+			decoded[i], ok[i] = in, true
+		}
+	}
+
+	target := func(in cpu.Instr) (int, bool) {
+		a := uint32(in.Imm)
+		if a%4 != 0 || cpu.SegmentOf(a) != cpu.SegCode {
+			return 0, false
+		}
+		idx := int((a - cpu.CodeBase) / 4)
+		if idx < 0 || idx >= n {
+			return 0, false
+		}
+		return idx, true
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range decoded {
+		if !ok[i] {
+			if i+1 < n {
+				leader[i+1] = true
+			}
+			continue
+		}
+		in := decoded[i]
+		switch {
+		case in.Op.IsBranch(), in.Op == cpu.OpJmp, in.Op == cpu.OpCall:
+			if t, found := target(in); found {
+				leader[t] = true
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == cpu.OpRet, in.Op == cpu.OpHalt, in.Op == cpu.OpFail:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.blocks = append(g.blocks, Block{Start: i, End: i})
+		}
+		b := len(g.blocks) - 1
+		g.blockOf[i] = b
+		g.blocks[b].End = i + 1
+	}
+
+	g.sig = make([]uint32, len(g.blocks))
+	for b, blk := range g.blocks {
+		var s uint32
+		for i := blk.Start; i < blk.End; i++ {
+			s ^= prog.Code[i]
+		}
+		g.sig[b] = s
+	}
+
+	// Return sites: the blocks whose leader follows a CALL.
+	var retSites []int
+	for i := range decoded {
+		if ok[i] && decoded[i].Op == cpu.OpCall && i+1 < n {
+			retSites = append(retSites, g.blockOf[i+1])
+		}
+	}
+
+	g.succ = make([][]int, len(g.blocks))
+	for b, blk := range g.blocks {
+		last := blk.End - 1
+		if !ok[last] {
+			continue
+		}
+		in := decoded[last]
+		add := func(t int) {
+			for _, e := range g.succ[b] {
+				if e == t {
+					return
+				}
+			}
+			g.succ[b] = append(g.succ[b], t)
+		}
+		switch {
+		case in.Op.IsBranch():
+			if t, found := target(in); found {
+				add(g.blockOf[t])
+			}
+			if last+1 < n {
+				add(g.blockOf[last+1])
+			}
+		case in.Op == cpu.OpJmp, in.Op == cpu.OpCall:
+			if t, found := target(in); found {
+				add(g.blockOf[t])
+			}
+		case in.Op == cpu.OpRet:
+			for _, t := range retSites {
+				add(t)
+			}
+		case in.Op == cpu.OpHalt, in.Op == cpu.OpFail:
+			// terminal: no successors
+		default:
+			if last+1 < n {
+				add(g.blockOf[last+1])
+			}
+		}
+	}
+	return g
+}
+
+// Blocks returns the number of basic blocks.
+func (g *BlockGraph) Blocks() int {
+	return len(g.blocks)
+}
+
+// Instructions returns the number of code words covered by the graph.
+func (g *BlockGraph) Instructions() int {
+	return len(g.blockOf)
+}
+
+// isEdge reports whether from -> to is a legal inter-block transition.
+func (g *BlockGraph) isEdge(from, to int) bool {
+	for _, e := range g.succ[from] {
+		if e == to {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarises the graph for diagnostics.
+func (g *BlockGraph) String() string {
+	return fmt.Sprintf("detect.BlockGraph{%d blocks over %d instructions}",
+		len(g.blocks), len(g.blockOf))
+}

@@ -15,6 +15,7 @@ import (
 
 	"ctrlguard/internal/classify"
 	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/detect"
 	"ctrlguard/internal/inject"
 	"ctrlguard/internal/prune"
 	"ctrlguard/internal/trace"
@@ -110,6 +111,24 @@ type Config struct {
 	// exists for benchmarking and cross-validation, not correctness.
 	DisablePrune bool
 
+	// Model selects the fault model for every injection (the zero
+	// value is the paper's permanent single bit-flip). Non-default
+	// models cleanly decline the prune and warm-start fast paths: the
+	// pruner's def-use reasoning and the checkpoint reconvergence
+	// argument are proven only for permanent single flips, so campaigns
+	// run full simulations rather than risk silent misclassification.
+	Model inject.FaultModel
+
+	// BurstWidth is the adjacent-bit span for Model "burst"
+	// (0 = workload.DefaultBurstWidth).
+	BurstWidth int
+
+	// Detect arms in-loop detectors (signature monitoring and/or a
+	// behavior-derived automaton mined from this campaign's golden run)
+	// on every experiment. Armed campaigns decline prune and warm-start
+	// too: both fast paths skip instructions the detectors must see.
+	Detect detect.Spec
+
 	// CheckpointCap bounds the per-campaign checkpoint cache
 	// (0 = DefaultCheckpointCap).
 	CheckpointCap int
@@ -135,6 +154,11 @@ type Config struct {
 	// prune carries the fault-space pruner's event index across the
 	// batches of a sequential campaign, like warm.
 	prune *pruneState
+
+	// det carries the detector state (block graph, mined automaton,
+	// monitored golden run) across the batches of a sequential
+	// campaign, like warm and prune.
+	det *detectState
 }
 
 // Record is the logged result of a single fault-injection experiment —
@@ -151,6 +175,12 @@ type Record struct {
 	FirstDev  int     `json:"firstDeviation"`
 	StrongIts int     `json:"strongIterations"`
 	MaxDev    float64 `json:"maxDeviation"`
+
+	// Model and Width name the fault model of the injection; both are
+	// empty/zero for the default single bit-flip, so historical records
+	// keep their exact wire shape.
+	Model string `json:"model,omitempty"`
+	Width int    `json:"width,omitempty"`
 
 	// Provenance records how the verdict was obtained: "simulated" for
 	// an executed experiment, "pruned-dead" for a record synthesized
@@ -173,8 +203,13 @@ type Result struct {
 	WarmStart *WarmStartStats
 
 	// Prune reports the fault-space pruner's work avoidance; nil when
-	// pruning was disabled or inapplicable (detail-mode observer set).
+	// pruning was disabled or inapplicable (detail-mode observer set,
+	// non-default fault model, or armed detectors).
 	Prune *PruneStats
+
+	// Detect reports the armed detectors' configuration, verdict counts
+	// and modeled overhead; nil when no detectors were armed.
+	Detect *DetectStats
 
 	// Faults reports the campaign engine's own fault handling: retries,
 	// recovered panics, deadline expiries, abandoned experiments, and
@@ -230,13 +265,35 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// build its event index. Detail-mode observers must see every
 	// instruction of every run, so they force full replays and disable
 	// pruning; trace mode simulates every selected experiment in detail,
-	// so it declines pruning too.
+	// so it declines pruning too. Non-default fault models and armed
+	// detectors cleanly decline BOTH fast paths: the pruner's def-use
+	// reasoning assumes permanent single flips (prune.SupportsModel) and
+	// the checkpoint/golden-splice shortcuts skip instructions a
+	// detector must see — declining runs everything fully simulated
+	// instead of silently misclassifying.
+	detectOn := cfg.Detect.Enabled()
+	if cfg.Trace != nil && detectOn {
+		return nil, fmt.Errorf("goofi: trace mode does not support detector campaigns (the detail-mode replay cannot arm monitors)")
+	}
+	modelPrunable := prune.SupportsModel(string(cfg.Model))
 	warm := cfg.warm
 	prn := cfg.prune
-	useWarm := !cfg.DisableWarmStart && cfg.Spec.Observer == nil
-	usePrune := !cfg.DisablePrune && cfg.Spec.Observer == nil && cfg.Trace == nil
+	useWarm := !cfg.DisableWarmStart && cfg.Spec.Observer == nil && modelPrunable && !detectOn
+	usePrune := !cfg.DisablePrune && cfg.Spec.Observer == nil && cfg.Trace == nil && modelPrunable && !detectOn
+
+	det := cfg.det
+	if detectOn && det == nil {
+		var err error
+		if det, err = newDetectState(prog, cfg); err != nil {
+			return nil, err
+		}
+	}
+	cfg.det = det // runExperiment arms a fresh monitor stack per run
+
 	var golden *workload.Outcome
-	if warm != nil {
+	if det != nil {
+		golden = det.golden
+	} else if warm != nil {
 		golden = warm.golden
 	} else {
 		goldenSpec := cfg.Spec
@@ -264,7 +321,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Set-up phase: pre-draw every experiment's fault so the campaign
 	// is deterministic regardless of worker scheduling.
-	sampler := inject.NewSampler(cfg.Seed, golden.Instructions)
+	sampler, err := inject.NewModelSampler(cfg.Seed, golden.Instructions, cfg.Model, cfg.BurstWidth)
+	if err != nil {
+		return nil, err
+	}
 	injections := make([]workload.Injection, cfg.Experiments)
 	for i := range injections {
 		injections[i] = sampler.Next()
@@ -525,6 +585,9 @@ feed:
 	if prn != nil {
 		res.Config.prune = prn
 	}
+	if det != nil {
+		res.Detect = det.tally(res.Records)
+	}
 	if plan != nil {
 		res.Prune = tallyPrune(records, completed, shardTotal, lo, hi)
 	}
@@ -552,6 +615,9 @@ func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm
 	spec := cfg.Spec
 	spec.Injection = &inj
 	spec.Deadline = deadline
+	if cfg.det != nil {
+		spec.Monitor = cfg.det.newMonitor(prog)
+	}
 	if warm != nil {
 		spec.Golden = warm.golden
 		spec.From = warm.checkpointFor(inj.At)
@@ -571,6 +637,8 @@ func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm
 		Element:    inj.Bit.Element,
 		Bit:        inj.Bit.Bit,
 		At:         inj.At,
+		Model:      string(inj.Model),
+		Width:      inj.Width,
 		Provenance: ProvenanceSimulated,
 	}
 	var verdict classify.Verdict

@@ -111,6 +111,8 @@ func runExperimentIsolated(prog *cpu.Program, cfg Config, golden *workload.Outco
 		Element:    inj.Bit.Element,
 		Bit:        inj.Bit.Bit,
 		At:         inj.At,
+		Model:      string(inj.Model),
+		Width:      inj.Width,
 		Outcome:    OutcomeAbandoned,
 		Mechanism:  lastErr.Error(),
 		Provenance: ProvenanceSimulated,
@@ -151,5 +153,7 @@ func resumable(rec Record, variant string, inj workload.Injection) bool {
 		rec.Region == string(inj.Bit.Region) &&
 		rec.Element == inj.Bit.Element &&
 		rec.Bit == inj.Bit.Bit &&
-		rec.At == inj.At
+		rec.At == inj.At &&
+		rec.Model == string(inj.Model) &&
+		rec.Width == inj.Width
 }

@@ -58,6 +58,11 @@ type PrecisionResult struct {
 	// was disabled.
 	Prune *PruneStats
 
+	// Detect accumulates the armed detectors' verdict counts over every
+	// batch (the batches share one monitored golden run and mined
+	// automaton); nil when no detectors were armed.
+	Detect *DetectStats
+
 	// Faults accumulates worker fault isolation's interventions over
 	// every batch (see Result.Faults).
 	Faults FaultStats
@@ -101,6 +106,7 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 	// execution.
 	var warm *warmState
 	var prn *pruneState
+	var det *detectState
 	for res.Experiments < cfg.MaxExperiments {
 		batch := cfg.Campaign
 		batch.Experiments = cfg.BatchSize
@@ -112,11 +118,13 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 		batch.Seed = cfg.Campaign.Seed + uint64(res.Batches)*1_000_003
 		batch.warm = warm
 		batch.prune = prn
+		batch.det = det
 
 		out, err := RunContext(ctx, batch)
 		if out != nil {
 			warm = out.Config.warm
 			prn = out.Config.prune
+			det = out.Config.det
 			if out.WarmStart != nil {
 				res.WarmStart = out.WarmStart
 			}
@@ -125,6 +133,15 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 					res.Prune = &PruneStats{}
 				}
 				res.Prune.add(*out.Prune)
+			}
+			if out.Detect != nil {
+				if res.Detect == nil {
+					d := *out.Detect
+					d.CFEDetected, d.AutomatonDetected = 0, 0
+					res.Detect = &d
+				}
+				res.Detect.CFEDetected += out.Detect.CFEDetected
+				res.Detect.AutomatonDetected += out.Detect.AutomatonDetected
 			}
 			res.Faults.add(out.Faults)
 		}

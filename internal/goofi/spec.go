@@ -3,6 +3,8 @@ package goofi
 import (
 	"fmt"
 
+	"ctrlguard/internal/detect"
+	"ctrlguard/internal/inject"
 	"ctrlguard/internal/workload"
 )
 
@@ -48,6 +50,23 @@ type CampaignSpec struct {
 	// are byte-identical either way; the knob exists for benchmarking
 	// and cross-validation.
 	DisablePrune bool `json:"disablePrune,omitempty"`
+
+	// Model selects the fault model ("" or "bitflip" = the paper's
+	// permanent single bit-flip; "pc", "transient", "burst" are the
+	// attack-style extensions — see inject.Models). Non-default models
+	// decline the prune and warm-start fast paths, whose golden-run
+	// analyses assume permanent single flips.
+	Model string `json:"model,omitempty"`
+
+	// BurstWidth is the adjacent-bit span of the burst model (0 =
+	// workload.DefaultBurstWidth); it only applies to Model "burst".
+	BurstWidth int `json:"burstWidth,omitempty"`
+
+	// Detector arms in-loop detectors for every experiment: "cfe",
+	// "automaton", or "cfe+automaton" (see detect.Families). Armed
+	// campaigns decline prune and warm-start: both fast paths skip
+	// instructions the detectors must see.
+	Detector string `json:"detector,omitempty"`
 }
 
 // Sequential reports whether the spec asks for a precision-driven
@@ -72,6 +91,21 @@ func (s CampaignSpec) Resolve() (Config, error) {
 	if s.MaxExperiments < 0 {
 		return Config{}, fmt.Errorf("goofi: maxExperiments must be non-negative, got %d", s.MaxExperiments)
 	}
+	model, err := inject.ParseModel(s.Model)
+	if err != nil {
+		return Config{}, err
+	}
+	if s.BurstWidth < 0 || s.BurstWidth > 32 {
+		return Config{}, fmt.Errorf("goofi: burstWidth must be in [0, 32], got %d", s.BurstWidth)
+	}
+	if s.BurstWidth != 0 && model != inject.ModelBurst {
+		return Config{}, fmt.Errorf("goofi: burstWidth only applies to the %q fault model, not %q",
+			inject.ModelBurst, model)
+	}
+	det, err := detect.ParseSpec(s.Detector)
+	if err != nil {
+		return Config{}, err
+	}
 	return Config{
 		Variant:          v,
 		Experiments:      s.Experiments,
@@ -79,6 +113,9 @@ func (s CampaignSpec) Resolve() (Config, error) {
 		Workers:          s.Workers,
 		DisableWarmStart: s.DisableWarmStart,
 		DisablePrune:     s.DisablePrune,
+		Model:            model,
+		BurstWidth:       s.BurstWidth,
+		Detect:           det,
 	}, nil
 }
 

@@ -33,12 +33,30 @@ func RunSWIFI(cfg Config) (*Result, error) {
 	}
 	prog := workload.Program(cfg.Variant)
 
+	// SWIFI mutates the stored image before the run, so only the
+	// permanent models apply: single bit-flips and bursts. The runtime
+	// models (pc, transient) decline explicitly.
+	model := workload.FaultModel(cfg.Model).Canonical()
+	switch model {
+	case workload.ModelBitFlip, workload.ModelBurst:
+	default:
+		return nil, fmt.Errorf("goofi: SWIFI supports the %q and %q fault models, not %q (runtime-only)",
+			workload.ModelBitFlip, workload.ModelBurst, model)
+	}
+
 	golden := workload.Run(prog, cfg.Spec)
 	if golden.Detected() {
 		return nil, fmt.Errorf("goofi: reference execution trapped: %v", golden.Trap)
 	}
 
 	sampler := inject.NewImageSampler(cfg.Seed, prog)
+	if model == workload.ModelBurst {
+		w := cfg.BurstWidth
+		if w <= 0 {
+			w = workload.DefaultBurstWidth
+		}
+		sampler.SetBurstWidth(w)
+	}
 	flips := make([]inject.ImageFlip, cfg.Experiments)
 	for i := range flips {
 		flips[i] = sampler.Next()
@@ -92,6 +110,10 @@ func runSWIFIExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome,
 		Bit:        flip.Bit,
 		Provenance: ProvenanceSimulated,
 	}
+	if flip.Width > 1 {
+		rec.Model = string(workload.ModelBurst)
+		rec.Width = flip.Width
+	}
 	mutated, err := flip.Apply(prog)
 	if err != nil {
 		// Cannot happen for sampler-produced flips; record it as a
@@ -129,7 +151,7 @@ func statesEqualIgnoringImage(golden, faulty *workload.Outcome, flip inject.Imag
 	diffs := 0
 	for i := range a {
 		if a[i] != b[i] {
-			if a[i]^b[i] != 1<<(flip.Bit%32) {
+			if a[i]^b[i] != flip.Mask() {
 				return false
 			}
 			diffs++

@@ -20,6 +20,11 @@ type Sampler struct {
 	rng   *stats.RNG
 	bits  []cpu.StateBit
 	total uint64 // dynamic instruction count of the reference run
+
+	// model/width parameterise NewModelSampler; the zero values are
+	// the default bit-flip model.
+	model workload.FaultModel
+	width int
 }
 
 // NewSampler creates a sampler over every injectable CPU state bit and
@@ -37,11 +42,18 @@ func (s *Sampler) Locations() int {
 	return len(s.bits)
 }
 
-// Next draws one injection uniformly over locations × time.
+// Next draws one injection uniformly over locations × time. Model and
+// Width are stamped only for non-default models, keeping default
+// campaigns byte-identical to the historical engine.
 func (s *Sampler) Next() workload.Injection {
 	bit := s.bits[s.rng.Intn(len(s.bits))]
 	at := s.rng.Uint64() % s.total
-	return workload.Injection{At: at, Bit: bit}
+	inj := workload.Injection{At: at, Bit: bit}
+	if m := s.model.Canonical(); m != workload.ModelBitFlip {
+		inj.Model = m
+		inj.Width = s.width
+	}
+	return inj
 }
 
 // VarFlip is the variable-level fault model: flip one bit of one state

@@ -1,0 +1,120 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctrlguard/internal/cpu"
+	"ctrlguard/internal/stats"
+	"ctrlguard/internal/workload"
+)
+
+// FaultModel re-exports the workload fault-model type: inject owns the
+// sampling and the user-facing vocabulary, workload owns the injection
+// mechanics (inject imports workload, so the type lives there).
+type FaultModel = workload.FaultModel
+
+// The available fault models.
+const (
+	ModelBitFlip   = workload.ModelBitFlip
+	ModelPC        = workload.ModelPC
+	ModelTransient = workload.ModelTransient
+	ModelBurst     = workload.ModelBurst
+)
+
+// DefaultBurstWidth mirrors workload.DefaultBurstWidth.
+const DefaultBurstWidth = workload.DefaultBurstWidth
+
+// modelInfo describes one fault model for discovery (-list-models).
+var modelInfo = map[FaultModel]string{
+	ModelBitFlip:   "permanent single bit-flip in CPU state, uniform over location x time (the paper's model)",
+	ModelPC:        "permanent bit-flip restricted to control-flow state: the PC and the branch condition flags",
+	ModelTransient: "single-cycle transient: flip one bit, restore it after one instruction unless it was overwritten",
+	ModelBurst:     "multi-bit burst: flip N adjacent bits of one element (wrapping within the element)",
+}
+
+// Models lists every fault model, default first and the rest sorted.
+func Models() []FaultModel {
+	out := []FaultModel{ModelBitFlip}
+	var rest []string
+	for m := range modelInfo {
+		if m != ModelBitFlip {
+			rest = append(rest, string(m))
+		}
+	}
+	sort.Strings(rest)
+	for _, m := range rest {
+		out = append(out, FaultModel(m))
+	}
+	return out
+}
+
+// DescribeModel returns the one-line description of a model.
+func DescribeModel(m FaultModel) string {
+	return modelInfo[m.Canonical()]
+}
+
+// ParseModel validates a user-supplied model name ("" means the
+// default bit-flip model); unknown names list the options.
+func ParseModel(name string) (FaultModel, error) {
+	m := FaultModel(strings.ToLower(strings.TrimSpace(name))).Canonical()
+	if _, ok := modelInfo[m]; !ok {
+		var names []string
+		for _, k := range Models() {
+			names = append(names, string(k))
+		}
+		return "", fmt.Errorf("inject: unknown fault model %q (available: %s)",
+			name, strings.Join(names, ", "))
+	}
+	return m, nil
+}
+
+// controlFlowBits returns the injectable bits of the control-flow
+// state: the PC word and the two branch condition flags, in StateBits
+// order.
+func controlFlowBits() []cpu.StateBit {
+	var out []cpu.StateBit
+	for _, b := range cpu.StateBits() {
+		switch b.Element {
+		case "pc", "flagZ", "flagLT":
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// NewModelSampler creates a sampler for the given fault model. For the
+// bit-flip, transient and burst models it draws exactly the sequence
+// NewSampler draws (uniform over all state bits, then time), so
+// default-model campaigns remain byte-identical to the pre-model
+// engine; the pc model draws its locations from the control-flow bits
+// only. Injections carry Model/Width only for non-default models, so
+// default records keep their historical wire shape.
+func NewModelSampler(seed uint64, totalInstructions uint64, model FaultModel, width int) (*Sampler, error) {
+	model = model.Canonical()
+	if _, ok := modelInfo[model]; !ok {
+		return nil, fmt.Errorf("inject: unknown fault model %q", model)
+	}
+	s := &Sampler{
+		rng:   stats.NewRNG(seed),
+		bits:  cpu.StateBits(),
+		total: totalInstructions,
+		model: model,
+	}
+	if model == ModelBurst {
+		if width <= 0 {
+			width = DefaultBurstWidth
+		}
+		s.width = width
+	}
+	if model == ModelPC {
+		s.bits = controlFlowBits()
+	}
+	return s, nil
+}
+
+// Model returns the sampler's fault model.
+func (s *Sampler) Model() FaultModel {
+	return s.model.Canonical()
+}

@@ -36,16 +36,37 @@ func (t ImageTarget) String() string {
 }
 
 // ImageFlip is one pre-runtime fault: invert a bit of one word of the
-// program image.
+// program image. Width > 1 is the burst model — Width adjacent bits of
+// the word are inverted, wrapping within the 32-bit word.
 type ImageFlip struct {
 	Target ImageTarget
 	Word   int // word index within the target section
 	Bit    uint
+	Width  int // burst span; <= 1 means a single bit
 }
 
 // String renders the flip for logging.
 func (f ImageFlip) String() string {
+	if f.Width > 1 {
+		return fmt.Sprintf("%s[%d] bits %d+%d", f.Target, f.Word, f.Bit, f.Width)
+	}
 	return fmt.Sprintf("%s[%d] bit %d", f.Target, f.Word, f.Bit)
+}
+
+// Mask returns the XOR mask for the flip's bit or burst.
+func (f ImageFlip) Mask() uint32 {
+	w := f.Width
+	if w < 1 {
+		w = 1
+	}
+	if w > 32 {
+		w = 32
+	}
+	var m uint32
+	for i := 0; i < w; i++ {
+		m |= 1 << ((f.Bit + uint(i)) % 32)
+	}
+	return m
 }
 
 // Apply returns a copy of prog with the fault inserted. The original is
@@ -62,12 +83,12 @@ func (f ImageFlip) Apply(prog *cpu.Program) (*cpu.Program, error) {
 		if f.Word < 0 || f.Word >= len(mutated.Code) {
 			return nil, fmt.Errorf("inject: code word %d out of range", f.Word)
 		}
-		mutated.Code[f.Word] ^= 1 << (f.Bit % 32)
+		mutated.Code[f.Word] ^= f.Mask()
 	case ImageData:
 		if f.Word < 0 || f.Word >= len(mutated.Data) {
 			return nil, fmt.Errorf("inject: data word %d out of range", f.Word)
 		}
-		mutated.Data[f.Word] ^= 1 << (f.Bit % 32)
+		mutated.Data[f.Word] ^= f.Mask()
 	default:
 		return nil, fmt.Errorf("inject: unknown image target %d", f.Target)
 	}
@@ -80,6 +101,15 @@ type ImageSampler struct {
 	rng       *stats.RNG
 	codeWords int
 	dataWords int
+	width     int // burst span stamped on drawn flips (0 = single bit)
+}
+
+// SetBurstWidth makes subsequent draws burst flips of the given width.
+// The draw sequence is unchanged — only the stamped Width differs — so
+// burst SWIFI campaigns hit the same (word, bit) sites as single-bit
+// ones for the same seed.
+func (s *ImageSampler) SetBurstWidth(width int) {
+	s.width = width
 }
 
 // NewImageSampler creates a sampler for the given program.
@@ -97,7 +127,7 @@ func (s *ImageSampler) Next() ImageFlip {
 	w := s.rng.Intn(total)
 	bit := uint(s.rng.Intn(32))
 	if w < s.codeWords {
-		return ImageFlip{Target: ImageCode, Word: w, Bit: bit}
+		return ImageFlip{Target: ImageCode, Word: w, Bit: bit, Width: s.width}
 	}
-	return ImageFlip{Target: ImageData, Word: w - s.codeWords, Bit: bit}
+	return ImageFlip{Target: ImageData, Word: w - s.codeWords, Bit: bit, Width: s.width}
 }

@@ -3,6 +3,13 @@
 // instruction stream that classifies every candidate injection
 // (location, bit, time) BEFORE it is simulated.
 //
+// The analysis is sound ONLY for the permanent single bit-flip model
+// (see SupportsModel): a transient fault may vanish before the first
+// use the classifier keys on, a burst perturbs several bits whose
+// first uses can differ, and the equivalence-class argument assumes
+// one corrupted location. Campaigns using any other fault model must
+// decline pruning entirely rather than risk silently wrong verdicts.
+//
 // The analysis exploits a structural property of single-bit transient
 // faults: a faulty run executes exactly the golden instruction sequence
 // until the first dynamic READ of the faulted location. From one
@@ -50,6 +57,14 @@ import (
 
 	"ctrlguard/internal/cpu"
 )
+
+// SupportsModel reports whether the pruner's classification is sound
+// for the named fault model ("" is the default permanent single
+// bit-flip). Campaign engines call this on the decline path: any model
+// the analysis cannot reason about runs fully simulated.
+func SupportsModel(model string) bool {
+	return model == "" || model == "bitflip"
+}
 
 // Location numbering: a dense index over every trackable fault carrier.
 // Registers r1..r15 map to 0..14; then the PC and the two flags; then

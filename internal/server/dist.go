@@ -212,6 +212,12 @@ func (m *Manager) executeDist(ctx context.Context, c *Campaign, resumed bool) {
 		metrics.ExperimentsSimulated.Add(int64(prune.Simulated))
 		metrics.ExperimentsPrunedDead.Add(int64(prune.PrunedDead))
 		metrics.ExperimentsCollapsed.Add(int64(prune.Collapsed))
+		// The coordinator merges shard records without a campaign Result,
+		// so detector verdicts are tallied from the records themselves
+		// (shard golden runs stay on the executors, so no FP stats here).
+		cfe, auto := goofi.TallyDetect(recs)
+		metrics.DetectorCFEDetected.Add(int64(cfe))
+		metrics.DetectorAutomatonDetected.Add(int64(auto))
 		c.mu.Lock()
 		p := prune
 		c.prune = &p

@@ -98,6 +98,7 @@ type Campaign struct {
 	userCancel bool // cancelled via the API, as opposed to a shutdown
 	faults     goofi.FaultStats
 	prune      *goofi.PruneStats
+	detect     *goofi.DetectStats
 	shardsDone map[int]bool // journal-replayed completed shards (dist resume)
 	cancel     context.CancelFunc
 	subs       map[chan Event]struct{}
@@ -122,6 +123,7 @@ type View struct {
 	Resumed     bool               `json:"resumed,omitempty"`
 	Faults      goofi.FaultStats   `json:"faults,omitempty"`
 	Prune       *goofi.PruneStats  `json:"prune,omitempty"`
+	Detect      *goofi.DetectStats `json:"detect,omitempty"`
 	Error       string             `json:"error,omitempty"`
 }
 
@@ -144,6 +146,7 @@ func (c *Campaign) Snapshot() View {
 		Resumed:     c.resumed,
 		Faults:      c.faults,
 		Prune:       c.prune,
+		Detect:      c.detect,
 		Error:       c.errMsg,
 	}
 	if !c.started.IsZero() {
@@ -765,6 +768,7 @@ func (m *Manager) execute(c *Campaign) {
 	var recs []goofi.Record
 	var faults goofi.FaultStats
 	var pruneStats *goofi.PruneStats
+	var detStats *goofi.DetectStats
 	var runErr error
 	if c.Spec.Sequential() {
 		res, err := goofi.RunUntilPrecisionContext(ctx, goofi.PrecisionConfig{
@@ -776,6 +780,7 @@ func (m *Manager) execute(c *Campaign) {
 			recs = res.Records
 			faults = res.Faults
 			pruneStats = res.Prune
+			detStats = res.Detect
 		}
 		runErr = err
 	} else {
@@ -784,6 +789,7 @@ func (m *Manager) execute(c *Campaign) {
 			recs = res.Records
 			faults = res.Faults
 			pruneStats = res.Prune
+			detStats = res.Detect
 		}
 		runErr = err
 	}
@@ -794,6 +800,14 @@ func (m *Manager) execute(c *Campaign) {
 		metrics.ExperimentsCollapsed.Add(int64(pruneStats.Collapsed))
 		c.mu.Lock()
 		c.prune = pruneStats
+		c.mu.Unlock()
+	}
+	if detStats != nil {
+		metrics.DetectorCFEDetected.Add(int64(detStats.CFEDetected))
+		metrics.DetectorAutomatonDetected.Add(int64(detStats.AutomatonDetected))
+		metrics.DetectorFalsePositives.Add(int64(detStats.FalsePositives))
+		c.mu.Lock()
+		c.detect = detStats
 		c.mu.Unlock()
 	}
 

@@ -40,6 +40,14 @@ var metrics struct {
 	ShardsExpired       expvar.Int
 	ExecutorsRegistered expvar.Int
 
+	// Detector verdicts, accumulated over completed campaigns with
+	// in-loop detectors armed (see goofi.DetectStats): experiments
+	// caught by signature monitoring / the behavior automaton, and
+	// golden iterations the armed detectors rejected (detector noise).
+	DetectorCFEDetected       expvar.Int
+	DetectorAutomatonDetected expvar.Int
+	DetectorFalsePositives    expvar.Int
+
 	start time.Time
 	once  sync.Once
 	page  *expvar.Map
@@ -71,6 +79,9 @@ func metricsInit(workers int) {
 		m.Set("shards_completed", &metrics.ShardsCompleted)
 		m.Set("shards_expired", &metrics.ShardsExpired)
 		m.Set("executors_registered", &metrics.ExecutorsRegistered)
+		m.Set("detector_cfe_detected", &metrics.DetectorCFEDetected)
+		m.Set("detector_automaton_detected", &metrics.DetectorAutomatonDetected)
+		m.Set("detector_false_positives", &metrics.DetectorFalsePositives)
 		m.Set("campaign_workers", &metrics.TotalWorkers)
 		m.Set("campaign_workers_busy", &metrics.BusyWorkers)
 		m.Set("experiments_per_sec", expvar.Func(func() any {

@@ -1,0 +1,178 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"ctrlguard/internal/detect"
+	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/inject"
+	"ctrlguard/internal/stats"
+	"ctrlguard/internal/workload"
+)
+
+// Detector design space: beyond the guard parameters the variable-level
+// tuner searches, the CPU-level campaigns open a second space — which
+// in-loop detector families (control-flow signature monitoring, mined
+// behavior automata) to arm against which fault model. A detector study
+// measures every (variant, model, detector) point with a CPU-level
+// GOOFI campaign and reports the same Result schema the tuner uses, so
+// detection coverage, residual failure rates, detector noise, and
+// modeled overhead feed the same Pareto machinery.
+
+// DetectorPoint is one point of the detector design space.
+type DetectorPoint struct {
+	Variant  workload.Variant  `json:"variant"`
+	Model    inject.FaultModel `json:"model"`
+	Detector detect.Spec       `json:"detector"`
+}
+
+// ID returns the point's canonical identity, used for deterministic
+// seeding and display.
+func (p DetectorPoint) ID() string {
+	return fmt.Sprintf("%s/%s/detect=%s", p.Variant, p.Model.Canonical(), p.Detector)
+}
+
+// DetectorSpace enumerates the detector design grid.
+type DetectorSpace struct {
+	Variants  []workload.Variant  `json:"variants,omitempty"`
+	Models    []inject.FaultModel `json:"models,omitempty"`
+	Detectors []detect.Spec       `json:"detectors,omitempty"`
+}
+
+// DefaultDetectorSpace returns the stock grid: the paper's two
+// algorithms and the MIMO baseline under the control-flow (pc) fault
+// model, with every detector combination including the undetected
+// baseline.
+func DefaultDetectorSpace() DetectorSpace {
+	return DetectorSpace{
+		Variants: []workload.Variant{
+			workload.AlgorithmI,
+			workload.AlgorithmII,
+			workload.MIMOAlgorithmI,
+		},
+		Models: []inject.FaultModel{inject.ModelPC},
+		Detectors: []detect.Spec{
+			{},
+			{CFE: true},
+			{Automaton: true},
+			{CFE: true, Automaton: true},
+		},
+	}
+}
+
+// withDefaults fills empty axes from DefaultDetectorSpace.
+func (s DetectorSpace) withDefaults() DetectorSpace {
+	def := DefaultDetectorSpace()
+	if len(s.Variants) == 0 {
+		s.Variants = def.Variants
+	}
+	if len(s.Models) == 0 {
+		s.Models = def.Models
+	}
+	if len(s.Detectors) == 0 {
+		s.Detectors = def.Detectors
+	}
+	return s
+}
+
+// Points enumerates the grid in a fixed order.
+func (s DetectorSpace) Points() []DetectorPoint {
+	var out []DetectorPoint
+	for _, v := range s.Variants {
+		for _, m := range s.Models {
+			for _, d := range s.Detectors {
+				out = append(out, DetectorPoint{Variant: v, Model: m, Detector: d})
+			}
+		}
+	}
+	return out
+}
+
+// DetectorStudyConfig configures a detector study.
+type DetectorStudyConfig struct {
+	// Space is the grid to measure (empty axes default to
+	// DefaultDetectorSpace).
+	Space DetectorSpace
+
+	// Experiments is the campaign size per point.
+	Experiments int
+
+	// Seed drives every campaign; point seeds are derived from it and
+	// the point identity, so results do not depend on evaluation order.
+	Seed uint64
+
+	// Workers bounds per-campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DetectorStudy is the measured detector design space.
+type DetectorStudy struct {
+	// Points and Results align by index, in Space.Points order.
+	Points  []DetectorPoint `json:"points"`
+	Results []Result        `json:"results"`
+
+	// Front is the Pareto-optimal subset of Results (point-wise, over
+	// severe rate, value-failure rate, false-positive rate and
+	// overhead).
+	Front []Result `json:"front"`
+}
+
+// pointSeed derives a campaign seed from the study seed and the point
+// identity, mirroring Evaluator.candidateSeed.
+func pointSeed(seed uint64, p DetectorPoint) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, p.ID())
+	return h.Sum64() ^ (seed*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019)
+}
+
+// RunDetectorStudy measures every point of the detector design space
+// with a CPU-level fault-injection campaign and returns the results
+// with their Pareto front. Deterministic for a fixed configuration.
+func RunDetectorStudy(ctx context.Context, cfg DetectorStudyConfig) (*DetectorStudy, error) {
+	if cfg.Experiments <= 0 {
+		return nil, fmt.Errorf("tune: detector study needs a positive campaign size, got %d", cfg.Experiments)
+	}
+	space := cfg.Space.withDefaults()
+	points := space.Points()
+	study := &DetectorStudy{Points: points}
+	for _, p := range points {
+		out, err := goofi.RunContext(ctx, goofi.Config{
+			Variant:     p.Variant,
+			Experiments: cfg.Experiments,
+			Seed:        pointSeed(cfg.Seed, p),
+			Workers:     cfg.Workers,
+			Model:       p.Model,
+			Detect:      p.Detector,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tune: detector point %s: %w", p.ID(), err)
+		}
+		study.Results = append(study.Results, detectorResult(p, out))
+	}
+	study.Front = ParetoFront(study.Results)
+	return study, nil
+}
+
+// detectorResult condenses one campaign into the tuner's Result schema.
+func detectorResult(p DetectorPoint, out *goofi.Result) Result {
+	c := goofi.Analyze(out.Records).Total
+	r := Result{
+		Name:          p.ID(),
+		Experiments:   len(out.Records),
+		Detected:      goofi.DetectedProportion(c),
+		ValueFailures: goofi.ValueFailureProportion(c),
+		Severe:        goofi.SevereProportion(c),
+	}
+	// Detector noise and cost come from the campaign's monitored golden
+	// run; an unarmed point has exact zeros over the same denominator.
+	iters := len(out.Golden.Outputs)
+	r.FalsePositives = stats.Proportion{Count: 0, N: iters}
+	if out.Detect != nil {
+		r.FalsePositives.Count = out.Detect.FalsePositives
+		r.Overhead = out.Detect.Overhead
+	}
+	return r
+}

@@ -1,0 +1,113 @@
+package tune
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ctrlguard/internal/detect"
+	"ctrlguard/internal/workload"
+)
+
+// TestDetectorStudyParetoFront is the pinned end-to-end study from the
+// issue: on Algorithm I/II and the MIMO variant under the PC/branch
+// fault model, signature monitoring and behavior automata must appear
+// on the tuner's Pareto front, with detection coverage and modeled
+// overhead reported for every armed point.
+func TestDetectorStudyParetoFront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detector study in -short mode")
+	}
+	study, err := RunDetectorStudy(context.Background(), DetectorStudyConfig{
+		Experiments: 150,
+		Seed:        17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default space: 3 variants x pc model x 4 detector specs.
+	if want := 12; len(study.Results) != want {
+		t.Fatalf("%d results, want %d", len(study.Results), want)
+	}
+
+	for _, r := range study.Results {
+		if r.Experiments != 150 {
+			t.Errorf("%s: %d experiments, want 150", r.Name, r.Experiments)
+		}
+		if r.Detected.N == 0 {
+			t.Errorf("%s: detection coverage not measured", r.Name)
+		}
+		armed := !strings.HasSuffix(r.Name, "/detect=none")
+		if armed && r.Overhead <= 0 {
+			t.Errorf("%s: armed detector reports no overhead", r.Name)
+		}
+		if !armed && r.Overhead != 0 {
+			t.Errorf("%s: unarmed point reports %.3f overhead", r.Name, r.Overhead)
+		}
+		if armed && r.Detected.Count == 0 {
+			t.Errorf("%s: armed detector point detected nothing", r.Name)
+		}
+	}
+
+	// Both detector families must survive to the front somewhere in the
+	// space — the paper-style result that in-loop detection is worth its
+	// overhead under control-flow faults.
+	var cfeOnFront, automatonOnFront bool
+	for _, r := range study.Front {
+		if strings.Contains(r.Name, "detect=cfe") {
+			cfeOnFront = true
+		}
+		if strings.Contains(r.Name, "automaton") {
+			automatonOnFront = true
+		}
+	}
+	if !cfeOnFront {
+		t.Error("no signature-monitoring point on the Pareto front")
+	}
+	if !automatonOnFront {
+		t.Error("no behavior-automaton point on the Pareto front")
+	}
+}
+
+// TestDetectorStudyDeterministic pins that the study is a pure function
+// of its seed.
+func TestDetectorStudyDeterministic(t *testing.T) {
+	cfg := DetectorStudyConfig{
+		Space: DetectorSpace{
+			Variants:  []workload.Variant{workload.AlgorithmI},
+			Detectors: []detect.Spec{{}, {CFE: true}},
+		},
+		Experiments: 60,
+		Seed:        23,
+	}
+	a, err := RunDetectorStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDetectorStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Errorf("result %d differs across identical runs:\n%+v\n%+v",
+				i, a.Results[i], b.Results[i])
+		}
+	}
+}
+
+// TestDetectorPointIDs pins the point naming the CLI and saved results
+// key on.
+func TestDetectorPointIDs(t *testing.T) {
+	p := DetectorPoint{Variant: workload.AlgorithmI, Detector: detect.Spec{CFE: true, Automaton: true}}
+	if got, want := p.ID(), "alg1/bitflip/detect=cfe+automaton"; got != want {
+		t.Errorf("ID() = %q, want %q", got, want)
+	}
+	p = DetectorPoint{Variant: workload.AlgorithmII, Model: workload.ModelPC}
+	if got, want := p.ID(), "alg2/pc/detect=none"; got != want {
+		t.Errorf("ID() = %q, want %q", got, want)
+	}
+}

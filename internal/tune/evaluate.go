@@ -39,6 +39,13 @@ type Result struct {
 	ValueFailures stats.Proportion `json:"valueFailures"`
 	Severe        stats.Proportion `json:"severe"`
 
+	// Detected is the detection coverage: the share of injected faults
+	// caught by any error-detection mechanism, including in-loop
+	// detectors (signature monitoring, behavior automata). Producers
+	// that do not measure coverage leave the zero-experiment Proportion
+	// ("unknown", not "zero").
+	Detected stats.Proportion `json:"detected"`
+
 	// FalsePositives is the share of fault-free control iterations in
 	// which the guard intervened — detector noise that costs control
 	// performance with no fault present.

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"ctrlguard/internal/cpu"
+)
+
+// FaultModel selects how an Injection perturbs the machine. The zero
+// value is the paper's single permanent bit-flip; the other models are
+// the attack-style extensions: PC/branch corruption, single-cycle
+// transients, and multi-bit bursts.
+type FaultModel string
+
+// The fault models understood by the run harness. ModelPC shares the
+// bit-flip mechanics — the difference is that its samplers draw only
+// from the control-flow state (PC and the branch condition flags).
+const (
+	ModelBitFlip   FaultModel = "bitflip"
+	ModelPC        FaultModel = "pc"
+	ModelTransient FaultModel = "transient"
+	ModelBurst     FaultModel = "burst"
+)
+
+// DefaultBurstWidth is the burst span used when Injection.Width is zero.
+const DefaultBurstWidth = 2
+
+// Canonical returns the model with the zero value normalised to
+// ModelBitFlip.
+func (m FaultModel) Canonical() FaultModel {
+	if m == "" {
+		return ModelBitFlip
+	}
+	return m
+}
+
+// applyInjection perturbs the machine per the injection's fault model,
+// immediately before the targeted instruction executes. For the
+// transient model it returns a restore hook that must run once, right
+// after that instruction's Step: the glitch is undone if the bit still
+// holds the flipped value (flip-then-restore-if-unchanged — a latch
+// re-latching correctly on the next cycle unless the faulty value was
+// already consumed or overwritten). Errors are programming mistakes
+// (covered by tests): samplers only produce bits from cpu.StateBits.
+func applyInjection(vm *cpu.CPU, inj *Injection) func() {
+	switch inj.Model.Canonical() {
+	case ModelBitFlip, ModelPC:
+		if err := vm.FlipBit(inj.Bit); err != nil {
+			panic(err)
+		}
+		return nil
+	case ModelBurst:
+		w := inj.Width
+		if w <= 0 {
+			w = DefaultBurstWidth
+		}
+		if err := vm.FlipBurst(inj.Bit, w); err != nil {
+			panic(err)
+		}
+		return nil
+	case ModelTransient:
+		if err := vm.FlipBit(inj.Bit); err != nil {
+			panic(err)
+		}
+		bad, err := vm.StateBitValue(inj.Bit)
+		if err != nil {
+			panic(err)
+		}
+		return func() {
+			cur, err := vm.StateBitValue(inj.Bit)
+			if err == nil && cur == bad {
+				if err := vm.FlipBit(inj.Bit); err != nil {
+					panic(err)
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown fault model %q", inj.Model))
+	}
+}

@@ -24,11 +24,28 @@ const DefaultCycleBudget = 20000
 // the effect behind the paper's cache-dominated value failures.
 const DefaultIdleSpins = 100
 
-// Injection describes one SCIFI-style fault: flip Bit just before the
-// instruction with global index At begins execution.
+// Injection describes one SCIFI-style fault: perturb Bit just before
+// the instruction with global index At begins execution, per Model.
+// The zero Model is the paper's permanent single bit-flip; Width is
+// the burst span for ModelBurst (0 = DefaultBurstWidth) and ignored
+// otherwise.
 type Injection struct {
-	At  uint64
-	Bit cpu.StateBit
+	At    uint64
+	Bit   cpu.StateBit
+	Model FaultModel `json:",omitempty"`
+	Width int        `json:",omitempty"`
+}
+
+// Monitor is an in-loop error detector: OnInstr runs before every
+// instruction (after any injection for that cycle is applied) and
+// OnIteration after each control iteration's outputs are delivered. A
+// non-nil trap terminates the run exactly like a CPU EDM firing —
+// detectors report through the same trap plumbing the campaigns
+// already classify. Monitors disable the From/Golden fast paths, which
+// must not skip instructions a detector needs to see.
+type Monitor interface {
+	OnInstr(iteration int, instr uint64, vm *cpu.CPU) *cpu.TrapError
+	OnIteration(iteration int, vm *cpu.CPU) *cpu.TrapError
 }
 
 // RunSpec configures one execution of a workload program against its
@@ -60,6 +77,11 @@ type RunSpec struct {
 	// machine — GOOFI's detail mode, used for error-propagation
 	// analysis. It slows the run down considerably.
 	Observer func(iteration int, instr uint64, vm *cpu.CPU)
+
+	// Monitor, if non-nil, is the in-loop detector for this run. Like
+	// Observer it sees every instruction, so it disables the From and
+	// Golden fast paths.
+	Monitor Monitor
 
 	// Abort, if non-nil, is polled at every iteration boundary; when it
 	// returns true the run stops before the next iteration and the
@@ -307,6 +329,7 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 			from.iteration < spec.Iterations &&
 			len(from.outHi) == ports.Outputs &&
 			spec.Observer == nil &&
+			spec.Monitor == nil &&
 			!spec.RecordStateHashes &&
 			(spec.Injection == nil || spec.Injection.At >= from.vm.InstrCount)
 		if !usable {
@@ -342,7 +365,8 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 	}
 
 	golden := spec.Golden
-	if spec.Injection == nil || spec.Observer != nil || !goldenUsable(golden, spec, ports) {
+	if spec.Injection == nil || spec.Observer != nil || spec.Monitor != nil ||
+		!goldenUsable(golden, spec, ports) {
 		golden = nil
 	}
 	// diverged latches once any output differs from the golden trace:
@@ -424,14 +448,10 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 		port.readyPolls = 0
 
 		cycles := 0
+		var restore func()
 		for !port.syncSeen {
 			if spec.Injection != nil && !injected && vm.InstrCount() == spec.Injection.At {
-				// Errors here are programming mistakes (covered by
-				// tests); an invalid bit cannot occur for bits
-				// produced by cpu.StateBits.
-				if err := vm.FlipBit(spec.Injection.Bit); err != nil {
-					panic(err)
-				}
+				restore = applyInjection(vm, spec.Injection)
 				injected = true
 				nextCheck = k + 1
 				gap = 1
@@ -439,12 +459,25 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 			if spec.Observer != nil {
 				spec.Observer(k, vm.InstrCount(), vm)
 			}
+			if spec.Monitor != nil {
+				if t := spec.Monitor.OnInstr(k, vm.InstrCount(), vm); t != nil {
+					out.Trap = t
+					out.TrapIteration = k
+					out.Instructions = vm.InstrCount()
+					out.finish(env)
+					return out, nil
+				}
+			}
 			if err := vm.Step(); err != nil {
 				out.Trap = asTrap(err)
 				out.TrapIteration = k
 				out.Instructions = vm.InstrCount()
 				out.finish(env)
 				return out, nil
+			}
+			if restore != nil {
+				restore()
+				restore = nil
 			}
 			cycles++
 			if cycles > budget {
@@ -466,6 +499,15 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 			}
 		}
 		env.Deliver(k, u)
+		if spec.Monitor != nil {
+			if t := spec.Monitor.OnIteration(k, vm); t != nil {
+				out.Trap = t
+				out.TrapIteration = k
+				out.Instructions = vm.InstrCount()
+				out.finish(env)
+				return out, nil
+			}
+		}
 	}
 	out.FinalState = vm.FinalState()
 	out.Instructions = vm.InstrCount()
