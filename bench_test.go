@@ -204,12 +204,14 @@ func BenchmarkFig10AssertionMiss(b *testing.B) {
 // The warm/full pair measures the same campaign with the checkpoint
 // fast path on and off; their ratio is the speedup the CI bench gate
 // asserts on (cmd/benchgate -speedup). Both disable the fault-space
-// pruner so the pair keeps measuring checkpointing alone; the pruned
-// benchmark below layers the pruner back on top of the warm start. One
-// op = one whole campaign, so run these with -benchtime=1x.
+// pruner and the lockstep batcher so the pair keeps measuring
+// checkpointing alone; the pruned benchmark layers the pruner back on
+// top of the warm start, and the lockstep benchmark measures the
+// composed production engine. One op = one whole campaign, so run
+// these with -benchtime=1x.
 const fastPathExperiments = 300
 
-func benchWholeCampaign(b *testing.B, disableWarmStart, disablePrune bool) {
+func benchWholeCampaign(b *testing.B, disableWarmStart, disablePrune, disableLockstep bool) {
 	var res *goofi.Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -219,6 +221,7 @@ func benchWholeCampaign(b *testing.B, disableWarmStart, disablePrune bool) {
 			Seed:             2001,
 			DisableWarmStart: disableWarmStart,
 			DisablePrune:     disablePrune,
+			DisableLockstep:  disableLockstep,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -236,22 +239,35 @@ func benchWholeCampaign(b *testing.B, disableWarmStart, disablePrune bool) {
 		b.ReportMetric(float64(p.Collapsed), "collapsed")
 		b.ReportMetric(float64(p.Classes), "classes")
 	}
+	if l := res.Lockstep; l != nil {
+		b.ReportMetric(float64(l.Lanes), "lanes")
+		b.ReportMetric(float64(l.Batches), "batches")
+		b.ReportMetric(float64(l.Solo), "solo")
+	}
 }
 
 func BenchmarkCampaignWarmStart(b *testing.B) {
-	benchWholeCampaign(b, false, true)
+	benchWholeCampaign(b, false, true, true)
 }
 
 func BenchmarkCampaignFullReplay(b *testing.B) {
-	benchWholeCampaign(b, true, true)
+	benchWholeCampaign(b, true, true, true)
 }
 
-// BenchmarkCampaignPruned is the production default: warm start plus
-// fault-space pruning. The CI gate asserts its speedup over
+// BenchmarkCampaignPruned layers fault-space pruning on top of the
+// warm start. The CI gate asserts its speedup over
 // BenchmarkCampaignWarmStart — the pruner's contribution on top of the
 // checkpoint fast path.
 func BenchmarkCampaignPruned(b *testing.B) {
-	benchWholeCampaign(b, false, false)
+	benchWholeCampaign(b, false, false, true)
+}
+
+// BenchmarkCampaignLockstep is the production default: warm start,
+// pruning, and lockstep batching over the predecoded engine. The CI
+// gate asserts its speedup over BenchmarkCampaignFullReplay — the
+// whole fast-path stack against the naive campaign.
+func BenchmarkCampaignLockstep(b *testing.B) {
+	benchWholeCampaign(b, false, false, false)
 }
 
 // --- Tables 2, 3, 4: the fault-injection campaigns ---
@@ -546,6 +562,26 @@ func BenchmarkVMControlIteration(b *testing.B) {
 	perIter := float64(golden.Instructions) / float64(len(golden.Outputs))
 	b.ReportMetric(perIter, "instrs_per_iteration")
 }
+
+// benchVMRun times one full fault-free run; the interpret knob selects
+// the classic fetch/decode loop or the predecoded dispatch engine. The
+// CI bench job uploads this pair's benchstat diff as the
+// decoded-vs-interpreted artifact.
+func benchVMRun(b *testing.B, interpret bool) {
+	prog := workload.Program(workload.AlgorithmI)
+	spec := workload.PaperRunSpec()
+	spec.Interpret = interpret
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := workload.Run(prog, spec)
+		if out.Detected() {
+			b.Fatal(out.Trap)
+		}
+	}
+}
+
+func BenchmarkVMRunDecoded(b *testing.B)     { benchVMRun(b, false) }
+func BenchmarkVMRunInterpreted(b *testing.B) { benchVMRun(b, true) }
 
 func BenchmarkBitFlip64(b *testing.B) {
 	v := 7.0

@@ -53,6 +53,8 @@ func main() {
 		mark      = flag.Bool("markdown", false, "with -compare: emit a markdown report instead of tables")
 		precision = flag.Float64("precision", 0, "run batches until the severe-rate 95% CI half-width is below this (e.g. 0.001)")
 		noPrune   = flag.Bool("no-prune", false, "disable fault-space pruning; simulate every injection")
+		noLock    = flag.Bool("no-lockstep", false, "disable lockstep batching; run every simulated experiment solo")
+		lockK     = flag.Int("lockstep-k", 0, "experiments per lockstep batch (0 = automatic)")
 		model     = flag.String("model", "", "fault model (see -list-models; default is the paper's permanent single bit-flip)")
 		burstW    = flag.Int("burst-width", 0, "adjacent-bit span for -model burst (0 = default)")
 		detector  = flag.String("detector", "", "arm in-loop detectors: cfe, automaton, or cfe+automaton (see -list-detectors)")
@@ -80,8 +82,8 @@ func main() {
 	spec := goofi.CampaignSpec{
 		Alg: *alg, Variant: *variant, Experiments: *n,
 		Seed: *seed, Workers: *workers, Precision: *precision,
-		DisablePrune: *noPrune,
-		Model:        *model, BurstWidth: *burstW, Detector: *detector,
+		DisablePrune: *noPrune, DisableLockstep: *noLock, LockstepK: *lockK,
+		Model: *model, BurstWidth: *burstW, Detector: *detector,
 	}
 	// Cancel on SIGINT so a long campaign still flushes the records
 	// completed so far.
@@ -181,6 +183,10 @@ func runPrecision(ctx context.Context, cfg goofi.Config, target float64) error {
 	if p := res.Prune; p != nil {
 		fmt.Printf("pruning: %d planned, %d simulated, %d pruned dead, %d collapsed into %d classes\n",
 			p.Planned, p.Simulated, p.PrunedDead, p.Collapsed, p.Classes)
+	}
+	if l := res.Lockstep; l != nil {
+		fmt.Printf("lockstep: %d lanes in %d batches (K=%d), %d solo runs\n",
+			l.Lanes, l.Batches, l.K, l.Solo)
 	}
 	if d := res.Detect; d != nil {
 		fmt.Printf("detectors: %d caught by signature monitor, %d by automaton, %d golden false positives, %.1f%% modeled overhead\n",
@@ -295,6 +301,11 @@ func campaign(ctx context.Context, base goofi.Config, v workload.Variant, n int,
 		p := res.Prune
 		fmt.Fprintf(os.Stderr, "%s: pruning: %d planned, %d simulated, %d pruned dead, %d collapsed into %d classes\n",
 			v, p.Planned, p.Simulated, p.PrunedDead, p.Collapsed, p.Classes)
+	}
+	if res != nil && res.Lockstep != nil && !quiet {
+		l := res.Lockstep
+		fmt.Fprintf(os.Stderr, "%s: lockstep: %d lanes in %d batches (K=%d), %d solo runs\n",
+			v, l.Lanes, l.Batches, l.K, l.Solo)
 	}
 	if res != nil && res.Detect != nil && !quiet {
 		d := res.Detect

@@ -42,6 +42,11 @@ type CPU struct {
 	instrCount uint64
 	lastJump   bool // previous instruction transferred control
 	halted     bool
+
+	// dec, when non-nil, is the predecoded instruction stream Step
+	// dispatches from instead of decoding the fetched word — see
+	// AttachDecoded. Behaviour is identical either way.
+	dec *Decoded
 }
 
 // New creates a CPU with the given program image loaded: code at
@@ -104,15 +109,32 @@ func (c *CPU) Step() error {
 	if c.PC%4 != 0 || SegmentOf(c.PC) != SegCode {
 		return &TrapError{Mech: MechJumpError, PC: c.PC, Info: "instruction fetch outside code segment"}
 	}
+	if d := c.dec; d != nil {
+		// Predecoded dispatch: the code segment is immutable after
+		// load (verified by AttachDecoded), so the slot at PC is
+		// exactly what fetching and decoding the word would yield —
+		// including the INSTRUCTION ERROR for undecodable words.
+		s := &d.ops[(c.PC-CodeBase)>>2]
+		if s.err != nil {
+			return &TrapError{Mech: MechInstrError, PC: c.PC, Info: s.err.Error()}
+		}
+		return c.exec(s)
+	}
 	word := c.Mem.ReadWord(c.PC)
 	in, err := Decode(word)
 	if err != nil {
 		return &TrapError{Mech: MechInstrError, PC: c.PC, Info: err.Error()}
 	}
+	s := compile(in)
+	return c.exec(&s)
+}
 
+// exec executes one predecoded slot: the shared back half of Step
+// behind both the interpreted and the predecoded front ends.
+func (c *CPU) exec(in *dop) error {
 	// Control-flow checking: every control transfer must land on a
 	// SIG landing pad.
-	if c.lastJump && in.Op != OpSig {
+	if c.lastJump && in.op != OpSig {
 		c.lastJump = false
 		return &TrapError{Mech: MechControlFlow, PC: c.PC, Info: "control transfer to non-SIG instruction"}
 	}
@@ -121,7 +143,7 @@ func (c *CPU) Step() error {
 	c.instrCount++
 	nextPC := c.PC + 4
 
-	switch in.Op {
+	switch in.op {
 	case OpNop, OpSig:
 		// no effect
 
@@ -132,70 +154,70 @@ func (c *CPU) Step() error {
 		return &TrapError{Mech: MechConstraint, PC: c.PC, Info: "software run-time assertion"}
 
 	case OpMovi:
-		c.setReg(in.Rd, signExt(in.Imm))
+		c.setReg(in.rd, in.simm)
 
 	case OpMovu:
-		c.setReg(in.Rd, uint32(in.Imm)<<16)
+		c.setReg(in.rd, uint32(in.imm)<<16)
 
 	case OpAdd, OpSub, OpAddi:
-		a := int64(int32(c.reg(in.Rs1)))
+		a := int64(int32(c.reg(in.rs1)))
 		var b int64
-		if in.Op == OpAddi {
-			b = int64(int32(signExt(in.Imm)))
+		if in.op == OpAddi {
+			b = int64(int32(in.simm))
 		} else {
-			b = int64(int32(c.reg(in.Rs2)))
+			b = int64(int32(c.reg(in.rs2)))
 		}
-		if in.Op == OpSub {
+		if in.op == OpSub {
 			b = -b
 		}
 		sum := a + b
 		if sum > math.MaxInt32 || sum < math.MinInt32 {
 			return &TrapError{Mech: MechOverflow, PC: c.PC, Info: "signed integer overflow"}
 		}
-		c.setReg(in.Rd, uint32(int32(sum)))
+		c.setReg(in.rd, uint32(int32(sum)))
 
 	case OpOri:
-		c.setReg(in.Rd, c.reg(in.Rs1)|uint32(in.Imm))
+		c.setReg(in.rd, c.reg(in.rs1)|uint32(in.imm))
 
 	case OpAnd:
-		c.setReg(in.Rd, c.reg(in.Rs1)&c.reg(in.Rs2))
+		c.setReg(in.rd, c.reg(in.rs1)&c.reg(in.rs2))
 	case OpOr:
-		c.setReg(in.Rd, c.reg(in.Rs1)|c.reg(in.Rs2))
+		c.setReg(in.rd, c.reg(in.rs1)|c.reg(in.rs2))
 	case OpXor:
-		c.setReg(in.Rd, c.reg(in.Rs1)^c.reg(in.Rs2))
+		c.setReg(in.rd, c.reg(in.rs1)^c.reg(in.rs2))
 
 	case OpCmp:
-		a, b := int32(c.reg(in.Rs1)), int32(c.reg(in.Rs2))
+		a, b := int32(c.reg(in.rs1)), int32(c.reg(in.rs2))
 		c.FlagZ = a == b
 		c.FlagLT = a < b
 
 	case OpLd:
-		addr := c.reg(in.Rs1) + signExt(in.Imm)
+		addr := c.reg(in.rs1) + in.simm
 		v, trap := c.load(addr)
 		if trap != nil {
 			trap.PC = c.PC
 			return trap
 		}
-		c.setReg(in.Rd, v)
+		c.setReg(in.rd, v)
 
 	case OpSt:
-		addr := c.reg(in.Rs1) + signExt(in.Imm)
-		if trap := c.store(addr, c.reg(in.Rd)); trap != nil {
+		addr := c.reg(in.rs1) + in.simm
+		if trap := c.store(addr, c.reg(in.rd)); trap != nil {
 			trap.PC = c.PC
 			return trap
 		}
 
 	case OpFadd, OpFsub, OpFmul, OpFdiv:
-		v, trap := c.floatOp(in.Op, c.reg(in.Rs1), c.reg(in.Rs2))
+		v, trap := c.floatOp(in.op, c.reg(in.rs1), c.reg(in.rs2))
 		if trap != nil {
 			trap.PC = c.PC
 			return trap
 		}
-		c.setReg(in.Rd, v)
+		c.setReg(in.rd, v)
 
 	case OpFcmp:
-		a := math.Float32frombits(c.reg(in.Rs1))
-		b := math.Float32frombits(c.reg(in.Rs2))
+		a := math.Float32frombits(c.reg(in.rs1))
+		b := math.Float32frombits(c.reg(in.rs2))
 		if isNaN32(a) || isNaN32(b) {
 			return &TrapError{Mech: MechIllegalOp, PC: c.PC, Info: "unordered float compare"}
 		}
@@ -203,22 +225,22 @@ func (c *CPU) Step() error {
 		c.FlagLT = a < b
 
 	case OpFaddd, OpFsubd, OpFmuld, OpFdivd:
-		if err := checkPair(in.Rd, in.Rs1, in.Rs2); err != nil {
+		if err := checkPair(in.rd, in.rs1, in.rs2); err != nil {
 			return &TrapError{Mech: MechInstrError, PC: c.PC, Info: err.Error()}
 		}
-		v, trap := c.floatOp64(in.Op, c.regPair(in.Rs1), c.regPair(in.Rs2))
+		v, trap := c.floatOp64(in.op, c.regPair(in.rs1), c.regPair(in.rs2))
 		if trap != nil {
 			trap.PC = c.PC
 			return trap
 		}
-		c.setRegPair(in.Rd, v)
+		c.setRegPair(in.rd, v)
 
 	case OpFcmpd:
-		if err := checkPair(in.Rs1, in.Rs2); err != nil {
+		if err := checkPair(in.rs1, in.rs2); err != nil {
 			return &TrapError{Mech: MechInstrError, PC: c.PC, Info: err.Error()}
 		}
-		a := math.Float64frombits(c.regPair(in.Rs1))
-		b := math.Float64frombits(c.regPair(in.Rs2))
+		a := math.Float64frombits(c.regPair(in.rs1))
+		b := math.Float64frombits(c.regPair(in.rs2))
 		if math.IsNaN(a) || math.IsNaN(b) {
 			return &TrapError{Mech: MechIllegalOp, PC: c.PC, Info: "unordered double compare"}
 		}
@@ -226,30 +248,27 @@ func (c *CPU) Step() error {
 		c.FlagLT = a < b
 
 	case OpBeq, OpBne, OpBlt, OpBge, OpBgt, OpBle:
-		if c.branchTaken(in.Op) {
-			target := uint32(in.Imm)
-			if trap := c.checkJumpTarget(target); trap != nil {
-				return trap
+		if c.branchTaken(in.op) {
+			if !in.jumpOK {
+				return c.checkJumpTarget(uint32(in.imm))
 			}
-			nextPC = target
+			nextPC = uint32(in.imm)
 			c.lastJump = true
 		}
 
 	case OpJmp:
-		target := uint32(in.Imm)
-		if trap := c.checkJumpTarget(target); trap != nil {
-			return trap
+		if !in.jumpOK {
+			return c.checkJumpTarget(uint32(in.imm))
 		}
-		nextPC = target
+		nextPC = uint32(in.imm)
 		c.lastJump = true
 
 	case OpCall:
-		target := uint32(in.Imm)
-		if trap := c.checkJumpTarget(target); trap != nil {
-			return trap
+		if !in.jumpOK {
+			return c.checkJumpTarget(uint32(in.imm))
 		}
 		c.setReg(15, c.PC+4)
-		nextPC = target
+		nextPC = uint32(in.imm)
 		c.lastJump = true
 
 	case OpRet:

@@ -7,7 +7,10 @@
 // access the GOOFI campaign needs.
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Opcode identifies an instruction.
 type Opcode uint8
@@ -124,9 +127,24 @@ func (in Instr) Encode() uint32 {
 	return w
 }
 
+// decodeCalls counts every Decode invocation, so tests can pin that
+// campaign hot paths run entirely from the predecoded stream (the fix
+// for Decode being re-run on every Step). Always on: the only paths
+// still decoding per instruction are the cross-validation interpreter
+// and one-off program analyses, where one atomic add is noise.
+var decodeCalls atomic.Uint64
+
+// DecodeCalls returns the number of times Decode has run in this
+// process. Regression tests snapshot it around a campaign and require a
+// zero delta on the predecoded hot path.
+func DecodeCalls() uint64 {
+	return decodeCalls.Load()
+}
+
 // Decode unpacks a 32-bit instruction word. It returns an error for an
 // undefined opcode (the INSTRUCTION ERROR condition).
 func Decode(w uint32) (Instr, error) {
+	decodeCalls.Add(1)
 	op := Opcode(w >> 24)
 	if !op.valid() {
 		return Instr{}, fmt.Errorf("cpu: illegal opcode %#x", w>>24)

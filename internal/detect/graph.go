@@ -40,10 +40,13 @@ func NewBlockGraph(prog *cpu.Program) *BlockGraph {
 		return g
 	}
 
+	// The graph is derived from the same shared predecoded stream the
+	// execution engine dispatches from, not a private re-decode.
+	dec := cpu.PredecodeCached(prog)
 	decoded := make([]cpu.Instr, n)
 	ok := make([]bool, n)
-	for i, w := range prog.Code {
-		in, err := cpu.Decode(w)
+	for i := range prog.Code {
+		in, err := dec.Instr(i)
 		if err == nil {
 			decoded[i], ok[i] = in, true
 		}

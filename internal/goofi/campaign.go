@@ -111,6 +111,18 @@ type Config struct {
 	// exists for benchmarking and cross-validation, not correctness.
 	DisablePrune bool
 
+	// DisableLockstep forces every simulated experiment to run solo
+	// instead of batching experiments of one campaign over a single
+	// shared golden-prefix replay (the lockstep engine). Records are
+	// byte-identical either way (guaranteed by tests), so like the
+	// other Disable knobs this exists for benchmarking and
+	// cross-validation, not correctness.
+	DisableLockstep bool
+
+	// LockstepK bounds how many experiments share one lockstep batch
+	// (0 = derived from the campaign size and worker count).
+	LockstepK int
+
 	// Model selects the fault model for every injection (the zero
 	// value is the paper's permanent single bit-flip). Non-default
 	// models cleanly decline the prune and warm-start fast paths: the
@@ -207,6 +219,11 @@ type Result struct {
 	// non-default fault model, or armed detectors).
 	Prune *PruneStats
 
+	// Lockstep reports the batching engine's work sharing; nil when
+	// lockstep was disabled or inapplicable (detail-mode observers,
+	// armed detectors, tracing, per-experiment deadlines, chaos hooks).
+	Lockstep *LockstepStats
+
 	// Detect reports the armed detectors' configuration, verdict counts
 	// and modeled overhead; nil when no detectors were armed.
 	Detect *DetectStats
@@ -281,6 +298,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	useWarm := !cfg.DisableWarmStart && cfg.Spec.Observer == nil && modelPrunable && !detectOn
 	usePrune := !cfg.DisablePrune && cfg.Spec.Observer == nil && cfg.Trace == nil && modelPrunable && !detectOn
 
+	// The lockstep batcher shares one golden-prefix replay across a
+	// batch of experiments, forking a lane per injection point. It
+	// composes with warm start and pruning and — unlike them — is valid
+	// for every fault model, but not with hooks that must see every
+	// instruction (observers, detectors), detail-mode tracing, or the
+	// per-attempt deadline/chaos machinery, whose fault isolation is
+	// built around solo runs.
+	useLockstep := !cfg.DisableLockstep && cfg.Spec.Observer == nil && !detectOn &&
+		cfg.Trace == nil && cfg.Chaos == nil && cfg.ExperimentTimeout == 0
+
 	det := cfg.det
 	if detectOn && det == nil {
 		var err error
@@ -345,13 +372,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Feed experiments in injection order so the checkpoint capture
-	// cursor walks forward monotonically. Records still land at their
-	// experiment ID, so results are unaffected.
+	// cursor walks forward monotonically and lockstep batches group
+	// At-adjacent experiments over one shared replay. Records still
+	// land at their experiment ID, so results are unaffected.
 	order := make([]int, cfg.Experiments)
 	for i := range order {
 		order[i] = i
 	}
-	if warm != nil {
+	if warm != nil || useLockstep {
 		sort.SliceStable(order, func(a, b int) bool {
 			return injections[order[a]].At < injections[order[b]].At
 		})
@@ -456,54 +484,117 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	next := make(chan int)
+	var lockstep *LockstepStats
+	if useLockstep {
+		lockstep = &LockstepStats{K: lockstepK(cfg, workers)}
+	}
+
+	// runSolo executes one experiment the classic way — isolated,
+	// retried, deadline-bounded — and books its record.
+	runSolo := func(i int) {
+		rec, fs := runExperimentIsolated(prog, cfg, golden, warm, i, injections[i])
+		if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
+			rec.Provenance = prov(i)
+		}
+		var tr *trace.Trace
+		if cfg.Trace != nil && cfg.Trace.OnTrace != nil && cfg.Trace.shouldTrace(rec) {
+			// Capture errors mean cancellation; the partial
+			// campaign result already reflects that.
+			if t, err := trace.Capture(ctx, cfg.Variant, cfg.Spec, injections[i], cfg.Classify); err == nil {
+				t.Header.Experiment = i
+				t.Header.Seed = cfg.Seed
+				tr = t
+			}
+		}
+		mu.Lock()
+		records[i] = rec
+		completed[i] = true
+		faults.add(fs)
+		if lockstep != nil {
+			lockstep.Solo++
+		}
+		// An out-of-shard representative ran only to supply its
+		// class verdict: record the run for fan-out, emit nothing.
+		if inShard(i) {
+			done++
+			if cfg.Progress != nil {
+				cfg.Progress(done, shardTotal)
+			}
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(rec)
+			}
+		}
+		if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
+			fanOut(i)
+		}
+		if tr != nil {
+			cfg.Trace.OnTrace(rec, tr)
+		}
+		mu.Unlock()
+	}
+
+	next := make(chan []int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for batch := range next {
 				if ctx.Err() != nil {
 					continue // drain without running
 				}
-				rec, fs := runExperimentIsolated(prog, cfg, golden, warm, i, injections[i])
-				if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
-					rec.Provenance = prov(i)
-				}
-				var tr *trace.Trace
-				if cfg.Trace != nil && cfg.Trace.OnTrace != nil && cfg.Trace.shouldTrace(rec) {
-					// Capture errors mean cancellation; the partial
-					// campaign result already reflects that.
-					if t, err := trace.Capture(ctx, cfg.Variant, cfg.Spec, injections[i], cfg.Classify); err == nil {
-						t.Header.Experiment = i
-						t.Header.Seed = cfg.Seed
-						tr = t
+				if lockstep != nil && len(batch) > 1 {
+					if outs := runBatchLockstep(prog, cfg, warm, batch, injections); outs != nil {
+						mu.Lock()
+						lockstep.Batches++
+						mu.Unlock()
+						for j, i := range batch {
+							if outs[j] == nil {
+								// The fault-free run ends before this
+								// injection point; only the solo engine
+								// defines that outcome.
+								runSolo(i)
+								continue
+							}
+							rec := buildRecord(cfg, golden, i, injections[i], outs[j])
+							if plan != nil && plan.decision[i] == pdRep {
+								rec.Provenance = prov(i)
+							}
+							mu.Lock()
+							records[i] = rec
+							completed[i] = true
+							lockstep.Lanes++
+							if inShard(i) {
+								done++
+								if cfg.Progress != nil {
+									cfg.Progress(done, shardTotal)
+								}
+								if cfg.OnRecord != nil {
+									cfg.OnRecord(rec)
+								}
+							}
+							if plan != nil && plan.decision[i] == pdRep {
+								fanOut(i)
+							}
+							mu.Unlock()
+						}
+						continue
 					}
 				}
-				mu.Lock()
-				records[i] = rec
-				completed[i] = true
-				faults.add(fs)
-				// An out-of-shard representative ran only to supply its
-				// class verdict: record the run for fan-out, emit nothing.
-				if inShard(i) {
-					done++
-					if cfg.Progress != nil {
-						cfg.Progress(done, shardTotal)
+				for _, i := range batch {
+					if ctx.Err() != nil {
+						break
 					}
-					if cfg.OnRecord != nil {
-						cfg.OnRecord(rec)
-					}
+					runSolo(i)
 				}
-				if plan != nil && plan.decision[i] == pdRep && rec.Outcome != OutcomeAbandoned {
-					fanOut(i)
-				}
-				if tr != nil {
-					cfg.Trace.OnTrace(rec, tr)
-				}
-				mu.Unlock()
 			}
 		}()
 	}
+
+	batchCap := 1
+	if lockstep != nil {
+		batchCap = lockstep.K
+	}
+	pending := make([]int, 0, batchCap)
 feed:
 	for _, i := range order {
 		// Members and dead faults never dispatch (members land with
@@ -537,10 +628,21 @@ feed:
 		if completed[i] {
 			continue // reused from a resumed run
 		}
+		pending = append(pending, i)
+		if len(pending) < batchCap {
+			continue
+		}
 		select {
-		case next <- i:
+		case next <- pending:
+			pending = make([]int, 0, batchCap)
 		case <-ctx.Done():
 			break feed
+		}
+	}
+	if len(pending) > 0 && ctx.Err() == nil {
+		select {
+		case next <- pending:
+		case <-ctx.Done():
 		}
 	}
 	close(next)
@@ -563,6 +665,9 @@ feed:
 				completed[m] = true
 				done++
 				faults.add(fs)
+				if lockstep != nil {
+					lockstep.Solo++
+				}
 				if cfg.Progress != nil {
 					cfg.Progress(done, shardTotal)
 				}
@@ -587,6 +692,9 @@ feed:
 	}
 	if det != nil {
 		res.Detect = det.tally(res.Records)
+	}
+	if lockstep != nil {
+		res.Lockstep = lockstep
 	}
 	if plan != nil {
 		res.Prune = tallyPrune(records, completed, shardTotal, lo, hi)
@@ -629,29 +737,5 @@ func runExperiment(prog *cpu.Program, cfg Config, golden *workload.Outcome, warm
 	if warm != nil {
 		warm.noteRun(spec.From, out)
 	}
-
-	rec := Record{
-		ID:         id,
-		Variant:    string(cfg.Variant),
-		Region:     string(inj.Bit.Region),
-		Element:    inj.Bit.Element,
-		Bit:        inj.Bit.Bit,
-		At:         inj.At,
-		Model:      string(inj.Model),
-		Width:      inj.Width,
-		Provenance: ProvenanceSimulated,
-	}
-	var verdict classify.Verdict
-	if out.Detected() {
-		verdict = classify.DetectedVerdict(string(out.Trap.Mech))
-	} else {
-		stateDiffers := !cpu.StatesEqual(golden.FinalState, out.FinalState)
-		verdict = classify.RunMulti(golden.MultiOutputs, out.MultiOutputs, stateDiffers, cfg.Classify)
-	}
-	rec.Outcome = verdict.Outcome.String()
-	rec.Mechanism = verdict.Mechanism
-	rec.FirstDev = verdict.FirstDeviation
-	rec.StrongIts = verdict.StrongIterations
-	rec.MaxDev = verdict.MaxDeviation
-	return rec, nil
+	return buildRecord(cfg, golden, id, inj, out), nil
 }

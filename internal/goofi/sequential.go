@@ -63,6 +63,10 @@ type PrecisionResult struct {
 	// automaton); nil when no detectors were armed.
 	Detect *DetectStats
 
+	// Lockstep accumulates the batching engine's work sharing over
+	// every batch; nil when lockstep was disabled or inapplicable.
+	Lockstep *LockstepStats
+
 	// Faults accumulates worker fault isolation's interventions over
 	// every batch (see Result.Faults).
 	Faults FaultStats
@@ -142,6 +146,15 @@ func RunUntilPrecisionContext(ctx context.Context, cfg PrecisionConfig) (*Precis
 				}
 				res.Detect.CFEDetected += out.Detect.CFEDetected
 				res.Detect.AutomatonDetected += out.Detect.AutomatonDetected
+			}
+			if out.Lockstep != nil {
+				if res.Lockstep == nil {
+					res.Lockstep = &LockstepStats{K: out.Lockstep.K}
+				}
+				res.Lockstep.Batches += out.Lockstep.Batches
+				res.Lockstep.Lanes += out.Lockstep.Lanes
+				res.Lockstep.Solo += out.Lockstep.Solo
+				res.Lockstep.K = out.Lockstep.K
 			}
 			res.Faults.add(out.Faults)
 		}

@@ -51,6 +51,16 @@ type CampaignSpec struct {
 	// and cross-validation.
 	DisablePrune bool `json:"disablePrune,omitempty"`
 
+	// DisableLockstep turns off lockstep batching, running every
+	// simulated experiment solo instead of sharing one golden-prefix
+	// replay per batch. Records are byte-identical either way; the knob
+	// exists for benchmarking and cross-validation.
+	DisableLockstep bool `json:"disableLockstep,omitempty"`
+
+	// LockstepK bounds how many experiments share one lockstep batch
+	// (0 = derived from the campaign size and worker count).
+	LockstepK int `json:"lockstepK,omitempty"`
+
 	// Model selects the fault model ("" or "bitflip" = the paper's
 	// permanent single bit-flip; "pc", "transient", "burst" are the
 	// attack-style extensions — see inject.Models). Non-default models
@@ -91,6 +101,9 @@ func (s CampaignSpec) Resolve() (Config, error) {
 	if s.MaxExperiments < 0 {
 		return Config{}, fmt.Errorf("goofi: maxExperiments must be non-negative, got %d", s.MaxExperiments)
 	}
+	if s.LockstepK < 0 {
+		return Config{}, fmt.Errorf("goofi: lockstepK must be non-negative, got %d", s.LockstepK)
+	}
 	model, err := inject.ParseModel(s.Model)
 	if err != nil {
 		return Config{}, err
@@ -113,6 +126,8 @@ func (s CampaignSpec) Resolve() (Config, error) {
 		Workers:          s.Workers,
 		DisableWarmStart: s.DisableWarmStart,
 		DisablePrune:     s.DisablePrune,
+		DisableLockstep:  s.DisableLockstep,
+		LockstepK:        s.LockstepK,
 		Model:            model,
 		BurstWidth:       s.BurstWidth,
 		Detect:           det,

@@ -191,6 +191,19 @@ func (w *warmState) noteRun(resumedFrom *workload.Checkpoint, out *workload.Outc
 	}
 }
 
+// noteLane records a lockstep lane's fast-path statistics. A lane
+// forks off its batch leader's shared golden-prefix replay at the
+// injection instruction, so per-experiment it is a resume that skipped
+// the entire prefix; the leader's single replay of that prefix is
+// shared work the lane never pays.
+func (w *warmState) noteLane(at uint64, out *workload.Outcome) {
+	w.resumed.Add(1)
+	w.skipped.Add(at)
+	if out.ReconvergedAt != 0 {
+		w.earlyExits.Add(1)
+	}
+}
+
 // stats snapshots the counters.
 func (w *warmState) stats() *WarmStartStats {
 	return &WarmStartStats{

@@ -204,7 +204,9 @@ func (c *Capture) observe(_ int, instr uint64, vm *cpu.CPU) {
 	c.count++
 	c.vm = vm
 
-	in, err := cpu.Decode(vm.Mem.ReadWord(vm.PC))
+	// CurrentInstr reads the predecoded slot when the machine runs the
+	// predecoded engine, keeping Decode off the observed golden run too.
+	in, err := vm.CurrentInstr()
 	if err != nil {
 		c.bad = true // a golden run never fetches an illegal instruction
 		return

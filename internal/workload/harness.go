@@ -121,6 +121,12 @@ type RunSpec struct {
 	// outcome usable as a Golden reference. It costs one digest of the
 	// full state per iteration.
 	RecordStateHashes bool
+
+	// Interpret forces the classic fetch/decode interpreter instead of
+	// the predecoded instruction stream. Behaviour is identical either
+	// way (pinned by tests and the lockstep-crossval CI job); the knob
+	// exists for cross-validation and benchmarking the decode overhead.
+	Interpret bool
 }
 
 // PaperRunSpec returns the paper's experiment parameters: 650 control
@@ -302,12 +308,48 @@ func goldenUsable(golden *Outcome, spec RunSpec, ports PortLayout) bool {
 	return true
 }
 
-// run is the engine behind Run and CaptureCheckpoint. When captureAt
-// is non-negative the run stops at that iteration boundary and returns
-// the frozen state (nil when the boundary is unreachable or the
-// environment cannot be cloned); the partial outcome is returned
-// alongside for diagnostics.
-func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint) {
+// runner is one in-flight harness execution: the machine, its
+// environment, the accumulating outcome, and the golden-splice
+// bookkeeping. Factoring the state out of run's locals is what lets
+// the lockstep engine fork a lane mid-iteration (mid=true) and resume
+// it through the exact same loop a solo run takes, preserving the
+// byte-identity of every outcome.
+type runner struct {
+	prog   *cpu.Program
+	spec   RunSpec
+	budget int
+	ports  PortLayout
+	port   *ioPort
+	vm     *cpu.CPU
+	env    Environment
+	out    *Outcome
+	golden *Outcome
+
+	// diverged latches once any output differs from the golden trace:
+	// the environment has then left the golden trajectory and splicing
+	// the golden remainder would be wrong.
+	diverged bool
+	// nextCheck/gap implement exponential backoff between digest
+	// comparisons, so a latently corrupted run that never re-converges
+	// pays O(log iterations) digests, not one per iteration.
+	nextCheck int
+	gap       int
+
+	injected bool
+	k        int // current control iteration
+	cycles   int // instructions into the current iteration
+	mid      bool // resume inside iteration k (lane fork) — skip boundary work once
+
+	// fork, when non-nil, runs before every instruction (where a solo
+	// run checks its injection point); returning true stops the run —
+	// the lockstep leader exits once its last lane has forked.
+	fork func(*runner) bool
+}
+
+// newRunner normalises the spec and builds the initial machine state,
+// applying the From checkpoint when it provably cannot change the
+// outcome.
+func newRunner(prog *cpu.Program, spec RunSpec) *runner {
 	budget := spec.CycleBudget
 	if budget <= 0 {
 		budget = DefaultCycleBudget
@@ -363,98 +405,122 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 			out.MultiOutputs[j] = make([]float64, 0, spec.Iterations)
 		}
 	}
+	if !spec.Interpret {
+		// The predecoded dispatch engine; behaviour-preserving, so no
+		// usability conditions. AttachDecoded itself verifies the
+		// stream matches the loaded code image.
+		vm.AttachDecoded(cpu.PredecodeCached(prog))
+	}
 
 	golden := spec.Golden
 	if spec.Injection == nil || spec.Observer != nil || spec.Monitor != nil ||
 		!goldenUsable(golden, spec, ports) {
 		golden = nil
 	}
-	// diverged latches once any output differs from the golden trace:
-	// the environment has then left the golden trajectory and splicing
-	// the golden remainder would be wrong.
-	diverged := false
-	// nextCheck/gap implement exponential backoff between digest
-	// comparisons, so a latently corrupted run that never re-converges
-	// pays O(log iterations) digests, not one per iteration.
-	nextCheck := 0
-	gap := 1
+	return &runner{
+		prog: prog, spec: spec, budget: budget, ports: ports,
+		port: port, vm: vm, env: env, out: out, golden: golden,
+		gap: 1, k: startK,
+	}
+}
 
-	injected := false
-	for k := startK; k < spec.Iterations; k++ {
-		if spec.Abort != nil && spec.Abort() {
-			out.Aborted = true
-			out.Instructions = vm.InstrCount()
-			out.finish(env)
-			return out, nil
-		}
-		if !spec.Deadline.IsZero() && time.Now().After(spec.Deadline) {
-			out.Aborted = true
-			out.DeadlineExceeded = true
-			out.Instructions = vm.InstrCount()
-			out.finish(env)
-			return out, nil
-		}
-		if spec.RecordStateHashes {
-			out.StateHashes = append(out.StateHashes, vm.StateDigest())
-		}
-		if k == captureAt {
-			ce, ok := env.(CloneableEnv)
-			if !ok {
-				return out, nil
-			}
-			clone, ok := ce.CloneEnv().(CloneableEnv)
-			if !ok {
-				return out, nil
-			}
-			ck := &Checkpoint{
-				iteration: k,
-				vm:        vm.Snapshot(),
-				env:       clone,
-				outHi:     append([]uint32(nil), port.outHi...),
-				outLo:     append([]uint32(nil), port.outLo...),
-				outputs:   make([][]float64, len(out.MultiOutputs)),
-				starts:    append([]uint64(nil), out.IterationStarts...),
-			}
-			for j := range ck.outputs {
-				ck.outputs[j] = append([]float64(nil), out.MultiOutputs[j]...)
-			}
-			return out, ck
-		}
-		if golden != nil && injected && !diverged && k >= nextCheck {
-			if vm.InstrCount() == golden.IterationStarts[k] &&
-				vm.StateDigest() == golden.StateHashes[k] {
-				// The machine state and the whole output history match
-				// the fault-free run, so the remainder is bit-identical
-				// to it: splice it in instead of re-executing.
-				for j := range out.MultiOutputs {
-					out.MultiOutputs[j] = append(out.MultiOutputs[j], golden.MultiOutputs[j][k:]...)
-				}
-				out.IterationStarts = append(out.IterationStarts, golden.IterationStarts[k:]...)
-				out.FinalState = golden.FinalState
-				out.Instructions = golden.Instructions
-				out.ReconvergedAt = k
+// run is the engine behind Run and CaptureCheckpoint. When captureAt
+// is non-negative the run stops at that iteration boundary and returns
+// the frozen state (nil when the boundary is unreachable or the
+// environment cannot be cloned); the partial outcome is returned
+// alongside for diagnostics.
+func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint) {
+	return newRunner(prog, spec).run(captureAt)
+}
+
+func (r *runner) run(captureAt int) (*Outcome, *Checkpoint) {
+	spec, out, vm, port, env := r.spec, r.out, r.vm, r.port, r.env
+	for ; r.k < spec.Iterations; r.k++ {
+		k := r.k
+		if !r.mid {
+			if spec.Abort != nil && spec.Abort() {
+				out.Aborted = true
+				out.Instructions = vm.InstrCount()
 				out.finish(env)
-				if len(golden.Speeds) > k && len(out.Speeds) == k {
-					out.Speeds = append(out.Speeds, golden.Speeds[k:]...)
-				}
 				return out, nil
 			}
-			gap *= 2
-			nextCheck = k + gap
+			if !spec.Deadline.IsZero() && time.Now().After(spec.Deadline) {
+				out.Aborted = true
+				out.DeadlineExceeded = true
+				out.Instructions = vm.InstrCount()
+				out.finish(env)
+				return out, nil
+			}
+			if spec.RecordStateHashes {
+				out.StateHashes = append(out.StateHashes, vm.StateDigest())
+			}
+			if k == captureAt {
+				ce, ok := env.(CloneableEnv)
+				if !ok {
+					return out, nil
+				}
+				clone, ok := ce.CloneEnv().(CloneableEnv)
+				if !ok {
+					return out, nil
+				}
+				ck := &Checkpoint{
+					iteration: k,
+					vm:        vm.Snapshot(),
+					env:       clone,
+					outHi:     append([]uint32(nil), port.outHi...),
+					outLo:     append([]uint32(nil), port.outLo...),
+					outputs:   make([][]float64, len(out.MultiOutputs)),
+					starts:    append([]uint64(nil), out.IterationStarts...),
+				}
+				for j := range ck.outputs {
+					ck.outputs[j] = append([]float64(nil), out.MultiOutputs[j]...)
+				}
+				return out, ck
+			}
+			if r.golden != nil && r.injected && !r.diverged && k >= r.nextCheck {
+				golden := r.golden
+				if vm.InstrCount() == golden.IterationStarts[k] &&
+					vm.StateDigest() == golden.StateHashes[k] {
+					// The machine state and the whole output history match
+					// the fault-free run, so the remainder is bit-identical
+					// to it: splice it in instead of re-executing.
+					for j := range out.MultiOutputs {
+						out.MultiOutputs[j] = append(out.MultiOutputs[j], golden.MultiOutputs[j][k:]...)
+					}
+					out.IterationStarts = append(out.IterationStarts, golden.IterationStarts[k:]...)
+					out.FinalState = golden.FinalState
+					out.Instructions = golden.Instructions
+					out.ReconvergedAt = k
+					out.finish(env)
+					if len(golden.Speeds) > k && len(out.Speeds) == k {
+						out.Speeds = append(out.Speeds, golden.Speeds[k:]...)
+					}
+					return out, nil
+				}
+				r.gap *= 2
+				r.nextCheck = k + r.gap
+			}
+			out.IterationStarts = append(out.IterationStarts, vm.InstrCount())
+			copy(port.in, env.Inputs(k))
+			port.syncSeen = false
+			port.readyPolls = 0
+			r.cycles = 0
 		}
-		out.IterationStarts = append(out.IterationStarts, vm.InstrCount())
-		copy(port.in, env.Inputs(k))
-		port.syncSeen = false
-		port.readyPolls = 0
+		r.mid = false
 
-		cycles := 0
 		var restore func()
 		for !port.syncSeen {
-			if spec.Injection != nil && !injected && vm.InstrCount() == spec.Injection.At {
+			if r.fork != nil && r.fork(r) {
+				out.Aborted = true
+				out.Instructions = vm.InstrCount()
+				out.finish(env)
+				return out, nil
+			}
+			if spec.Injection != nil && !r.injected && vm.InstrCount() == spec.Injection.At {
 				restore = applyInjection(vm, spec.Injection)
-				injected = true
-				nextCheck = k + 1
-				gap = 1
+				r.injected = true
+				r.nextCheck = k + 1
+				r.gap = 1
 			}
 			if spec.Observer != nil {
 				spec.Observer(k, vm.InstrCount(), vm)
@@ -479,8 +545,8 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 				restore()
 				restore = nil
 			}
-			cycles++
-			if cycles > budget {
+			r.cycles++
+			if r.cycles > r.budget {
 				out.Trap = &cpu.TrapError{Mech: cpu.MechWatchdog,
 					Info: "iteration exceeded its cycle budget"}
 				out.TrapIteration = k
@@ -493,9 +559,9 @@ func run(prog *cpu.Program, spec RunSpec, captureAt int) (*Outcome, *Checkpoint)
 		u := port.outputs()
 		for j, v := range u {
 			out.MultiOutputs[j] = append(out.MultiOutputs[j], v)
-			if golden != nil && !diverged &&
-				math.Float64bits(v) != math.Float64bits(golden.MultiOutputs[j][k]) {
-				diverged = true
+			if r.golden != nil && !r.diverged &&
+				math.Float64bits(v) != math.Float64bits(r.golden.MultiOutputs[j][k]) {
+				r.diverged = true
 			}
 		}
 		env.Deliver(k, u)

@@ -29,7 +29,11 @@
 //     the paper's cache-dominated value failures.
 package workload
 
-import "ctrlguard/internal/cpu"
+import (
+	"sync"
+
+	"ctrlguard/internal/cpu"
+)
 
 // I/O window offsets used by the workload programs. Sensor and actuator
 // values are doubles: high word first, low word at +4.
@@ -94,12 +98,22 @@ func Source(v Variant) (string, bool) {
 // Program assembles a variant. It panics only on a programming error in
 // the embedded sources (covered by tests).
 func Program(v Variant) *cpu.Program {
+	if p, ok := programs.Load(v); ok {
+		return p.(*cpu.Program)
+	}
 	src, ok := sources[v]
 	if !ok {
 		panic("workload: unknown variant " + string(v))
 	}
-	return cpu.MustAssemble(src)
+	p, _ := programs.LoadOrStore(v, cpu.MustAssemble(src))
+	return p.(*cpu.Program)
 }
+
+// programs memoises assembly per variant. The sources are fixed, every
+// consumer treats the returned program as immutable (SWIFI copies
+// before mutating), and sharing one identity per variant is what keeps
+// the predecoded-stream cache effective across campaigns.
+var programs sync.Map // Variant -> *cpu.Program
 
 var sources = map[Variant]string{
 	AlgorithmI:             srcAlgorithmI,
