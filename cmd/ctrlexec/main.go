@@ -34,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -165,34 +166,88 @@ func serveMode(ctx context.Context, logger *log.Logger, addr, register, advertis
 	return srv.Shutdown(shutCtx)
 }
 
+// Initial-registration retry policy: a coordinator that is still
+// starting (or briefly partitioned) should not kill the executor, but
+// a misconfigured URL should not retry forever either.
+const (
+	registerAttempts = 6
+	registerBaseWait = 500 * time.Millisecond
+	registerMaxWait  = 10 * time.Second
+)
+
 // heartbeat registers the executor with the coordinator and keeps the
 // registration alive by re-posting it — registration and heartbeat are
 // the same idempotent upsert, so a coordinator restart just sees the
-// executor reappear on the next beat. Returns a stop function that
-// deregisters.
+// executor reappear on the next beat. The initial registration retries
+// with jittered exponential backoff before giving up; afterwards the
+// beat cadence follows the TTL the coordinator returns (a third of it,
+// so two beats can be lost before the lease lapses). Returns a stop
+// function that deregisters.
 func heartbeat(ctx context.Context, logger *log.Logger, coordinator, name, url string) (stop func()) {
 	body, _ := json.Marshal(map[string]string{"name": name, "url": url})
-	post := func() {
+	post := func() (time.Duration, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			coordinator+"/api/v1/executors", bytes.NewReader(body))
 		if err != nil {
-			return
+			return 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
-			logger.Printf("register with %s: %v", coordinator, err)
-			return
+			return 0, err
 		}
-		resp.Body.Close()
+		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			logger.Printf("register with %s: %s", coordinator, resp.Status)
+			return 0, fmt.Errorf("%s", resp.Status)
+		}
+		var ack struct {
+			TTL string `json:"ttl"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err == nil {
+			if ttl, err := time.ParseDuration(ack.TTL); err == nil && ttl > 0 {
+				return ttl, nil
+			}
+		}
+		return 0, nil
+	}
+
+	// Bounded initial registration: exponential backoff with jitter so a
+	// fleet of executors restarting together does not hammer the
+	// coordinator in lockstep.
+	interval := 5 * time.Second
+	registered := false
+	wait := registerBaseWait
+	for attempt := 1; attempt <= registerAttempts && ctx.Err() == nil; attempt++ {
+		ttl, err := post()
+		if err == nil {
+			if ttl > 0 {
+				interval = ttl / 3
+			}
+			registered = true
+			logger.Printf("registered with %s (heartbeat every %s)", coordinator, interval)
+			break
+		}
+		logger.Printf("register with %s: %v (attempt %d/%d)", coordinator, err, attempt, registerAttempts)
+		if attempt == registerAttempts {
+			break
+		}
+		jittered := wait/2 + time.Duration(rand.Int63n(int64(wait)/2+1))
+		select {
+		case <-ctx.Done():
+		case <-time.After(jittered):
+		}
+		if wait *= 2; wait > registerMaxWait {
+			wait = registerMaxWait
 		}
 	}
-	post()
+	if !registered {
+		logger.Printf("registration with %s failed after %d attempts; heartbeats continue every %s",
+			coordinator, registerAttempts, interval)
+	}
+
 	done := make(chan struct{})
 	go func() {
-		t := time.NewTicker(5 * time.Second)
+		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
@@ -201,7 +256,12 @@ func heartbeat(ctx context.Context, logger *log.Logger, coordinator, name, url s
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				post()
+				if ttl, err := post(); err != nil {
+					logger.Printf("heartbeat to %s: %v", coordinator, err)
+				} else if ttl > 0 && ttl/3 != interval {
+					interval = ttl / 3
+					t.Reset(interval)
+				}
 			}
 		}
 	}()

@@ -32,6 +32,14 @@
 // register themselves), with dead or wedged executors detected by
 // lease expiry and their shards re-leased. The merged result is
 // byte-identical to an in-process run.
+//
+// With -tenants pointing at a JSON tenant file, submissions
+// authenticate by API key and pass per-tenant admission control: token
+// buckets (429), quotas on outstanding work (429), and a weighted
+// fair-share queue that sheds overload with 503 instead of buffering
+// it. -cache enables content-addressed memoization of completed
+// deterministic campaigns; -retain-age/-retain-bytes bound the data
+// directory by deleting finished campaigns' record files oldest-first.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"syscall"
 
 	"ctrlguard/internal/server"
+	"ctrlguard/internal/tenant"
 )
 
 // findCtrlexec locates the executor binary: first as a sibling of the
@@ -71,12 +80,30 @@ func main() {
 		queue     = flag.Int("queue", 16, "max campaigns waiting in the queue")
 		data      = flag.String("data", "", "directory for per-campaign JSONL record files (empty = in-memory only)")
 		jdir      = flag.String("journal", "", "directory for the crash-recovery job journal (empty = no journal, no resume)")
+		jnlMax    = flag.Int64("journal-max-bytes", 8<<20, "auto-compact the journal past this size (0 = startup-only compaction)")
 		noResume  = flag.Bool("no-resume", false, "replay the journal but do not re-run interrupted campaigns")
 		executors = flag.Int("executors", 0, "run campaigns sharded across this many local ctrlexec processes (0 = in-process)")
 		shardSize = flag.Int("shard-size", 0, "experiments per shard for distributed campaigns (0 = default)")
 		execBin   = flag.String("exec-bin", "", "ctrlexec binary for -executors (default: next to this binary, then $PATH)")
+		execTTL   = flag.Duration("exec-ttl", 0, "remote executor registration TTL without a heartbeat (0 = 15s default)")
+		tenants   = flag.String("tenants", "", "JSON file of tenant definitions (API keys, weights, rate limits, quotas); empty = open single-tenant server")
+		cacheDir  = flag.String("cache", "", "directory for the content-addressed result cache (empty = no memoization)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "LRU-evict the result cache past this size (0 = unbounded)")
+		segBytes  = flag.Int64("seg-bytes", 0, "cap per incremental record segment (0 = 4 MiB default)")
+		retainAge = flag.Duration("retain-age", 0, "delete record files of campaigns finished longer ago than this (0 = keep forever)")
+		retainB   = flag.Int64("retain-bytes", 0, "bound total record bytes of finished campaigns, oldest deleted first (0 = unbounded)")
 	)
 	flag.Parse()
+
+	var tenantList []tenant.Tenant
+	if *tenants != "" {
+		var err error
+		tenantList, err = tenant.LoadFile(*tenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctrlguardd:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *executors > 0 && *execBin == "" {
 		*execBin = findCtrlexec()
@@ -97,15 +124,23 @@ func main() {
 	defer stop()
 
 	srv, err := server.New(server.Config{
-		Addr:       *addr,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		DataDir:    *data,
-		JournalDir: *jdir,
-		NoResume:   *noResume,
-		Executors:  *executors,
-		ExecBin:    *execBin,
-		ShardSize:  *shardSize,
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DataDir:         *data,
+		JournalDir:      *jdir,
+		JournalMaxBytes: *jnlMax,
+		NoResume:        *noResume,
+		Executors:       *executors,
+		ExecBin:         *execBin,
+		ShardSize:       *shardSize,
+		ExecTTL:         *execTTL,
+		Tenants:         tenantList,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheMax,
+		SegmentBytes:    *segBytes,
+		RetainAge:       *retainAge,
+		RetainBytes:     *retainB,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ctrlguardd:", err)

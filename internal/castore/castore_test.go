@@ -1,0 +1,162 @@
+package castore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestKeyDeterministicAndFramed(t *testing.T) {
+	type spec struct {
+		N    int    `json:"n"`
+		Seed uint64 `json:"seed"`
+	}
+	k1, err := Key("engine/1", spec{N: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("engine/1", spec{N: 10, Seed: 7})
+	if k1 != k2 {
+		t.Fatal("identical parts hashed differently")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(k1))
+	}
+	k3, _ := Key("engine/2", spec{N: 10, Seed: 7})
+	if k1 == k3 {
+		t.Fatal("engine version not part of the address")
+	}
+	k4, _ := Key("engine/1", spec{N: 10, Seed: 8})
+	if k1 == k4 {
+		t.Fatal("spec change not part of the address")
+	}
+	// The length-prefixed frame keeps part boundaries from colliding.
+	a, _ := Key("ab", "c")
+	b, _ := Key("a", "bc")
+	if a == b {
+		t.Fatal("part boundary collision")
+	}
+}
+
+func TestStorePutGetCopy(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "cache"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("engine/1", 42)
+	if s.Has(key) {
+		t.Fatal("empty store has key")
+	}
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	want := []byte("{\"id\":0}\n{\"id\":1}\n")
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key) {
+		t.Fatal("stored key missing")
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	// First write wins; a second Put cannot mutate the entry.
+	if err := s.Put(key, []byte("different")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get(key)
+	if !bytes.Equal(got, want) {
+		t.Fatal("Put overwrote an immutable entry")
+	}
+
+	dst := filepath.Join(t.TempDir(), "out.jsonl")
+	ok, err = s.CopyTo(key, dst)
+	if err != nil || !ok {
+		t.Fatalf("CopyTo = %v, %v", ok, err)
+	}
+	b, _ := os.ReadFile(dst)
+	if !bytes.Equal(b, want) {
+		t.Fatal("CopyTo bytes differ from Put bytes")
+	}
+	missing, _ := Key("engine/1", 43)
+	if ok, _ := s.CopyTo(missing, dst); ok {
+		t.Fatal("CopyTo hit on a missing key")
+	}
+
+	if n, sz := s.Stats(); n != 1 || sz != int64(len(want)) {
+		t.Fatalf("Stats = %d entries, %d bytes; want 1, %d", n, sz, len(want))
+	}
+}
+
+func TestStorePutFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "run.jsonl")
+	want := []byte("{\"id\":0}\n")
+	os.WriteFile(src, want, 0o644)
+	s, _ := Open(filepath.Join(dir, "cache"), 0)
+	key, _ := Key("engine/1", "spec")
+	if err := s.PutFile(key, src); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get after PutFile = %q, %v", got, ok)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	// Budget fits two 100-byte entries; a third evicts the least
+	// recently used.
+	s, _ := Open(filepath.Join(t.TempDir(), "cache"), 250)
+	blob := bytes.Repeat([]byte("x"), 100)
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i], _ = Key("engine/1", i)
+	}
+	s.Put(keys[0], blob)
+	s.Put(keys[1], blob)
+	// Age entry 0, then touch it via Get so entry 1 becomes the LRU.
+	old := time.Now().Add(-time.Hour)
+	os.Chtimes(s.path(keys[0]), old, old)
+	older := time.Now().Add(-2 * time.Hour)
+	os.Chtimes(s.path(keys[1]), older, older)
+	if _, ok, _ := s.Get(keys[0]); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	s.Put(keys[2], blob)
+	if s.Has(keys[1]) {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if !s.Has(keys[0]) || !s.Has(keys[2]) {
+		t.Fatal("recently used entries evicted")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	key, _ := Key("engine/1", 1)
+	if s.Has(key) {
+		t.Fatal("nil store has key")
+	}
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatal("nil store Get misbehaved")
+	}
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.CopyTo(key, "unused"); ok || err != nil {
+		t.Fatal("nil store CopyTo misbehaved")
+	}
+}
+
+func TestMalformedKeyRejected(t *testing.T) {
+	s, _ := Open(filepath.Join(t.TempDir(), "cache"), 0)
+	for _, bad := range []string{"", "short", "../../etc/passwd", string(bytes.Repeat([]byte("Z"), 64))} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put accepted malformed key %q", bad)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package goofi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ctrlguard/internal/fsatomic"
+)
+
+// A SegmentStore persists a campaign's records incrementally across
+// size-capped JSONL segments instead of one ever-growing file. Each
+// segment is written by a RecordAppender; when it reaches the size cap
+// it is sealed — fsync'd, recorded in the store's index, and never
+// written again — and a fresh segment takes over. Only the newest
+// segment can therefore be torn by a crash, and the appender's
+// torn-tail salvage repairs exactly that one on reopen. Retention can
+// later drop or compact whole sealed segments without touching the
+// live tail.
+type SegmentStore struct {
+	dir      string
+	segBytes int64
+	index    segmentIndex
+	cur      *RecordAppender
+	curSeq   int
+	curRecs  int
+}
+
+// segmentIndex is the store's small metadata sidecar: one row per
+// sealed segment, kept in index.json via atomic replace. It lets a
+// reader skip whole segments by record count without decoding them.
+type segmentIndex struct {
+	Segments []segmentInfo `json:"segments"`
+}
+
+type segmentInfo struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// DefaultSegmentBytes caps a record segment when the caller does not
+// choose a size.
+const DefaultSegmentBytes = 4 << 20
+
+const segIndexName = "index.json"
+
+func segName(seq int) string { return fmt.Sprintf("seg-%06d.jsonl", seq) }
+
+func segSeq(name string) (int, bool) {
+	var seq int
+	if _, err := fmt.Sscanf(name, "seg-%06d.jsonl", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// OpenSegmentStore opens (creating if needed) the segment directory
+// and returns the store together with every record salvaged from a
+// previous, possibly crash-interrupted run — the input to campaign
+// resume. Sealed segments must be intact; only the newest segment is
+// given torn-tail tolerance.
+func OpenSegmentStore(dir string, segBytes int64) (*SegmentStore, []Record, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("goofi: create segment dir %s: %w", dir, err)
+	}
+	s := &SegmentStore{dir: dir, segBytes: segBytes}
+	if err := s.loadIndex(); err != nil {
+		return nil, nil, err
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sealed := make(map[string]bool, len(s.index.Segments))
+	for _, info := range s.index.Segments {
+		sealed[info.Name] = true
+	}
+	var recs []Record
+	last := ""
+	if len(names) > 0 {
+		last = names[len(names)-1]
+	}
+	for _, name := range names {
+		if name == last && !sealed[name] {
+			break // the live tail; opened below with salvage
+		}
+		segRecs, err := LoadRecords(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("goofi: sealed segment %s: %w", name, err)
+		}
+		recs = append(recs, segRecs...)
+		if !sealed[name] {
+			// Present on disk but missing from the index: the crash hit
+			// between sealing the file and writing the index. Re-seal.
+			s.index.Segments = append(s.index.Segments, segmentInfo{
+				Name: name, Records: len(segRecs), Bytes: fileSize(filepath.Join(dir, name)),
+			})
+			if err := s.saveIndex(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	nextSeq := 1
+	if last != "" {
+		seq, _ := segSeq(last)
+		nextSeq = seq + 1
+		if !sealed[last] {
+			// Continue the unsealed tail, salvaging a torn final line.
+			a, tail, err := OpenRecordAppender(filepath.Join(dir, last))
+			if err != nil {
+				return nil, nil, err
+			}
+			s.cur, s.curSeq, s.curRecs = a, seq, len(tail)
+			return s, append(recs, tail...), nil
+		}
+	}
+	a, _, err := OpenRecordAppender(filepath.Join(dir, segName(nextSeq)))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cur, s.curSeq, s.curRecs = a, nextSeq, 0
+	return s, recs, nil
+}
+
+// Append persists one record, sealing the current segment and rolling
+// to a fresh one once it reaches the size cap.
+func (s *SegmentStore) Append(rec Record) error {
+	if err := s.cur.Append(rec); err != nil {
+		return err
+	}
+	s.curRecs++
+	if s.cur.Size() < s.segBytes {
+		return nil
+	}
+	return s.roll()
+}
+
+// roll seals the current segment — fsync via Close, index entry,
+// directory sync — and opens the next one. Ordering matters: the
+// segment is durable before the index names it, and the index names it
+// before the next segment exists, so on any crash at most the newest
+// segment needs salvage.
+func (s *SegmentStore) roll() error {
+	size := s.cur.Size()
+	if err := s.cur.Close(); err != nil {
+		return err
+	}
+	s.index.Segments = append(s.index.Segments, segmentInfo{
+		Name: segName(s.curSeq), Records: s.curRecs, Bytes: size,
+	})
+	if err := s.saveIndex(); err != nil {
+		return err
+	}
+	a, _, err := OpenRecordAppender(filepath.Join(s.dir, segName(s.curSeq+1)))
+	if err != nil {
+		return err
+	}
+	s.cur, s.curSeq, s.curRecs = a, s.curSeq+1, 0
+	return nil
+}
+
+// Close seals the live segment (or removes it if empty) and persists
+// the final index.
+func (s *SegmentStore) Close() error {
+	if s.cur == nil {
+		return nil
+	}
+	size := s.cur.Size()
+	err := s.cur.Close()
+	s.cur = nil
+	if err != nil {
+		return err
+	}
+	if s.curRecs == 0 {
+		return os.Remove(filepath.Join(s.dir, segName(s.curSeq)))
+	}
+	s.index.Segments = append(s.index.Segments, segmentInfo{
+		Name: segName(s.curSeq), Records: s.curRecs, Bytes: size,
+	})
+	return s.saveIndex()
+}
+
+func (s *SegmentStore) loadIndex() error {
+	b, err := os.ReadFile(filepath.Join(s.dir, segIndexName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("goofi: read segment index: %w", err)
+	}
+	if err := json.Unmarshal(b, &s.index); err != nil {
+		return fmt.Errorf("goofi: parse segment index: %w", err)
+	}
+	return nil
+}
+
+func (s *SegmentStore) saveIndex() error {
+	return fsatomic.WriteFile(filepath.Join(s.dir, segIndexName), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&s.index)
+	})
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// segmentNames lists the directory's segment files in sequence order.
+func segmentNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("goofi: list segments %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".jsonl") {
+			if _, ok := segSeq(e.Name()); ok {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SegmentFiles returns the absolute paths of dir's segments in order.
+// A missing directory is an empty store, not an error.
+func SegmentFiles(dir string) ([]string, error) {
+	names, err := segmentNames(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths, nil
+}
+
+// LoadSegmentRecords reads every record across dir's segments in
+// order, tolerating a torn final line in the newest segment exactly
+// as OpenSegmentStore would. A missing directory yields no records.
+func LoadSegmentRecords(dir string) ([]Record, error) {
+	paths, err := SegmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for i, p := range paths {
+		recs, err := LoadRecords(p)
+		if err != nil {
+			var trunc *TruncatedError
+			if i == len(paths)-1 && errors.As(err, &trunc) {
+				out = append(out, recs...)
+				break
+			}
+			return nil, fmt.Errorf("goofi: segment %s: %w", filepath.Base(p), err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// SegmentPage streams one page of records — skip offset, return at
+// most limit — using the index to hop over whole sealed segments
+// without decoding them, and a streaming scanner within the segments
+// it must read. total is the full record count across the store.
+func SegmentPage(dir string, offset, limit int) (page []Record, total int, err error) {
+	names, err := segmentNames(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var idx segmentIndex
+	if b, err := os.ReadFile(filepath.Join(dir, segIndexName)); err == nil {
+		_ = json.Unmarshal(b, &idx)
+	}
+	counted := make(map[string]int, len(idx.Segments))
+	for _, info := range idx.Segments {
+		counted[info.Name] = info.Records
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	pos := 0 // records before the current segment
+	for i, name := range names {
+		last := i == len(names)-1
+		n, indexed := counted[name]
+		// An indexed (sealed) segment that the page does not intersect
+		// contributes only its count.
+		if indexed && (pos+n <= offset || len(page) >= limit) {
+			pos += n
+			total += n
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, 0, fmt.Errorf("goofi: segment %s: %w", name, err)
+		}
+		sc := NewRecordScanner(f)
+		for sc.Scan() {
+			if pos >= offset && len(page) < limit {
+				page = append(page, sc.Record())
+			}
+			pos++
+			total++
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			var trunc *TruncatedError
+			if last && errors.As(err, &trunc) {
+				break
+			}
+			return nil, 0, fmt.Errorf("goofi: segment %s: %w", name, err)
+		}
+	}
+	return page, total, nil
+}
+
+// CompactSegments collapses a terminal campaign's segment directory
+// into the single canonical record file at dst (atomically), then
+// removes the directory. It streams segment bytes rather than
+// re-encoding records, so dst is byte-identical to the segments'
+// concatenation.
+func CompactSegments(dir, dst string) error {
+	paths, err := SegmentFiles(dir)
+	if err != nil {
+		return err
+	}
+	if err := fsatomic.WriteFile(dst, func(w io.Writer) error {
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			_, err = io.Copy(w, f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("goofi: compact segments %s: %w", dir, err)
+	}
+	return os.RemoveAll(dir)
+}

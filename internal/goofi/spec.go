@@ -8,6 +8,16 @@ import (
 	"ctrlguard/internal/workload"
 )
 
+// EngineVersion names the current record-producing behavior of the
+// engine. Two runs of the same resolved spec under the same
+// EngineVersion produce byte-identical record files, so the pair
+// (EngineVersion, canonical spec) is a sound content address for
+// campaign results. Bump it whenever a change alters the records a
+// spec produces — new fields, reordered experiments, different
+// outcome classification — and stale cache entries simply stop being
+// addressable.
+const EngineVersion = "goofi/1"
+
 // CampaignSpec is the external, serialisable description of a campaign,
 // shared by cmd/goofi's flag parsing and ctrlguardd's JSON API so both
 // front ends validate requests identically.

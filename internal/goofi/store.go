@@ -82,6 +82,80 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
+// RecordScanner streams records from a JSONL reader one at a time, so
+// paginating a large record file costs O(page) memory instead of
+// loading the whole campaign. Its truncation semantics match
+// ReadRecords: a malformed final line yields a *TruncatedError from
+// Err() after the intact records have been scanned, while corruption
+// mid-stream is a hard error.
+type RecordScanner struct {
+	br   *bufio.Reader
+	rec  Record
+	line int
+	err  error
+	done bool
+}
+
+// NewRecordScanner wraps r for streaming record reads.
+func NewRecordScanner(r io.Reader) *RecordScanner {
+	return &RecordScanner{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// Scan advances to the next record, reporting false at end of stream
+// or on error (check Err).
+func (s *RecordScanner) Scan() bool {
+	for !s.done && s.err == nil {
+		raw, err := s.br.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			s.err = fmt.Errorf("goofi: read records: %w", err)
+			return false
+		}
+		s.done = atEOF
+		s.line++
+		b := bytes.TrimSpace(raw)
+		if len(b) == 0 {
+			continue
+		}
+		if uerr := json.Unmarshal(b, &s.rec); uerr != nil {
+			if s.lastDataLine() {
+				s.err = &TruncatedError{Line: s.line, Err: uerr}
+			} else {
+				s.err = fmt.Errorf("goofi: decode record on line %d: %w", s.line, uerr)
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// lastDataLine reports whether the line just read is the stream's
+// final non-blank line — the only place a parse failure means
+// "truncated" rather than "corrupt".
+func (s *RecordScanner) lastDataLine() bool {
+	if s.done {
+		return true
+	}
+	for {
+		raw, err := s.br.ReadBytes('\n')
+		if len(bytes.TrimSpace(raw)) > 0 {
+			return false
+		}
+		if err != nil {
+			s.done = true
+			return true
+		}
+		s.line++
+	}
+}
+
+// Record is the record most recently scanned.
+func (s *RecordScanner) Record() Record { return s.rec }
+
+// Err returns the error that stopped the scan, if any.
+func (s *RecordScanner) Err() error { return s.err }
+
 // SaveRecords writes records to path via write-temp/fsync/rename, so a
 // crash mid-save can never leave a torn record file: readers see either
 // the previous complete file or the new one.
@@ -116,7 +190,7 @@ const appenderSyncEvery = 64
 type RecordAppender struct {
 	f       *os.File
 	bw      *bufio.Writer
-	enc     *json.Encoder
+	size    int64
 	unsynct int
 }
 
@@ -153,8 +227,7 @@ func OpenRecordAppender(path string) (*RecordAppender, []Record, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("goofi: seek %s: %w", path, err)
 	}
-	a := &RecordAppender{f: f, bw: bufio.NewWriter(f)}
-	a.enc = json.NewEncoder(a.bw)
+	a := &RecordAppender{f: f, bw: bufio.NewWriter(f), size: good}
 	return a, recs, nil
 }
 
@@ -179,9 +252,17 @@ func tornOffset(b []byte) int64 {
 // Append writes one record and flushes it to the OS; every
 // appenderSyncEvery records the file is also fsync'd.
 func (a *RecordAppender) Append(rec Record) error {
-	if err := a.enc.Encode(&rec); err != nil {
+	// Marshal-then-write (byte-identical to json.Encoder.Encode) so the
+	// appender can account the file size for segment rolling.
+	b, err := json.Marshal(&rec)
+	if err != nil {
 		return fmt.Errorf("goofi: append record: %w", err)
 	}
+	b = append(b, '\n')
+	if _, err := a.bw.Write(b); err != nil {
+		return fmt.Errorf("goofi: append record: %w", err)
+	}
+	a.size += int64(len(b))
 	if err := a.bw.Flush(); err != nil {
 		return fmt.Errorf("goofi: flush record: %w", err)
 	}
@@ -194,6 +275,10 @@ func (a *RecordAppender) Append(rec Record) error {
 	}
 	return nil
 }
+
+// Size is the record file's current length in bytes, counting both
+// the salvaged prefix and every append so far.
+func (a *RecordAppender) Size() int64 { return a.size }
 
 // Close flushes, fsyncs, and closes the file.
 func (a *RecordAppender) Close() error {

@@ -1,0 +1,147 @@
+package journal
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+func TestSizeTracksAppendsAndSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != 0 {
+		t.Fatalf("fresh journal size %d", j.Size())
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(Entry{Job: "c000001", Type: EventProgress, Done: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := j.Size()
+	if size <= 0 {
+		t.Fatal("size not tracked across appends")
+	}
+	j.Close()
+	j2, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Size() != size {
+		t.Fatalf("reopened size %d, want %d", j2.Size(), size)
+	}
+}
+
+func TestCompactIfOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	spec := json.RawMessage(`{"variant":"alg1","n":100,"seed":7}`)
+	shard := 2
+	j.Append(Entry{Job: "c000001", Type: EventSubmitted, Kind: "campaign", State: "queued", Total: 100, Spec: spec, Tenant: "acme"})
+	j.Append(Entry{Job: "c000001", Type: EventStarted, State: "running"})
+	for i := 0; i < 200; i++ {
+		j.Append(Entry{Job: "c000001", Type: EventProgress, Done: i})
+	}
+	j.Append(Entry{Job: "c000001", Type: EventShardCompleted, Shard: &shard})
+
+	// Below threshold: no-op.
+	if ran, err := j.CompactIfOver(1 << 30); ran || err != nil {
+		t.Fatalf("CompactIfOver under threshold ran=%v err=%v", ran, err)
+	}
+	// Disabled: no-op.
+	if ran, err := j.CompactIfOver(0); ran || err != nil {
+		t.Fatalf("CompactIfOver disabled ran=%v err=%v", ran, err)
+	}
+
+	before := j.Size()
+	ran, err := j.CompactIfOver(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("oversized journal not compacted")
+	}
+	if j.Size() >= before {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d", before, j.Size())
+	}
+
+	// The compacted journal folds to the same job status, including the
+	// tenant and the completed shard (PR 7 semantics).
+	j.Close()
+	_, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statuses := Reduce(entries)
+	if len(statuses) != 1 {
+		t.Fatalf("compacted journal has %d jobs, want 1", len(statuses))
+	}
+	s := statuses[0]
+	if s.Tenant != "acme" {
+		t.Fatalf("tenant %q lost in compaction", s.Tenant)
+	}
+	if s.State != "running" || s.Terminal {
+		t.Fatalf("state %q terminal=%v, want running in-flight", s.State, s.Terminal)
+	}
+	if !s.ShardsDone[2] {
+		t.Fatal("completed shard lost in compaction")
+	}
+	if string(s.Spec) != string(spec) {
+		t.Fatalf("spec %s lost in compaction", s.Spec)
+	}
+}
+
+func TestTenantFoldsThroughReduce(t *testing.T) {
+	entries := []Entry{
+		{Seq: 1, Job: "c1", Type: EventSubmitted, Tenant: "acme"},
+		{Seq: 2, Job: "c1", Type: EventStarted},
+		{Seq: 3, Job: "c2", Type: EventSubmitted}, // pre-tenancy entry
+	}
+	statuses := Reduce(entries)
+	if statuses[0].Tenant != "acme" {
+		t.Fatalf("tenant = %q, want acme", statuses[0].Tenant)
+	}
+	if statuses[1].Tenant != "" {
+		t.Fatalf("pre-tenancy job tenant = %q, want empty", statuses[1].Tenant)
+	}
+}
+
+func TestAppendAfterCompactIfOver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 100; i++ {
+		j.Append(Entry{Job: "c000001", Type: EventProgress, Done: i})
+	}
+	if ran, err := j.CompactIfOver(256); !ran || err != nil {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	// The journal keeps accepting appends with monotonic sequencing.
+	if err := j.Append(Entry{Job: "c000002", Type: EventSubmitted, Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, entries, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Seq <= entries[i-1].Seq {
+			t.Fatalf("sequence not monotonic after compact: %d then %d", entries[i-1].Seq, entries[i].Seq)
+		}
+	}
+	last := entries[len(entries)-1]
+	if last.Job != "c000002" || last.Tenant != "acme" {
+		t.Fatalf("post-compact append lost: %+v", last)
+	}
+}

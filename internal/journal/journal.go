@@ -79,6 +79,10 @@ type Entry struct {
 	Error    string          `json:"error,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
 	TuneSpec json.RawMessage `json:"tuneSpec,omitempty"`
+	// Tenant names the tenant a job belongs to, so per-tenant quota
+	// accounting can be reconstructed from the journal after a restart.
+	// Empty on pre-tenancy journals (treated as the default tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Shard and Executor describe distributed-campaign lease events
 	// (the shard-* event types). Shard is a pointer so shard 0 is
 	// distinguishable from "not a shard event".
@@ -141,6 +145,7 @@ type Journal struct {
 	bw   *bufio.Writer
 	path string
 	seq  int64
+	size int64
 }
 
 // Open opens (creating if needed) the journal at path, replays its
@@ -167,7 +172,7 @@ func Open(path string) (*Journal, []Entry, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: seek %s: %w", path, err)
 	}
-	j := &Journal{f: f, bw: bufio.NewWriter(f), path: path}
+	j := &Journal{f: f, bw: bufio.NewWriter(f), path: path, size: good}
 	for _, e := range entries {
 		if e.Seq > j.seq {
 			j.seq = e.Seq
@@ -237,7 +242,16 @@ func (j *Journal) Append(e Entry) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
+	j.size += int64(len(b))
 	return nil
+}
+
+// Size is the journal file's current length in bytes — the input to
+// size-triggered compaction.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
 }
 
 // Close flushes and closes the journal file.
@@ -274,6 +288,7 @@ type JobStatus struct {
 	Finished  time.Time
 	Spec      json.RawMessage
 	TuneSpec  json.RawMessage
+	Tenant    string
 	// Terminal mirrors whether the last event for the job was an
 	// EventTerminal — the job finished (in some state) rather than being
 	// cut off mid-flight by a crash.
@@ -321,6 +336,9 @@ func Reduce(entries []Entry) []JobStatus {
 		if len(e.TuneSpec) > 0 {
 			s.TuneSpec = e.TuneSpec
 		}
+		if e.Tenant != "" {
+			s.Tenant = e.Tenant
+		}
 		switch e.Type {
 		case EventSubmitted:
 			s.Submitted = e.Time
@@ -354,6 +372,40 @@ func Reduce(entries []Entry) []JobStatus {
 func (j *Journal) Compact(statuses []JobStatus) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.compactLocked(statuses)
+}
+
+// CompactIfOver compacts the journal when it has grown past maxBytes,
+// folding its own entries down to the minimal equivalent stream — the
+// long-running server's defence against unbounded journal growth.
+// It reports whether a compaction ran. maxBytes <= 0 disables the
+// trigger.
+func (j *Journal) CompactIfOver(maxBytes int64) (bool, error) {
+	if maxBytes <= 0 {
+		return false, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil || j.size <= maxBytes {
+		return false, nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		return false, fmt.Errorf("journal: flush: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return false, fmt.Errorf("journal: seek: %w", err)
+	}
+	entries, _, err := scan(j.f)
+	if err != nil {
+		return false, err
+	}
+	if err := j.compactLocked(Reduce(entries)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (j *Journal) compactLocked(statuses []JobStatus) error {
 	if j.f == nil {
 		return fmt.Errorf("journal: compact closed journal")
 	}
@@ -366,6 +418,7 @@ func (j *Journal) Compact(statuses []JobStatus) error {
 				Seq: seq, Time: s.Submitted, Job: s.Job,
 				Type: EventSubmitted, Kind: s.Kind, State: s.State,
 				Total: s.Total, Spec: s.Spec, TuneSpec: s.TuneSpec,
+				Tenant: s.Tenant,
 			}
 			if err := enc.Encode(&sub); err != nil {
 				return fmt.Errorf("journal: compact encode: %w", err)
@@ -425,5 +478,9 @@ func (j *Journal) Compact(statuses []JobStatus) error {
 	j.f = f
 	j.bw = bufio.NewWriter(f)
 	j.seq = seq
+	j.size = 0
+	if fi, err := f.Stat(); err == nil {
+		j.size = fi.Size()
+	}
 	return nil
 }

@@ -2,12 +2,12 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -109,14 +109,14 @@ func TestChaosCrashRestartResume(t *testing.T) {
 	waitForProgress(t, ts1, v.ID, 25)
 	s1.mgr.kill() // the process vanishes: no terminal journaling, no final rewrite
 
-	// The incremental record file survives with a partial prefix.
-	partial, err := goofi.LoadRecords(filepath.Join(dataDir, v.ID+".jsonl"))
-	var trunc *goofi.TruncatedError
-	if err != nil && !errors.As(err, &trunc) {
-		t.Fatalf("post-crash record file unreadable: %v", err)
+	// The incremental segment store survives with a partial prefix
+	// (salvage tolerates a torn tail in the newest segment only).
+	partial, err := goofi.LoadSegmentRecords(filepath.Join(dataDir, v.ID+".records"))
+	if err != nil {
+		t.Fatalf("post-crash segment store unreadable: %v", err)
 	}
 	if len(partial) == 0 || len(partial) >= 150 {
-		t.Fatalf("post-crash file has %d records, want a strict partial prefix", len(partial))
+		t.Fatalf("post-crash store has %d records, want a strict partial prefix", len(partial))
 	}
 
 	// Restart on the same state. The journal replay must re-enqueue the
@@ -147,6 +147,9 @@ func TestChaosCrashRestartResume(t *testing.T) {
 	}
 	if string(got) != string(want) {
 		t.Errorf("final record file differs from an uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, v.ID+".records")); !os.IsNotExist(err) {
+		t.Errorf("incremental segment store not cleaned up after completion")
 	}
 
 	after := metricsMap(t, ts2)
@@ -237,14 +240,19 @@ func TestChaosResumeDropsTornTail(t *testing.T) {
 	waitForProgress(t, ts1, v.ID, 25)
 	s1.mgr.kill()
 
-	// The crash tore the final record in half.
-	path := filepath.Join(dataDir, v.ID+".jsonl")
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	// The crash tore the final record in half — in the live tail
+	// segment, the only file the seal ordering permits to be torn.
+	segs, err := goofi.SegmentFiles(filepath.Join(dataDir, v.ID+".records"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("post-crash segment store missing: %v (%d segments)", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fmt.Fprintf(f, `{"id":9999,"variant":"alg1","reg`)
 	f.Close()
+	path := filepath.Join(dataDir, v.ID+".jsonl")
 
 	_, ts2 := newTestServer(t, Config{
 		Workers: 1, QueueDepth: 2, DataDir: dataDir, JournalDir: journalDir,
@@ -263,6 +271,66 @@ func TestChaosResumeDropsTornTail(t *testing.T) {
 	}
 	if len(recs) != 150 {
 		t.Fatalf("%d records after recovery, want 150", len(recs))
+	}
+}
+
+// TestChaosGracefulDrainUnderLoad drains a loaded server: one campaign
+// running and three queued when SIGTERM (Close) lands. The drain must
+// interrupt all four — including the queued ones, which have done no
+// work — never cancel or fail any of them, shed submissions that race
+// the drain with 503, and a restart on the same journal must finish
+// every one with the running campaign's records byte-identical to an
+// undisturbed run's.
+func TestChaosGracefulDrainUnderLoad(t *testing.T) {
+	want := cleanRecordFile(t)
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+
+	s1, ts1 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8, DataDir: dataDir, JournalDir: journalDir,
+		ConfigHook: slowHook(3 * time.Millisecond),
+	})
+	ids := []string{submit(t, ts1, chaosSpec).ID}
+	waitForProgress(t, ts1, ids[0], 10)
+	for seed := 1; seed <= 3; seed++ { // pile up behind the single worker
+		ids = append(ids, submit(t, ts1, fmt.Sprintf(`{"variant":"alg1","n":30,"seed":%d}`, seed)).ID)
+	}
+	s1.Close()
+
+	for _, id := range ids {
+		c, err := s1.mgr.Get(id)
+		if err != nil {
+			t.Fatalf("drained server lost campaign %s: %v", id, err)
+		}
+		if st := c.Snapshot().State; st != StateInterrupted {
+			t.Errorf("after drain campaign %s is %s, want %s", id, st, StateInterrupted)
+		}
+	}
+
+	// A submission racing the drain is shed, not stranded in a queue
+	// nobody will ever pop.
+	resp, err := http.Post(ts1.URL+"/api/v1/campaigns", "application/json",
+		strings.NewReader(`{"variant":"alg1","n":10,"seed":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain returned %d, want %d", resp.StatusCode, http.StatusServiceUnavailable)
+	}
+
+	// Restart resumes the whole backlog, running and queued alike.
+	_, ts2 := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8, DataDir: dataDir, JournalDir: journalDir,
+	})
+	for _, id := range ids {
+		waitForState(t, ts2, id, StateDone, 2*time.Minute)
+	}
+	got, err := os.ReadFile(filepath.Join(dataDir, ids[0]+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("record file after drain+resume differs from clean run (%d vs %d bytes)", len(got), len(want))
 	}
 }
 

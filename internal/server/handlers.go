@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
 	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/tenant"
 	"ctrlguard/internal/tune"
 	"ctrlguard/internal/workload"
 )
@@ -31,8 +33,47 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleSubmit validates a JSON campaign spec and enqueues it.
+// resolveTenant authenticates the request against the tenant registry
+// using the Authorization header (Bearer or bare API key). On an open
+// server every request maps to the default tenant; on a configured
+// one an unknown or missing key is a 401.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (tenant.Tenant, bool) {
+	ten, err := s.mgr.Registry().Resolve(r.Header.Get("Authorization"))
+	if err != nil {
+		s.writeError(w, http.StatusUnauthorized, "unknown or missing API key")
+		return tenant.Tenant{}, false
+	}
+	return ten, true
+}
+
+// writeSubmitError maps admission failures onto overload-aware HTTP
+// answers: rate limits and quotas are 429 (the former with the exact
+// token wait), a full or draining queue is 503 — always an immediate
+// answer, never a blocked request.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var rle *RateLimitError
+	var qe *QuotaError
+	switch {
+	case errors.As(err, &rle):
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(rle.RetryAfter.Seconds()))))
+		s.writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.As(err, &qe):
+		s.writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleSubmit validates a JSON campaign spec and enqueues it for the
+// authenticated tenant.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ten, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var spec goofi.CampaignSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -40,17 +81,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
 		return
 	}
-	c, err := s.mgr.Submit(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+	c, err := s.mgr.SubmitAs(ten, spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
 		return
 	}
-	s.log.Printf("campaign %s submitted: %+v", c.ID, spec)
+	s.log.Printf("campaign %s submitted by %s: %+v", c.ID, ten.Name, spec)
 	w.Header().Set("Location", "/api/v1/campaigns/"+c.ID)
 	s.writeJSON(w, http.StatusAccepted, c.Snapshot())
 }
@@ -208,17 +244,21 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "limit must be an integer in [1,%d]", recordsMaxLimit)
 		return
 	}
-	recs := c.Records()
-	total := len(recs)
-	lo := min(offset, total)
-	hi := min(lo+limit, total)
+	page, total, err := c.RecordPage(offset, limit)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "reading records: %v", err)
+		return
+	}
+	if page == nil {
+		page = []goofi.Record{}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"campaign": c.ID,
 		"total":    total,
 		"offset":   offset,
 		"limit":    limit,
-		"count":    hi - lo,
-		"records":  recs[lo:hi],
+		"count":    len(page),
+		"records":  page,
 	})
 }
 
@@ -236,6 +276,10 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 // listing, state, events, and cancellation; its outcome is served by
 // /api/v1/tune/{id}/result once done.
 func (s *Server) handleSubmitTune(w http.ResponseWriter, r *http.Request) {
+	ten, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
 	var spec tune.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -243,17 +287,12 @@ func (s *Server) handleSubmitTune(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad tune spec: %v", err)
 		return
 	}
-	c, err := s.mgr.SubmitTune(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+	c, err := s.mgr.SubmitTuneAs(ten, spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
 		return
 	}
-	s.log.Printf("tune job %s submitted: %d planned evaluations", c.ID, c.Snapshot().Total)
+	s.log.Printf("tune job %s submitted by %s: %d planned evaluations", c.ID, ten.Name, c.Snapshot().Total)
 	w.Header().Set("Location", "/api/v1/tune/"+c.ID+"/result")
 	s.writeJSON(w, http.StatusAccepted, c.Snapshot())
 }

@@ -12,9 +12,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ctrlguard/internal/castore"
 	"ctrlguard/internal/dist"
 	"ctrlguard/internal/goofi"
 	"ctrlguard/internal/journal"
+	"ctrlguard/internal/tenant"
 	"ctrlguard/internal/tune"
 )
 
@@ -81,7 +83,14 @@ type Campaign struct {
 	Kind     Kind
 	Spec     goofi.CampaignSpec
 	TuneSpec *tune.Spec // set when Kind == KindTune
+	Tenant   string     // owning tenant's name (immutable after creation)
 	Created  time.Time
+
+	// usageHeld and usageN are the campaign's charge against its
+	// tenant's quota accounting; both are guarded by the Manager's
+	// lock, not c.mu, because they change together with the usage map.
+	usageHeld bool
+	usageN    int
 
 	mu         sync.Mutex
 	state      State
@@ -94,6 +103,8 @@ type Campaign struct {
 	errMsg     string
 	records    []goofi.Record
 	dataPath   string
+	segDir     string // live segmented record store (resume source)
+	cacheHit   bool   // served from the content-addressed result cache
 	resumed    bool // re-enqueued by journal recovery after a restart
 	userCancel bool // cancelled via the API, as opposed to a shutdown
 	faults     goofi.FaultStats
@@ -110,6 +121,8 @@ type View struct {
 	ID          string             `json:"id"`
 	Kind        Kind               `json:"kind"`
 	State       State              `json:"state"`
+	Tenant      string             `json:"tenant,omitempty"`
+	CacheHit    bool               `json:"cacheHit,omitempty"`
 	Spec        goofi.CampaignSpec `json:"spec"`
 	TuneSpec    *tune.Spec         `json:"tuneSpec,omitempty"`
 	Created     time.Time          `json:"created"`
@@ -135,6 +148,8 @@ func (c *Campaign) Snapshot() View {
 		ID:          c.ID,
 		Kind:        c.Kind,
 		State:       c.state,
+		Tenant:      c.Tenant,
+		CacheHit:    c.cacheHit,
 		Spec:        c.Spec,
 		TuneSpec:    c.TuneSpec,
 		Created:     c.Created,
@@ -166,14 +181,67 @@ func (c *Campaign) Snapshot() View {
 func (c *Campaign) Records() []goofi.Record {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.records == nil && c.dataPath != "" && c.Kind == KindCampaign {
-		recs, err := goofi.LoadRecords(c.dataPath)
-		var trunc *goofi.TruncatedError
-		if err == nil || errors.As(err, &trunc) {
-			c.records = recs
+	if c.records == nil && c.Kind == KindCampaign {
+		switch {
+		case c.dataPath != "":
+			recs, err := goofi.LoadRecords(c.dataPath)
+			var trunc *goofi.TruncatedError
+			if err == nil || errors.As(err, &trunc) {
+				c.records = recs
+			}
+		case c.segDir != "":
+			// No canonical file yet (crash before the final rewrite):
+			// fold the partial run's segments instead.
+			if recs, err := goofi.LoadSegmentRecords(c.segDir); err == nil {
+				c.records = recs
+			}
 		}
 	}
 	return append([]goofi.Record(nil), c.records...)
+}
+
+// RecordPage returns records[offset : offset+limit] plus the total
+// count. Unlike Records it never materializes the full set for a
+// disk-backed campaign: the canonical file is scanned record-by-record
+// through a RecordScanner, and a segmented store pages through only
+// the segments the window intersects.
+func (c *Campaign) RecordPage(offset, limit int) ([]goofi.Record, int, error) {
+	c.mu.Lock()
+	inMemory := c.records != nil || c.Kind != KindCampaign
+	dataPath := c.dataPath
+	segDir := c.segDir
+	c.mu.Unlock()
+	if inMemory {
+		recs := c.Records()
+		total := len(recs)
+		lo := min(offset, total)
+		hi := min(lo+limit, total)
+		return recs[lo:hi:hi], total, nil
+	}
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err == nil {
+			defer f.Close()
+			var page []goofi.Record
+			total := 0
+			sc := goofi.NewRecordScanner(f)
+			for sc.Scan() {
+				if total >= offset && len(page) < limit {
+					page = append(page, sc.Record())
+				}
+				total++
+			}
+			var trunc *goofi.TruncatedError
+			if serr := sc.Err(); serr != nil && !errors.As(serr, &trunc) {
+				return nil, 0, serr
+			}
+			return page, total, nil
+		}
+	}
+	if segDir != "" {
+		return goofi.SegmentPage(segDir, offset, limit)
+	}
+	return nil, 0, nil
 }
 
 // Subscribe registers a progress listener. The returned channel
@@ -291,20 +359,59 @@ type Options struct {
 	// ExecSpawnHook, if non-nil, observes every spawned local executor
 	// process. TEST-ONLY: the chaos suite SIGKILLs executors through it.
 	ExecSpawnHook func(task dist.ShardTask, pid int)
+
+	// Tenants is the multi-tenant admission configuration. Empty runs
+	// the server open: every request is the default tenant, unlimited.
+	Tenants []tenant.Tenant
+	// CacheDir, if set, enables content-addressed campaign memoization:
+	// completed deterministic campaigns are filed under the hash of
+	// (engine version, canonical spec) and duplicate submissions are
+	// served from the cache without re-running.
+	CacheDir string
+	// CacheMaxBytes bounds the memoization cache (0 = unbounded);
+	// least-recently-used results are evicted past it.
+	CacheMaxBytes int64
+	// SegmentBytes caps each incremental record segment (default
+	// goofi.DefaultSegmentBytes).
+	SegmentBytes int64
+	// JournalMaxBytes triggers automatic journal compaction when the
+	// write-ahead journal grows past it (0 = startup-only compaction).
+	JournalMaxBytes int64
+	// RetainAge, if positive, lets the retention sweep delete record
+	// files of terminal campaigns finished longer ago than this.
+	RetainAge time.Duration
+	// RetainBytes, if positive, bounds the total bytes of terminal
+	// campaigns' record files; oldest-finished are deleted first.
+	RetainBytes int64
+	// ExecTTL overrides how long a remote executor registration stays
+	// live without a heartbeat (default 15s).
+	ExecTTL time.Duration
 }
 
 // Manager owns the campaign queue and worker pool.
 type Manager struct {
-	queue   chan *Campaign
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
-	dataDir string
-	jnl     *journal.Journal
-	logger  *log.Logger
-	hook    func(*goofi.Config)
-	closing atomic.Bool // graceful shutdown: running jobs -> interrupted
-	killed  atomic.Bool // test-only crash: suppress journal/terminal writes
+	queue      *tenant.FairQueue[*Campaign]
+	queueDepth int
+	baseCtx    context.Context
+	stop       context.CancelFunc
+	wg         sync.WaitGroup
+	dataDir    string
+	jnl        *journal.Journal
+	jnlMax     int64
+	logger     *log.Logger
+	hook       func(*goofi.Config)
+	closing    atomic.Bool // graceful shutdown: running jobs -> interrupted
+	killed     atomic.Bool // test-only crash: suppress journal/terminal writes
+
+	// Multi-tenant admission and result reuse (see admission.go,
+	// cache.go, retention.go).
+	tenants     *tenant.Registry
+	cache       *castore.Store
+	segBytes    int64
+	retainAge   time.Duration
+	retainBytes int64
+	buckets     map[string]*tenant.Bucket // m.mu-guarded, one per tenant
+	usage       map[string]*tenant.Usage  // m.mu-guarded quota accounting
 
 	// Distributed-coordinator state (see dist.go).
 	distWorkers  int
@@ -340,23 +447,44 @@ func NewManager(opts Options) (*Manager, error) {
 	if opts.Executors > 0 && opts.ExecBin == "" {
 		return nil, errors.New("server: Executors > 0 requires ExecBin (the ctrlexec binary to spawn)")
 	}
+	registry, err := tenant.NewRegistry(opts.Tenants)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
+		queueDepth:   opts.QueueDepth,
 		baseCtx:      ctx,
 		stop:         cancel,
 		dataDir:      opts.DataDir,
+		jnlMax:       opts.JournalMaxBytes,
 		logger:       opts.Logger,
 		hook:         opts.ConfigHook,
+		tenants:      registry,
+		segBytes:     opts.SegmentBytes,
+		retainAge:    opts.RetainAge,
+		retainBytes:  opts.RetainBytes,
+		buckets:      make(map[string]*tenant.Bucket),
+		usage:        make(map[string]*tenant.Usage),
 		jobs:         make(map[string]*Campaign),
 		distWorkers:  opts.Executors,
 		execBin:      opts.ExecBin,
 		execArgs:     opts.ExecArgs,
 		shardSize:    opts.ShardSize,
 		leaseTTL:     opts.LeaseTTL,
-		registry:     newExecRegistry(0),
+		registry:     newExecRegistry(opts.ExecTTL),
 		distTaskHook: opts.DistTaskHook,
 		spawnHook:    opts.ExecSpawnHook,
 	}
+	if opts.CacheDir != "" {
+		cache, err := castore.Open(opts.CacheDir, opts.CacheMaxBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.cache = cache
+	}
+	m.queue = tenant.NewFairQueue[*Campaign](opts.QueueDepth)
 	var pending []*Campaign
 	if opts.JournalPath != "" {
 		jnl, entries, err := journal.Open(opts.JournalPath)
@@ -367,13 +495,14 @@ func NewManager(opts Options) (*Manager, error) {
 		m.jnl = jnl
 		pending = m.restoreJobs(entries, !opts.NoResume)
 	}
-	// Recovered jobs ride along in the queue without eating into the
-	// configured depth for new submissions.
-	m.queue = make(chan *Campaign, opts.QueueDepth+len(pending))
 	metricsInit(opts.Workers)
 	for _, c := range pending {
-		m.queue <- c
-		m.appendJournal(journal.Entry{Job: c.ID, Type: journal.EventResumed, State: string(StateQueued)})
+		// Recovered jobs ride along without eating into the queue depth
+		// for new submissions, but they re-charge their tenant's quota
+		// accounting so a restart never resets it.
+		m.queue.PushRecovered(c.Tenant, m.fairWeight(c.Tenant), c)
+		m.chargeUsage(c)
+		m.appendJournal(journal.Entry{Job: c.ID, Type: journal.EventResumed, State: string(StateQueued), Tenant: c.Tenant})
 		metrics.CampaignsQueued.Add(1)
 		metrics.CampaignsResumed.Add(1)
 		m.logger.Printf("campaign %s resumed from journal (%s, %d/%d done before restart)",
@@ -382,6 +511,10 @@ func NewManager(opts Options) (*Manager, error) {
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.runner()
+	}
+	if m.dataDir != "" {
+		m.wg.Add(1)
+		go m.retentionLoop()
 	}
 	return m, nil
 }
@@ -425,10 +558,18 @@ func (m *Manager) restoreJobs(entries []journal.Entry, resume bool) []*Campaign 
 				continue
 			}
 		}
+		c.Tenant = s.Tenant
+		if c.Tenant == "" {
+			c.Tenant = tenant.DefaultName // pre-tenancy journal entry
+		}
 		if m.dataDir != "" {
 			path := filepath.Join(m.dataDir, c.ID+".jsonl")
 			if _, err := os.Stat(path); err == nil {
 				c.dataPath = path
+			}
+			segDir := filepath.Join(m.dataDir, c.ID+".records")
+			if _, err := os.Stat(segDir); err == nil {
+				c.segDir = segDir
 			}
 		}
 		var num int
@@ -470,6 +611,15 @@ func (m *Manager) appendJournal(e journal.Entry) {
 	if err := m.jnl.Append(e); err != nil {
 		m.logger.Printf("journal append failed (job %s, %s): %v", e.Job, e.Type, err)
 	}
+	// Long-running servers fold the journal back down once it outgrows
+	// its size budget, preserving in-flight jobs' shard completions.
+	ran, err := m.jnl.CompactIfOver(m.jnlMax)
+	if err != nil {
+		m.logger.Printf("journal auto-compaction failed (continuing): %v", err)
+	} else if ran {
+		metrics.JournalCompactions.Add(1)
+		m.logger.Printf("journal compacted (exceeded %d bytes)", m.jnlMax)
+	}
 }
 
 // journalTerminal records a campaign's terminal state.
@@ -481,7 +631,7 @@ func (m *Manager) journalTerminal(c *Campaign) {
 	m.appendJournal(journal.Entry{
 		Job: c.ID, Type: journal.EventTerminal,
 		State: string(v.State), Done: v.Done, Total: v.Total,
-		Outcomes: v.Outcomes, Error: v.Error,
+		Outcomes: v.Outcomes, Error: v.Error, Tenant: c.Tenant,
 	})
 }
 
@@ -492,18 +642,16 @@ func (m *Manager) journalTerminal(c *Campaign) {
 func (m *Manager) Close() {
 	m.closing.Store(true)
 	m.stop()
-	// Drain jobs still sitting in the queue so runners can exit.
-	for {
-		select {
-		case c := <-m.queue:
-			m.finalize(c, nil, goofi.FaultStats{}, context.Canceled, c.Snapshot().RecordsPath)
-		default:
-			m.wg.Wait()
-			if m.jnl != nil {
-				m.jnl.Close()
-			}
-			return
-		}
+	m.queue.Close()
+	// Shed queued-but-unstarted jobs as interrupted (resumable): the
+	// graceful-drain half of the paper's best-effort recovery applied
+	// to the service itself.
+	for _, c := range m.queue.Drain() {
+		m.finalize(c, nil, goofi.FaultStats{}, context.Canceled, c.Snapshot().RecordsPath)
+	}
+	m.wg.Wait()
+	if m.jnl != nil {
+		m.jnl.Close()
 	}
 }
 
@@ -513,82 +661,25 @@ func (m *Manager) Close() {
 func (m *Manager) kill() {
 	m.killed.Store(true)
 	m.stop()
+	m.queue.Close()
 	m.wg.Wait()
 	if m.jnl != nil {
 		m.jnl.Close()
 	}
 }
 
-// Submit validates a spec and enqueues a campaign for execution.
+// Submit validates a spec and enqueues a campaign for execution as
+// the default tenant (the open, single-tenant mode).
 func (m *Manager) Submit(spec goofi.CampaignSpec) (*Campaign, error) {
-	if _, err := spec.Resolve(); err != nil {
-		return nil, err
-	}
-	c := &Campaign{
-		Kind:     KindCampaign,
-		Spec:     spec,
-		Created:  time.Now(),
-		state:    StateQueued,
-		total:    spec.Experiments,
-		outcomes: make(map[string]int),
-		subs:     make(map[chan Event]struct{}),
-		doneCh:   make(chan struct{}),
-	}
-	if spec.Sequential() {
-		c.total = spec.MaxExperiments // upper bound; 0 = engine default
-	}
-	return m.enqueue(c)
+	return m.SubmitAs(tenant.Default(), spec)
 }
 
 // SubmitTune validates a tuning spec and enqueues a design-space
-// search job. It shares the campaign queue, listing, events, and
-// cancellation machinery; progress counts candidate evaluations
-// against tune.Spec.PlannedEvaluations' upper bound.
+// search job as the default tenant. It shares the campaign queue,
+// listing, events, and cancellation machinery; progress counts
+// candidate evaluations against tune.Spec.PlannedEvaluations' bound.
 func (m *Manager) SubmitTune(spec tune.Spec) (*Campaign, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	c := &Campaign{
-		Kind:     KindTune,
-		TuneSpec: &spec,
-		Created:  time.Now(),
-		state:    StateQueued,
-		total:    spec.PlannedEvaluations(),
-		outcomes: make(map[string]int),
-		subs:     make(map[chan Event]struct{}),
-		doneCh:   make(chan struct{}),
-	}
-	return m.enqueue(c)
-}
-
-// enqueue assigns an ID, queues a job under the manager lock, and
-// journals the submission.
-func (m *Manager) enqueue(c *Campaign) (*Campaign, error) {
-	m.mu.Lock()
-	c.ID = fmt.Sprintf("c%06d", m.nextID+1)
-	select {
-	case m.queue <- c:
-	default:
-		m.mu.Unlock()
-		return nil, ErrQueueFull // shed without consuming an ID
-	}
-	m.nextID++
-	m.jobs[c.ID] = c
-	m.order = append(m.order, c.ID)
-	m.mu.Unlock()
-	metrics.CampaignsQueued.Add(1)
-
-	e := journal.Entry{
-		Job: c.ID, Type: journal.EventSubmitted,
-		Kind: string(c.Kind), State: string(StateQueued), Total: c.total,
-	}
-	if c.Kind == KindTune {
-		e.TuneSpec, _ = json.Marshal(c.TuneSpec)
-	} else {
-		e.Spec, _ = json.Marshal(c.Spec)
-	}
-	m.appendJournal(e)
-	return c, nil
+	return m.SubmitTuneAs(tenant.Default(), spec)
 }
 
 // Get returns a campaign by ID.
@@ -639,21 +730,24 @@ func (m *Manager) Cancel(id string) (bool, error) {
 		c.broadcastLocked(c.eventLocked(string(StateCancelled)))
 		close(c.doneCh)
 		c.mu.Unlock()
+		m.releaseUsage(c)
 		m.journalTerminal(c)
 		return true, nil
 	}
 }
 
-// runner is one worker of the campaign pool.
+// runner is one worker of the campaign pool. It dispatches from the
+// fair-share queue — the tenant with the smallest virtual pass — so
+// under contention tenants complete work in proportion to their
+// weights.
 func (m *Manager) runner() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.baseCtx.Done():
+		c, ok := m.queue.Pop()
+		if !ok { // queue closed: shutdown
 			return
-		case c := <-m.queue:
-			m.execute(c)
 		}
+		m.execute(c)
 	}
 }
 
@@ -710,25 +804,39 @@ func (m *Manager) execute(c *Campaign) {
 		m.hook(&cfg)
 	}
 
-	// Incremental persistence: each record is appended to <id>.jsonl as
-	// it completes, so a crash leaves a salvageable partial file. On
-	// resume the salvaged records seed goofi's Resume path; sequential
-	// (precision-driven) campaigns restart from scratch because their
-	// per-batch experiment IDs are not stable across runs.
+	// Incremental persistence: each record is appended to the
+	// campaign's segmented store (<id>.records/) as it completes, so a
+	// crash leaves salvageable partial segments. On resume the salvaged
+	// records seed goofi's Resume path; sequential (precision-driven)
+	// campaigns restart from scratch because their per-batch experiment
+	// IDs are not stable across runs.
 	path := ""
-	var app *goofi.RecordAppender
+	var seg *goofi.SegmentStore
 	if m.dataDir != "" {
 		path = filepath.Join(m.dataDir, c.ID+".jsonl")
+		segDir := filepath.Join(m.dataDir, c.ID+".records")
 		if !resumed || c.Spec.Sequential() {
-			os.Remove(path) // stale file from an unjournaled earlier run
+			os.Remove(path) // stale files from an unjournaled earlier run
+			os.RemoveAll(segDir)
 		}
 		var salvaged []goofi.Record
-		app, salvaged, err = goofi.OpenRecordAppender(path)
+		seg, salvaged, err = goofi.OpenSegmentStore(segDir, m.segBytes)
 		if err != nil {
-			m.logger.Printf("campaign %s: incremental record file unavailable: %v", c.ID, err)
-			app = nil
-		} else if resumed && !c.Spec.Sequential() {
-			cfg.Resume = salvaged
+			m.logger.Printf("campaign %s: incremental record store unavailable: %v", c.ID, err)
+			seg = nil
+		} else {
+			c.mu.Lock()
+			c.segDir = segDir
+			c.mu.Unlock()
+			if resumed && !c.Spec.Sequential() {
+				// A graceful shutdown also leaves a partial canonical
+				// <id>.jsonl (the final-rewrite path ran); merge it in.
+				// Resume dedups by experiment ID, newest record wins.
+				if legacy, lerr := goofi.LoadRecords(path); lerr == nil {
+					salvaged = append(legacy, salvaged...)
+				}
+				cfg.Resume = salvaged
+			}
 		}
 	}
 
@@ -755,11 +863,11 @@ func (m *Manager) execute(c *Campaign) {
 	}
 	cfg.OnRecord = func(rec goofi.Record) {
 		metrics.ExperimentsTotal.Add(1)
-		if app != nil {
-			if err := app.Append(rec); err != nil {
+		if seg != nil {
+			if err := seg.Append(rec); err != nil {
 				m.logger.Printf("campaign %s: record append failed: %v", c.ID, err)
-				app.Close()
-				app = nil
+				seg.Close()
+				seg = nil
 			}
 		}
 		noteProgress(rec)
@@ -811,21 +919,35 @@ func (m *Manager) execute(c *Campaign) {
 		c.mu.Unlock()
 	}
 
-	if app != nil {
-		app.Close()
+	if seg != nil {
+		if err := seg.Close(); err != nil {
+			m.logger.Printf("campaign %s: segment close failed: %v", c.ID, err)
+		}
 	}
 	// Final rewrite: the same records, atomically replacing the
-	// unordered incremental file with the experiment-ordered one. A
-	// chaos kill skips this, exactly like a real SIGKILL would.
+	// unordered incremental segments with the experiment-ordered
+	// canonical file. A chaos kill skips this, exactly like a real
+	// SIGKILL would.
 	if path != "" && len(recs) > 0 && !m.killed.Load() {
 		if err := goofi.SaveRecords(path, recs); err != nil {
 			path = ""
 			if runErr == nil {
 				runErr = err
 			}
+		} else if runErr == nil {
+			// The canonical file now holds everything the segments do:
+			// drop them, and memoize the result for duplicate specs.
+			os.RemoveAll(filepath.Join(m.dataDir, c.ID+".records"))
+			c.mu.Lock()
+			c.segDir = ""
+			c.mu.Unlock()
+			m.cachePutFile(c, faults, path)
 		}
 	} else if len(recs) == 0 {
 		path = ""
+	}
+	if path == "" && runErr == nil && !m.killed.Load() {
+		m.cachePut(c, faults, recs)
 	}
 	m.finalize(c, recs, faults, runErr, path)
 }
@@ -907,5 +1029,6 @@ func (m *Manager) finalize(c *Campaign, recs []goofi.Record, faults goofi.FaultS
 	metrics.ExperimentsRetried.Add(int64(faults.Retried))
 	metrics.ExperimentsPanicked.Add(int64(faults.Panicked))
 	metrics.ExperimentsAbandoned.Add(int64(faults.Abandoned))
+	m.releaseUsage(c)
 	m.journalTerminal(c)
 }

@@ -40,6 +40,23 @@ var metrics struct {
 	ShardsExpired       expvar.Int
 	ExecutorsRegistered expvar.Int
 
+	// Overload admission: submissions bounced by a tenant's token
+	// bucket, by a tenant quota, or shed by the bounded fair queue.
+	RequestsThrottled     expvar.Int
+	RequestsQuotaRejected expvar.Int
+	RequestsShed          expvar.Int
+
+	// Content-addressed memoization: duplicate campaigns served from
+	// the cache versus submissions that had to run.
+	CacheHits   expvar.Int
+	CacheMisses expvar.Int
+
+	// Housekeeping: automatic journal compactions and record files
+	// removed by the retention sweep.
+	JournalCompactions expvar.Int
+	RetentionDeleted   expvar.Int
+	RetentionBytes     expvar.Int
+
 	// Detector verdicts, accumulated over completed campaigns with
 	// in-loop detectors armed (see goofi.DetectStats): experiments
 	// caught by signature monitoring / the behavior automaton, and
@@ -79,6 +96,14 @@ func metricsInit(workers int) {
 		m.Set("shards_completed", &metrics.ShardsCompleted)
 		m.Set("shards_expired", &metrics.ShardsExpired)
 		m.Set("executors_registered", &metrics.ExecutorsRegistered)
+		m.Set("requests_throttled", &metrics.RequestsThrottled)
+		m.Set("requests_quota_rejected", &metrics.RequestsQuotaRejected)
+		m.Set("requests_shed", &metrics.RequestsShed)
+		m.Set("cache_hits", &metrics.CacheHits)
+		m.Set("cache_misses", &metrics.CacheMisses)
+		m.Set("journal_compactions", &metrics.JournalCompactions)
+		m.Set("retention_deleted", &metrics.RetentionDeleted)
+		m.Set("retention_bytes", &metrics.RetentionBytes)
 		m.Set("detector_cfe_detected", &metrics.DetectorCFEDetected)
 		m.Set("detector_automaton_detected", &metrics.DetectorAutomatonDetected)
 		m.Set("detector_false_positives", &metrics.DetectorFalsePositives)

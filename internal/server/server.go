@@ -26,6 +26,16 @@
 //	DELETE /api/v1/executors/{name}      deregister an executor
 //	GET    /metrics                      expvar campaign metrics
 //	GET    /healthz                      liveness probe
+//	GET    /readyz                       readiness probe (503 while
+//	                                     draining) with queue depth and
+//	                                     per-tenant usage
+//
+// With Tenants configured, submissions authenticate via the
+// Authorization header and pass per-tenant admission control: token
+// buckets (429 + Retry-After), quotas on outstanding work (429), and
+// the bounded weighted fair-share queue (503 + Retry-After). With a
+// CacheDir, completed deterministic campaigns are memoized by content
+// address and duplicate submissions are served without re-running.
 package server
 
 import (
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"ctrlguard/internal/goofi"
+	"ctrlguard/internal/tenant"
 )
 
 // Config configures a Server.
@@ -93,6 +104,41 @@ type Config struct {
 	// LeaseTTL overrides the shard lease TTL for distributed campaigns
 	// (default dist.DefaultLeaseTTL).
 	LeaseTTL time.Duration
+
+	// ExecTTL overrides how long a remote executor registration stays
+	// live without a heartbeat (default 15s). The server hands the
+	// value to executors in the registration response so both sides
+	// agree on the heartbeat cadence.
+	ExecTTL time.Duration
+
+	// Tenants configures multi-tenant admission: API keys, rate
+	// limits, quotas, and fair-share weights. Empty runs the server
+	// open — every request is the default tenant, unlimited.
+	Tenants []tenant.Tenant
+
+	// CacheDir, if set, enables content-addressed campaign
+	// memoization: duplicate submissions of a completed deterministic
+	// spec are served the original run's bytes without re-running.
+	CacheDir string
+
+	// CacheMaxBytes bounds the memoization cache (0 = unbounded).
+	CacheMaxBytes int64
+
+	// SegmentBytes caps each incremental record segment (default
+	// goofi.DefaultSegmentBytes).
+	SegmentBytes int64
+
+	// JournalMaxBytes triggers automatic journal compaction once the
+	// write-ahead journal grows past it (0 = startup-only compaction).
+	JournalMaxBytes int64
+
+	// RetainAge, if positive, lets the retention sweep delete the
+	// record files of terminal campaigns finished longer ago than this.
+	RetainAge time.Duration
+
+	// RetainBytes, if positive, bounds the total record bytes of
+	// terminal campaigns; oldest-finished files are deleted first.
+	RetainBytes int64
 }
 
 // Server is the ctrlguardd HTTP service.
@@ -127,17 +173,25 @@ func New(cfg Config) (*Server, error) {
 		journalPath = filepath.Join(cfg.JournalDir, "journal.wal")
 	}
 	mgr, err := NewManager(Options{
-		Workers:     cfg.Workers,
-		QueueDepth:  cfg.QueueDepth,
-		DataDir:     cfg.DataDir,
-		JournalPath: journalPath,
-		NoResume:    cfg.NoResume,
-		Logger:      cfg.Logger,
-		ConfigHook:  cfg.ConfigHook,
-		Executors:   cfg.Executors,
-		ExecBin:     cfg.ExecBin,
-		ShardSize:   cfg.ShardSize,
-		LeaseTTL:    cfg.LeaseTTL,
+		Workers:         cfg.Workers,
+		QueueDepth:      cfg.QueueDepth,
+		DataDir:         cfg.DataDir,
+		JournalPath:     journalPath,
+		NoResume:        cfg.NoResume,
+		Logger:          cfg.Logger,
+		ConfigHook:      cfg.ConfigHook,
+		Executors:       cfg.Executors,
+		ExecBin:         cfg.ExecBin,
+		ShardSize:       cfg.ShardSize,
+		LeaseTTL:        cfg.LeaseTTL,
+		ExecTTL:         cfg.ExecTTL,
+		Tenants:         cfg.Tenants,
+		CacheDir:        cfg.CacheDir,
+		CacheMaxBytes:   cfg.CacheMaxBytes,
+		SegmentBytes:    cfg.SegmentBytes,
+		JournalMaxBytes: cfg.JournalMaxBytes,
+		RetainAge:       cfg.RetainAge,
+		RetainBytes:     cfg.RetainBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -172,6 +226,26 @@ func (s *Server) routes() {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n"))
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+}
+
+// handleReady is the readiness probe: 200 while the server accepts
+// work, 503 once a graceful drain begins (so load balancers stop
+// routing submissions to a stopping instance). The body carries the
+// queue and per-tenant usage snapshot either way.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"queued":     s.mgr.QueueLen(),
+		"queueDepth": s.mgr.QueueDepth(),
+		"usage":      s.mgr.UsageSnapshot(),
+	}
+	if s.mgr.Draining() {
+		body["status"] = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ok"
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).

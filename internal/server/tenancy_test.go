@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ctrlguard/internal/tenant"
+)
+
+// The overload suite drives the multi-tenant admission layer through
+// the full HTTP stack: API keys, rate limits, quotas, shedding,
+// fair-share scheduling under saturation, memoization, retention, and
+// the journal-backed restart that must not lose a byte of quota
+// accounting. CI runs it under -race.
+
+// postSpec submits a campaign spec with an optional API key and
+// returns the response (body pre-read, so the connection is closed).
+func postSpec(t *testing.T, ts *httptest.Server, key, spec string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/campaigns", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	// Admission must answer immediately, overloaded or not: a blocked
+	// submission is itself a test failure.
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("submission blocked or failed: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, body
+}
+
+// submitKey is postSpec asserting 202 and decoding the View.
+func submitKey(t *testing.T, ts *httptest.Server, key, spec string) View {
+	t.Helper()
+	resp, body := postSpec(t, ts, key, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d: %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("bad submit response %q: %v", body, err)
+	}
+	return v
+}
+
+func TestTenantAuthRequired(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Tenants: []tenant.Tenant{
+		{Name: "acme", Key: "acme-key"},
+	}})
+	if resp, _ := postSpec(t, ts, "", `{"variant":"alg1","n":5,"seed":1}`); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("missing key accepted: %d", resp.StatusCode)
+	}
+	if resp, _ := postSpec(t, ts, "wrong", `{"variant":"alg1","n":5,"seed":1}`); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unknown key accepted: %d", resp.StatusCode)
+	}
+	v := submitKey(t, ts, "acme-key", `{"variant":"alg1","n":5,"seed":1}`)
+	if v.Tenant != "acme" {
+		t.Fatalf("job attributed to %q, want acme", v.Tenant)
+	}
+	waitForState(t, ts, v.ID, StateDone, time.Minute)
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Tenants: []tenant.Tenant{
+		{Name: "slow", Key: "slow-key", RatePerSec: 0.2, Burst: 1},
+	}})
+	if resp, body := postSpec(t, ts, "slow-key", `{"variant":"alg1","n":5,"seed":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit rejected: %d %s", resp.StatusCode, body)
+	}
+	resp, body := postSpec(t, ts, "slow-key", `{"variant":"alg1","n":5,"seed":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit returned %d (%s), want 429", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := time.ParseDuration(ra + "s"); err != nil || secs < time.Second {
+		t.Fatalf("429 Retry-After = %q, want the whole-second token wait", ra)
+	}
+}
+
+func TestTenantQuotaOutstandingJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8,
+		ConfigHook: slowHook(3 * time.Millisecond),
+		Tenants: []tenant.Tenant{
+			{Name: "capped", Key: "cap-key", MaxQueuedJobs: 1},
+		},
+	})
+	v := submitKey(t, ts, "cap-key", `{"variant":"alg1","n":400,"seed":1,"workers":1}`)
+	resp, body := postSpec(t, ts, "cap-key", `{"variant":"alg1","n":5,"seed":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(string(body), "quota") {
+		t.Fatalf("over-quota submit returned %d (%s), want 429 quota", resp.StatusCode, body)
+	}
+	// Quotas count outstanding (queued + running) work and clear only
+	// when the job reaches a terminal state.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/campaigns/"+v.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		dresp.Body.Close()
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, _ := postSpec(t, ts, "cap-key", `{"variant":"alg1","n":5,"seed":3}`)
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("quota never released after cancelling the outstanding job")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTenantQuotaOutstandingExperiments(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8,
+		ConfigHook: slowHook(3 * time.Millisecond),
+		Tenants: []tenant.Tenant{
+			{Name: "capped", Key: "cap-key", MaxQueuedExperiments: 100},
+		},
+	})
+	submitKey(t, ts, "cap-key", `{"variant":"alg1","n":80,"seed":1,"workers":1}`)
+	resp, body := postSpec(t, ts, "cap-key", `{"variant":"alg1","n":30,"seed":2}`)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(string(body), "quota") {
+		t.Fatalf("over-quota submit returned %d (%s), want 429 quota", resp.StatusCode, body)
+	}
+	// A job that still fits goes through.
+	if resp, body := postSpec(t, ts, "cap-key", `{"variant":"alg1","n":20,"seed":3}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("within-quota submit rejected: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestQueueOverloadSheds503(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 2,
+		ConfigHook: slowHook(3 * time.Millisecond),
+	})
+	// One running plus two queued fills the house.
+	for i := 0; i < 3; i++ {
+		submitKey(t, ts, "", `{"variant":"alg1","n":200,"seed":`+itoa(i+1)+`,"workers":1}`)
+	}
+	resp, body := postSpec(t, ts, "", `{"variant":"alg1","n":5,"seed":9}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submit returned %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+	after := metricsMap(t, ts)
+	if after["requests_shed"] < 1 {
+		t.Fatalf("requests_shed = %v, want >= 1", after["requests_shed"])
+	}
+}
+
+// TestOverloadFairShare saturates one worker with three tenants of
+// weights 1:2:3 and requires completions in weight proportion: over
+// the first 12 completions bronze:silver:gold must be 2:4:6 within
+// one job of tolerance.
+func TestOverloadFairShare(t *testing.T) {
+	tenants := []tenant.Tenant{
+		{Name: "bronze", Key: "kb", Weight: 1},
+		{Name: "silver", Key: "ks", Weight: 2},
+		{Name: "gold", Key: "kg", Weight: 3},
+	}
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 64,
+		ConfigHook: slowHook(2 * time.Millisecond),
+		Tenants:    tenants,
+	})
+	const perTenant = 10
+	var ids []string
+	for i := 0; i < perTenant; i++ {
+		for _, key := range []string{"kg", "ks", "kb"} {
+			v := submitKey(t, ts, key, `{"variant":"alg1","n":20,"seed":`+itoa(i)+`,"workers":1}`)
+			ids = append(ids, v.ID)
+		}
+	}
+	for _, id := range ids {
+		waitForState(t, ts, id, StateDone, 2*time.Minute)
+	}
+
+	// Reconstruct the completion order from finish timestamps.
+	type finished struct {
+		tenant string
+		at     time.Time
+	}
+	var order []finished
+	for _, c := range s.mgr.List() {
+		v := c.Snapshot()
+		if v.State == StateDone && v.Finished != nil {
+			order = append(order, finished{v.Tenant, *v.Finished})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].at.Before(order[j].at) })
+	if len(order) != 3*perTenant {
+		t.Fatalf("%d campaigns finished, want %d", len(order), 3*perTenant)
+	}
+	counts := map[string]int{}
+	for _, f := range order[:12] {
+		counts[f.tenant]++
+	}
+	want := map[string]int{"bronze": 2, "silver": 4, "gold": 6}
+	for name, w := range want {
+		if got := counts[name]; got < w-1 || got > w+1 {
+			t.Errorf("over the first 12 completions %s finished %d jobs, want %d±1 (all: %v)", name, got, w, counts)
+		}
+	}
+	if !(counts["gold"] > counts["silver"] && counts["silver"] > counts["bronze"]) {
+		t.Errorf("completion shares not ordered by weight: %v", counts)
+	}
+}
+
+// TestUsageAccountingSurvivesRestart crashes a loaded server and
+// requires the journal replay to reconstruct per-tenant quota
+// accounting byte-for-byte.
+func TestUsageAccountingSurvivesRestart(t *testing.T) {
+	tenants := []tenant.Tenant{
+		{Name: "acme", Key: "ka"},
+		{Name: "beta", Key: "kb2"},
+	}
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+	cfg := Config{
+		Workers: 1, QueueDepth: 8,
+		DataDir: dataDir, JournalDir: journalDir,
+		ConfigHook: slowHook(5 * time.Millisecond),
+		Tenants:    tenants,
+	}
+	s1, ts1 := newTestServer(t, cfg)
+	running := submitKey(t, ts1, "ka", `{"variant":"alg1","n":400,"seed":1,"workers":1}`)
+	waitForProgress(t, ts1, running.ID, 5)
+	submitKey(t, ts1, "ka", `{"variant":"alg1","n":50,"seed":2}`)
+	submitKey(t, ts1, "kb2", `{"variant":"alg1","n":30,"seed":3}`)
+
+	before, err := json.Marshal(s1.mgr.UsageSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.mgr.kill() // the process vanishes with all three jobs outstanding
+
+	s2, _ := newTestServer(t, cfg)
+	after, err := json.Marshal(s2.mgr.UsageSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("usage accounting diverged across restart:\n before %s\n after  %s", before, after)
+	}
+}
+
+// strconv renders a small non-negative int without importing strconv
+// into the JSON-building hot path of the soak loop.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestMemoizationServesDuplicates(t *testing.T) {
+	dataDir, cacheDir := t.TempDir(), t.TempDir()
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		DataDir: dataDir, CacheDir: cacheDir,
+	})
+	const spec = `{"variant":"alg1","n":120,"seed":42}`
+	v1 := submit(t, ts, spec)
+	waitForState(t, ts, v1.ID, StateDone, time.Minute)
+	want, err := os.ReadFile(filepath.Join(dataDir, v1.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := submit(t, ts, spec)
+	if v2.State != StateDone || !v2.CacheHit {
+		t.Fatalf("duplicate spec not served from cache: state %s, cacheHit %v", v2.State, v2.CacheHit)
+	}
+	if v2.ID == v1.ID {
+		t.Fatal("cache hit reused the original job ID")
+	}
+	got, err := os.ReadFile(filepath.Join(dataDir, v2.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("memoized record file differs from the original run (%d vs %d bytes)", len(got), len(want))
+	}
+	after := metricsMap(t, ts)
+	if after["cache_hits"] < 1 {
+		t.Fatalf("cache_hits = %v, want >= 1", after["cache_hits"])
+	}
+	// A different seed is a different content address.
+	v3 := submit(t, ts, `{"variant":"alg1","n":120,"seed":43}`)
+	if v3.CacheHit {
+		t.Fatal("distinct spec wrongly served from cache")
+	}
+}
+
+func TestMemoizationTenantOptOut(t *testing.T) {
+	dataDir, cacheDir := t.TempDir(), t.TempDir()
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		DataDir: dataDir, CacheDir: cacheDir,
+		Tenants: []tenant.Tenant{
+			{Name: "cached", Key: "kc"},
+			{Name: "fresh", Key: "kf", NoCache: true},
+		},
+	})
+	const spec = `{"variant":"alg1","n":60,"seed":7}`
+	v1 := submitKey(t, ts, "kf", spec)
+	if v1.CacheHit {
+		t.Fatal("first run cannot be a cache hit")
+	}
+	waitForState(t, ts, v1.ID, StateDone, time.Minute)
+
+	// The opted-out tenant always runs fresh...
+	v2 := submitKey(t, ts, "kf", spec)
+	if v2.CacheHit || v2.State == StateDone {
+		t.Fatalf("NoCache tenant served from cache: state %s, cacheHit %v", v2.State, v2.CacheHit)
+	}
+	waitForState(t, ts, v2.ID, StateDone, time.Minute)
+
+	// ...but its completed runs still seed the shared store.
+	v3 := submitKey(t, ts, "kc", spec)
+	if !v3.CacheHit {
+		t.Fatal("cached tenant missed a result the NoCache tenant already produced")
+	}
+}
+
+func TestRetentionSweep(t *testing.T) {
+	dataDir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		DataDir:   dataDir,
+		RetainAge: 30 * time.Minute,
+	})
+	v := submit(t, ts, `{"variant":"alg1","n":40,"seed":5}`)
+	waitForState(t, ts, v.ID, StateDone, time.Minute)
+	path := filepath.Join(dataDir, v.ID+".jsonl")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("record file missing before sweep: %v", err)
+	}
+
+	if n := s.mgr.retentionSweep(time.Now()); n != 0 {
+		t.Fatalf("young campaign reclaimed: %d deletions", n)
+	}
+	if n := s.mgr.retentionSweep(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("aged campaign not reclaimed: %d deletions", n)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("record file survived the sweep")
+	}
+	var view View
+	getJSON(t, ts.URL+"/api/v1/campaigns/"+v.ID, &view)
+	if view.RecordsPath != "" {
+		t.Fatalf("swept campaign still advertises records at %q", view.RecordsPath)
+	}
+}
+
+func TestRetentionByteBudget(t *testing.T) {
+	dataDir := t.TempDir()
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4,
+		DataDir:     dataDir,
+		RetainBytes: 1, // every terminal record file is over budget
+	})
+	a := submit(t, ts, `{"variant":"alg1","n":30,"seed":1}`)
+	waitForState(t, ts, a.ID, StateDone, time.Minute)
+	b := submit(t, ts, `{"variant":"alg1","n":30,"seed":2}`)
+	waitForState(t, ts, b.ID, StateDone, time.Minute)
+
+	if n := s.mgr.retentionSweep(time.Now()); n != 2 {
+		t.Fatalf("byte budget reclaimed %d campaigns, want 2", n)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		if _, err := os.Stat(filepath.Join(dataDir, id+".jsonl")); !os.IsNotExist(err) {
+			t.Fatalf("record file %s survived the byte-budget sweep", id)
+		}
+	}
+}
+
+// TestRecordPageStreams restarts a server so the finished campaign's
+// records live only on disk, then pages through them without the
+// server ever materializing the full set.
+func TestRecordPageStreams(t *testing.T) {
+	dataDir, journalDir := t.TempDir(), t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 4, DataDir: dataDir, JournalDir: journalDir}
+	s1, ts1 := newTestServer(t, cfg)
+	v := submit(t, ts1, `{"variant":"alg1","n":150,"seed":9}`)
+	waitForState(t, ts1, v.ID, StateDone, time.Minute)
+	ts1.Close()
+	s1.Close()
+
+	_, ts2 := newTestServer(t, cfg)
+	var page struct {
+		Total   int             `json:"total"`
+		Count   int             `json:"count"`
+		Records json.RawMessage `json:"records"`
+	}
+	for _, tc := range []struct{ offset, limit, wantCount int }{
+		{0, 100, 100},
+		{100, 100, 50},
+		{140, 25, 10},
+		{150, 10, 0},
+	} {
+		url := ts2.URL + "/api/v1/campaigns/" + v.ID + "/records?offset=" + itoa(tc.offset) + "&limit=" + itoa(tc.limit)
+		if code := getJSON(t, url, &page); code != http.StatusOK {
+			t.Fatalf("records page returned %d", code)
+		}
+		if page.Total != 150 || page.Count != tc.wantCount {
+			t.Fatalf("offset %d limit %d: total %d count %d, want total 150 count %d",
+				tc.offset, tc.limit, page.Total, page.Count, tc.wantCount)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: capacity Burst tokens, refilled at Rate
+// tokens per second. Each admitted request spends one token; an empty
+// bucket rejects with the wait until the next token — the Retry-After
+// the HTTP layer hands back with a 429.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket builds a bucket for the given sustained rate and burst
+// depth. rate <= 0 builds an unlimited bucket; burst <= 0 defaults to
+// max(1, ceil(rate)). The bucket starts full.
+func NewBucket(rate float64, burst int) *Bucket {
+	b := &Bucket{rate: rate, burst: float64(burst)}
+	if b.burst <= 0 {
+		b.burst = 1
+		for b.burst < rate {
+			b.burst++
+		}
+	}
+	b.tokens = b.burst
+	return b
+}
+
+// Allow spends one token if available. When the bucket is empty it
+// reports false together with how long until a token accrues.
+func (b *Bucket) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

@@ -1,0 +1,166 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrFull is returned by Push when the queue is at capacity — the
+// caller sheds the request instead of blocking on it.
+var ErrFull = errors.New("tenant: queue is full")
+
+// strideScale is the stride-scheduling constant: a tenant's virtual
+// clock advances by strideScale/weight per dispatched job, so over any
+// contended window tenants are dispatched in proportion to their
+// weights.
+const strideScale = 1 << 20
+
+// FairQueue is a bounded, weighted fair-share job queue — the
+// replacement for ctrlguardd's FIFO campaign channel. Each tenant gets
+// its own FIFO; Pop dispatches from the tenant with the smallest
+// virtual "pass" (stride scheduling), so one tenant's burst deepens
+// only its own backlog and cannot starve the others.
+//
+// Pop blocks until an item is available or the queue is closed;
+// Push never blocks — a full queue is an ErrFull the admission layer
+// turns into a 503.
+type FairQueue[T any] struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int // bound on Push'd items; PushRecovered ignores it
+	size     int
+	closed   bool
+	vt       uint64 // pass of the most recent dispatch (global virtual time)
+	queues   map[string]*flow[T]
+}
+
+// flow is one tenant's FIFO and scheduling state.
+type flow[T any] struct {
+	weight int
+	pass   uint64 // virtual finish time of the next dispatch
+	items  []T
+}
+
+// NewFairQueue builds a fair queue admitting at most capacity queued
+// items (minimum 1).
+func NewFairQueue[T any](capacity int) *FairQueue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &FairQueue[T]{capacity: capacity, queues: make(map[string]*flow[T])}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v for the named tenant at the given weight, or returns
+// ErrFull when the queue is at capacity.
+func (q *FairQueue[T]) Push(tenantName string, weight int, v T) error {
+	return q.push(tenantName, weight, v, true)
+}
+
+// PushRecovered enqueues a job restored from the journal. Recovered
+// jobs ride along without eating into the capacity configured for new
+// submissions, exactly as the pre-tenancy queue treated them.
+func (q *FairQueue[T]) PushRecovered(tenantName string, weight int, v T) {
+	q.push(tenantName, weight, v, false)
+}
+
+func (q *FairQueue[T]) push(name string, weight int, v T, bounded bool) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if bounded && (q.closed || q.size >= q.capacity) {
+		// A closed queue sheds too: a submission racing a graceful
+		// drain must not strand a job nobody will ever Pop.
+		return ErrFull
+	}
+	f := q.queues[name]
+	if f == nil {
+		f = &flow[T]{pass: q.vt}
+		q.queues[name] = f
+	}
+	if len(f.items) == 0 && f.pass < q.vt {
+		// A tenant that went idle re-joins at the current virtual time
+		// rather than cashing in its accumulated lag all at once.
+		f.pass = q.vt
+	}
+	f.weight = weight
+	f.items = append(f.items, v)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available, then dispatches from the
+// non-empty tenant with the smallest pass (ties broken by name for
+// determinism). It returns ok == false once the queue is closed;
+// items still queued at close are only reachable through Drain.
+func (q *FairQueue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return v, false
+	}
+	f := q.minFlowLocked()
+	v = f.items[0]
+	f.items = f.items[1:]
+	q.size--
+	q.vt = f.pass
+	f.pass += strideScale / uint64(f.weight)
+	return v, true
+}
+
+// minFlowLocked picks the non-empty flow with the smallest pass,
+// breaking ties by tenant name so scheduling is deterministic.
+func (q *FairQueue[T]) minFlowLocked() *flow[T] {
+	var best *flow[T]
+	bestName := ""
+	for name, f := range q.queues {
+		if len(f.items) == 0 {
+			continue
+		}
+		if best == nil || f.pass < best.pass || (f.pass == best.pass && name < bestName) {
+			best, bestName = f, name
+		}
+	}
+	return best
+}
+
+// Len is the number of queued items.
+func (q *FairQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Close wakes every blocked Pop with ok == false. Queued items remain
+// for Drain.
+func (q *FairQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Drain removes and returns every queued item in fair-share order —
+// the shutdown path, where queued-but-unstarted jobs are journaled as
+// interrupted for the next start to resume.
+func (q *FairQueue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]T, 0, q.size)
+	for q.size > 0 {
+		f := q.minFlowLocked()
+		out = append(out, f.items[0])
+		f.items = f.items[1:]
+		q.size--
+		q.vt = f.pass
+		f.pass += strideScale / uint64(f.weight)
+	}
+	return out
+}
